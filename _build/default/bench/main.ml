@@ -1,0 +1,143 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (sections E-T1, E-F1..E-F4, E-A1/A2/A4 via Mmt_experiments.Registry)
+   and then runs the E-A3 micro-benchmarks: per-packet header and
+   pipeline costs, the P4-realizability proxy. *)
+
+open Mmt_util
+open Bechamel
+open Toolkit
+
+let experiment = Mmt.Experiment_id.make ~experiment:2 ~slice:1
+let buffer_ip = Mmt_frame.Addr.Ip.of_octets 10 0 1 1
+let notify_ip = Mmt_frame.Addr.Ip.of_octets 10 0 0 1
+
+let full_header =
+  Mmt.Header.create ~sequence:123456
+    ~retransmit_from:buffer_ip
+    ~timely:{ Mmt.Header.deadline = Units.Time.ms 20.; notify = notify_ip }
+    ~age:
+      {
+        Mmt.Header.age_us = 10;
+        budget_us = 20_000;
+        aged = false;
+        hop_count = 1;
+        last_touch_ns = Units.Time.us 3.;
+      }
+    ~experiment ()
+
+let encoded_full = Mmt.Header.encode full_header
+let mode0_header = Mmt.Header.mode0 ~experiment
+let encoded_mode0 = Mmt.Header.encode mode0_header
+
+let age_frame = Bytes.copy encoded_full
+let age_offset = Option.get (Mmt.Header.offset_of_age full_header)
+
+let wan_mode =
+  Mmt.Mode.make ~name:"bench-wan" ~reliable:buffer_ip
+    ~deadline_budget:(Units.Time.ms 20., notify_ip)
+    ~age_budget_us:20_000 ()
+
+let rewriter = Mmt_innet.Mode_rewriter.create ~mode:wan_mode ()
+let rewriter_element = Mmt_innet.Mode_rewriter.element rewriter
+
+let mode0_frame = Bytes.cat encoded_mode0 (Bytes.make 1024 'p')
+
+let fragment =
+  {
+    Mmt_daq.Fragment.run = 1;
+    trigger = 42;
+    timestamp = Units.Time.us 17.;
+    experiment;
+    detector =
+      Mmt_daq.Fragment.Wib_ethernet
+        { crate = 1; slot = 2; fiber = 3; first_channel = 0; channel_count = 64 };
+    payload = Bytes.make 7200 'x';
+  }
+
+let encoded_fragment = Mmt_daq.Fragment.encode fragment
+
+let lartpc_config =
+  { Mmt_daq.Lartpc.iceberg with Mmt_daq.Lartpc.channels = 8; samples_per_channel = 64 }
+
+let bench_tests =
+  Test.make_grouped ~name:"E-A3"
+    [
+      Test.make ~name:"header encode (mode 0, 8 B)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.encode mode0_header)));
+      Test.make ~name:"header encode (full, 48 B)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.encode full_header)));
+      Test.make ~name:"header decode (mode 0)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.decode_bytes encoded_mode0)));
+      Test.make ~name:"header decode (full)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.decode_bytes encoded_full)));
+      Test.make ~name:"age touch in place (ALU path)" (Staged.stage (fun () ->
+           ignore
+             (Mmt.Header.touch_age_in_place age_frame ~ext_off:age_offset
+                ~now:(Units.Time.us 100.))));
+      Test.make ~name:"mode rewrite (mode 0 -> 1, 1 KiB frame)" (Staged.stage (fun () ->
+           let packet =
+             Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero (Bytes.copy mode0_frame)
+           in
+           ignore (rewriter_element.Mmt_innet.Element.process ~now:Units.Time.zero packet)));
+      Test.make ~name:"fragment encode (7200 B payload)" (Staged.stage (fun () ->
+           ignore (Mmt_daq.Fragment.encode fragment)));
+      Test.make ~name:"fragment decode" (Staged.stage (fun () ->
+           ignore (Mmt_daq.Fragment.decode encoded_fragment)));
+      Test.make ~name:"LArTPC window synthesis (8ch x 64)"
+        (let rng = Rng.create ~seed:5L in
+         Staged.stage (fun () ->
+             ignore
+               (Mmt_daq.Lartpc.generate_window lartpc_config rng
+                  ~activity:Mmt_daq.Lartpc.Cosmic)));
+      Test.make ~name:"engine schedule+run event" (Staged.stage (fun () ->
+           let engine = Mmt_sim.Engine.create () in
+           ignore (Mmt_sim.Engine.schedule engine ~at:Units.Time.zero ignore);
+           Mmt_sim.Engine.run engine));
+    ]
+
+let run_micro_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances bench_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create
+      ~title:
+        "E-A3 micro-benchmarks: per-packet header/pipeline costs (host CPU; a \
+         Tofino pipeline does the same field ops at line rate)"
+      ~columns:[ ("operation", Table.Left); ("time per op", Table.Right) ]
+      ()
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let per_run =
+        match Analyze.OLS.estimates ols_result with
+        | Some (value :: _) -> Printf.sprintf "%.0f ns" value
+        | Some [] | None -> "n/a"
+      in
+      rows := (name, per_run) :: !rows)
+    results;
+  List.iter
+    (fun (name, per_run) -> Table.add_row table [ name; per_run ])
+    (List.sort compare !rows);
+  Table.print table
+
+let () =
+  print_endline "=== Shape-shifting Elephants: experiment reproductions ===";
+  print_newline ();
+  let all_ok = Mmt_experiments.Registry.run_all () in
+  print_endline "### E-A3 — micro-benchmarks";
+  print_newline ();
+  run_micro_benchmarks ();
+  print_newline ();
+  if all_ok then print_endline "ALL SHAPE CHECKS PASSED"
+  else begin
+    print_endline "SOME SHAPE CHECKS FAILED";
+    exit 1
+  end

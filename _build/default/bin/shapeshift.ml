@@ -1,0 +1,355 @@
+(* Command-line interface: run experiment reproductions, drive the
+   pilot with custom parameters, inspect the catalog. *)
+
+open Mmt_util
+open Cmdliner
+
+(* `shapeshift list` ----------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let table =
+      Table.create ~title:"Experiment reproductions"
+        ~columns:[ ("id", Table.Left); ("title", Table.Left) ]
+        ()
+    in
+    List.iter
+      (fun (e : Mmt_experiments.Registry.entry) ->
+        Table.add_row table [ e.Mmt_experiments.Registry.id; e.Mmt_experiments.Registry.title ])
+      Mmt_experiments.Registry.all;
+    Table.print table;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every table/figure reproduction.")
+    Term.(const run $ const ())
+
+(* `shapeshift experiments [ID...]` -------------------------------------- *)
+
+let experiments_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let run ids =
+    match ids with
+    | [] -> if Mmt_experiments.Registry.run_all () then 0 else 1
+    | ids ->
+        List.fold_left
+          (fun code id ->
+            match Mmt_experiments.Registry.find id with
+            | None ->
+                Printf.eprintf "unknown experiment %S (try `shapeshift list`)\n" id;
+                2
+            | Some entry ->
+                Printf.printf "### %s — %s\n\n%!" entry.Mmt_experiments.Registry.id
+                  entry.Mmt_experiments.Registry.title;
+                let output, ok = entry.Mmt_experiments.Registry.run () in
+                print_string output;
+                print_newline ();
+                if ok then code else 1)
+          0 ids
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate the paper's tables and figures (all, or by id).")
+    Term.(const run $ ids)
+
+(* `shapeshift pilot ...` -------------------------------------------------- *)
+
+let pilot_cmd =
+  let profile =
+    let parse = function
+      | "physical" -> Ok Mmt_pilot.Profile.physical_100gbe
+      | "fabric" -> Ok Mmt_pilot.Profile.fabric_virtual
+      | other -> Error (`Msg (Printf.sprintf "unknown profile %S" other))
+    in
+    let print fmt (p : Mmt_pilot.Profile.t) =
+      Format.pp_print_string fmt p.Mmt_pilot.Profile.name
+    in
+    Arg.conv (parse, print)
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt profile Mmt_pilot.Profile.physical_100gbe
+      & info [ "profile" ] ~docv:"PROFILE" ~doc:"Hardware variant: physical or fabric.")
+  in
+  let fragments =
+    Arg.(value & opt int 2000 & info [ "fragments" ] ~doc:"Fragments to stream.")
+  in
+  let loss =
+    Arg.(value & opt float 0.002 & info [ "loss" ] ~doc:"WAN drop probability.")
+  in
+  let corrupt =
+    Arg.(value & opt float 0.0005 & info [ "corrupt" ] ~doc:"WAN corruption probability.")
+  in
+  let researchers =
+    Arg.(value & opt int 0 & info [ "researchers" ] ~doc:"Duplicated-stream consumers.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~doc:"Activate the Timely feature with this budget.")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run profile fragments loss corrupt researchers deadline_ms seed =
+    let config =
+      {
+        Mmt_pilot.Pilot.default_config with
+        Mmt_pilot.Pilot.profile;
+        fragment_count = fragments;
+        wan_loss = loss;
+        wan_corrupt = corrupt;
+        researchers;
+        deadline_budget = Option.map Units.Time.ms deadline_ms;
+        seed;
+      }
+    in
+    let pilot = Mmt_pilot.Pilot.build config in
+    Mmt_pilot.Pilot.run pilot;
+    let r = Mmt_pilot.Pilot.results pilot in
+    let receiver = r.Mmt_pilot.Pilot.receiver in
+    let table =
+      Table.create
+        ~title:
+          (Printf.sprintf "Pilot run: %s, %d fragments, %.3g%% loss, seed %Ld"
+             profile.Mmt_pilot.Profile.name fragments (loss *. 100.) seed)
+        ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+        ()
+    in
+    let row name value = Table.add_row table [ name; value ] in
+    row "emitted" (string_of_int r.Mmt_pilot.Pilot.emitted);
+    row "delivered" (string_of_int receiver.Mmt.Receiver.delivered);
+    row "gaps detected" (string_of_int receiver.Mmt.Receiver.gaps_detected);
+    row "recovered" (string_of_int receiver.Mmt.Receiver.recovered);
+    row "lost" (string_of_int receiver.Mmt.Receiver.lost);
+    row "duplicates" (string_of_int receiver.Mmt.Receiver.duplicates);
+    row "NAKs sent" (string_of_int receiver.Mmt.Receiver.naks_sent);
+    row "DTN1 resends" (string_of_int r.Mmt_pilot.Pilot.buffer.Mmt.Buffer_host.frames_resent);
+    row "late" (string_of_int receiver.Mmt.Receiver.late);
+    row "aged" (string_of_int receiver.Mmt.Receiver.aged);
+    row "goodput" (Units.Rate.to_string r.Mmt_pilot.Pilot.goodput);
+    row "completion"
+      (match receiver.Mmt.Receiver.completion with
+      | Some t -> Units.Time.to_string t
+      | None -> "-");
+    List.iteri
+      (fun i (stats : Mmt.Receiver.stats) ->
+        row (Printf.sprintf "researcher %d delivered" i)
+          (string_of_int stats.Mmt.Receiver.delivered))
+      r.Mmt_pilot.Pilot.researcher_stats;
+    Table.print table;
+    if receiver.Mmt.Receiver.delivered = r.Mmt_pilot.Pilot.emitted then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "pilot" ~doc:"Run the Fig. 4 pilot topology with custom parameters.")
+    Term.(
+      const run $ profile_arg $ fragments $ loss $ corrupt $ researchers
+      $ deadline_ms $ seed)
+
+(* `shapeshift catalog` ------------------------------------------------------ *)
+
+let catalog_cmd =
+  let run () =
+    let table =
+      Table.create ~title:"Experiment catalog (Table 1 of the paper)"
+        ~columns:
+          [
+            ("experiment", Table.Left);
+            ("DAQ rate", Table.Right);
+            ("fragment", Table.Right);
+            ("WAN RTT", Table.Right);
+            ("slices", Table.Right);
+            ("alert stream", Table.Right);
+          ]
+        ()
+    in
+    List.iter
+      (fun (e : Mmt_daq.Experiment.t) ->
+        Table.add_row table
+          [
+            e.Mmt_daq.Experiment.name;
+            Units.Rate.to_string e.Mmt_daq.Experiment.daq_rate;
+            Units.Size.to_string e.Mmt_daq.Experiment.message_size;
+            Units.Time.to_string e.Mmt_daq.Experiment.wan_rtt;
+            string_of_int e.Mmt_daq.Experiment.slices;
+            (match e.Mmt_daq.Experiment.alert_stream with
+            | Some rate -> Units.Rate.to_string rate
+            | None -> "-");
+          ])
+      Mmt_daq.Experiment.all;
+    Table.print table;
+    0
+  in
+  Cmd.v (Cmd.info "catalog" ~doc:"Print the instrument catalog (Table 1).")
+    Term.(const run $ const ())
+
+(* `shapeshift failover` ----------------------------------------------------- *)
+
+let failover_cmd =
+  let fail_at_ms =
+    Arg.(
+      value
+      & opt (some float) (Some 5.)
+      & info [ "fail-at-ms" ]
+          ~doc:"When buffer A dies (omit failure with --no-failure).")
+  in
+  let no_failure =
+    Arg.(value & flag & info [ "no-failure" ] ~doc:"Run the healthy baseline.")
+  in
+  let fragments =
+    Arg.(value & opt int 12_000 & info [ "fragments" ] ~doc:"Fragments to stream.")
+  in
+  let run fail_at_ms no_failure fragments =
+    let params =
+      Mmt_pilot.Failover_run.params ~fragment_count:fragments
+        ?fail_buffer_a_at:
+          (if no_failure then None else Option.map Units.Time.ms fail_at_ms)
+        ()
+    in
+    let o = Mmt_pilot.Failover_run.run params in
+    let table =
+      Table.create ~title:"Discovery + failover run (§ 6 challenge 1)"
+        ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+        ()
+    in
+    let row name value = Table.add_row table [ name; value ] in
+    row "delivered" (string_of_int o.Mmt_pilot.Failover_run.delivered);
+    row "recovered" (string_of_int o.Mmt_pilot.Failover_run.recovered);
+    row "lost" (string_of_int o.Mmt_pilot.Failover_run.lost);
+    row "NAKs served by buffer A" (string_of_int o.Mmt_pilot.Failover_run.naks_served_by_a);
+    row "NAKs served by buffer B" (string_of_int o.Mmt_pilot.Failover_run.naks_served_by_b);
+    row "planner mode changes" (string_of_int o.Mmt_pilot.Failover_run.mode_changes);
+    row "final buffer in the mode" o.Mmt_pilot.Failover_run.final_buffer;
+    Table.print table;
+    if o.Mmt_pilot.Failover_run.lost = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "failover"
+       ~doc:"Kill a retransmission buffer mid-stream and watch discovery re-plan.")
+    Term.(const run $ fail_at_ms $ no_failure $ fragments)
+
+(* `shapeshift trace` ----------------------------------------------------------- *)
+
+let trace_cmd =
+  let fragments =
+    Arg.(value & opt int 40 & info [ "fragments" ] ~doc:"Fragments to stream.")
+  in
+  let limit =
+    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"Trace lines to print.")
+  in
+  let run fragments limit =
+    (* A tiny traced pilot-like chain: the packet-level view of a mode
+       change and a recovery. *)
+    let engine = Mmt_sim.Engine.create () in
+    let trace = Mmt_sim.Trace.create () in
+    let topo = Mmt_sim.Topology.create ~engine ~trace () in
+    let fresh_id () = Mmt_sim.Topology.fresh_packet_id topo in
+    let rng = Rng.create ~seed:2L in
+    let src = Mmt_sim.Topology.add_node topo ~name:"sensor" in
+    let buf = Mmt_sim.Topology.add_node topo ~name:"dtn1" in
+    let dst = Mmt_sim.Topology.add_node topo ~name:"dtn2" in
+    let src_ip = Mmt_frame.Addr.Ip.of_octets 10 0 0 1 in
+    let buf_ip = Mmt_frame.Addr.Ip.of_octets 10 0 0 2 in
+    let dst_ip = Mmt_frame.Addr.Ip.of_octets 10 0 0 3 in
+    let rate = Units.Rate.gbps 10. in
+    let s_to_b =
+      Mmt_sim.Topology.connect topo ~src ~dst:buf ~rate
+        ~propagation:(Units.Time.us 50.) ()
+    in
+    let b_to_d =
+      Mmt_sim.Topology.connect topo ~src:buf ~dst ~rate
+        ~propagation:(Units.Time.ms 2.)
+        ~loss:(Mmt_sim.Loss.bernoulli ~drop:0.05 ~corrupt:0. ~rng)
+        ()
+    in
+    let d_to_b =
+      Mmt_sim.Topology.connect topo ~src:dst ~dst:buf ~rate
+        ~propagation:(Units.Time.ms 2.) ()
+    in
+    let router_b = Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send b_to_d) () in
+    let env_b = Mmt_pilot.Router.env router_b ~engine ~fresh_id ~local_ip:buf_ip in
+    let buffer = Mmt.Buffer_host.create ~env:env_b ~capacity:(Units.Size.mib 16) () in
+    let mode = Mmt.Mode.make ~name:"wan" ~reliable:buf_ip ~age_budget_us:50_000 () in
+    let rewriter =
+      Mmt_innet.Mode_rewriter.create ~mode
+        ~re_encap:(Mmt.Encap.Over_ipv4 { src = buf_ip; dst = dst_ip; dscp = 0; ttl = 64 })
+        ~on_rewrite:(fun ~seq ~born frame ->
+          Option.iter (fun seq -> Mmt.Buffer_host.store buffer ~seq ~born frame) seq)
+        ()
+    in
+    let _sw =
+      Mmt_innet.Switch.attach ~engine ~node:buf ~profile:Mmt_innet.Switch.alveo_smartnic
+        ~elements:[ Mmt_innet.Mode_rewriter.element rewriter ]
+        ~route:(fun packet ->
+          match Mmt.Encap.locate (Mmt_sim.Packet.frame packet) with
+          | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, off)
+            when Mmt_frame.Addr.Ip.equal dst buf_ip -> (
+              match Mmt.Header.decode_bytes ~off (Mmt_sim.Packet.frame packet) with
+              | Ok { Mmt.Header.kind = Mmt.Feature.Kind.Nak; _ } ->
+                  Some (Mmt.Buffer_host.on_packet buffer)
+              | _ -> Some (Mmt_sim.Link.send b_to_d))
+          | _ -> Some (Mmt_sim.Link.send b_to_d))
+        ()
+    in
+    let router_d = Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send d_to_b) () in
+    let env_d = Mmt_pilot.Router.env router_d ~engine ~fresh_id ~local_ip:dst_ip in
+    let receiver =
+      Mmt.Receiver.create ~env:env_d
+        {
+          Mmt.Receiver.experiment = Mmt.Experiment_id.make ~experiment:2 ~slice:0;
+          nak_delay = Units.Time.ms 1.;
+          nak_retry_timeout = Units.Time.ms 8.;
+          max_nak_retries = 5;
+          expected_total = Some fragments;
+        }
+        ~deliver:(fun _ _ -> ())
+    in
+    Mmt_sim.Node.set_handler dst (Mmt.Receiver.on_packet receiver);
+    let router_s = Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send s_to_b) () in
+    let env_s = Mmt_pilot.Router.env router_s ~engine ~fresh_id ~local_ip:src_ip in
+    let sender =
+      Mmt.Sender.create ~env:env_s
+        {
+          Mmt.Sender.experiment = Mmt.Experiment_id.make ~experiment:2 ~slice:0;
+          destination = dst_ip;
+          encap = Mmt.Encap.Raw;
+          deadline_budget = None;
+          backpressure_to = None;
+          pace = None;
+          padding = 0;
+        }
+    in
+    for i = 0 to fragments - 1 do
+      ignore
+        (Mmt_sim.Engine.schedule engine
+           ~at:(Units.Time.scale (Units.Time.us 100.) (float_of_int i))
+           (fun () -> Mmt.Sender.send sender (Bytes.make 512 'd')))
+    done;
+    Mmt_sim.Engine.run engine;
+    print_string (Mmt_sim.Trace.render ~limit trace);
+    let stats = Mmt.Receiver.stats receiver in
+    Printf.printf
+      "
+%d fragments, %d delivered, %d recovered from dtn1, %d trace entries
+"
+      fragments stats.Mmt.Receiver.delivered stats.Mmt.Receiver.recovered
+      (List.length (Mmt_sim.Trace.entries trace));
+    0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Stream through a traced mini-pilot and dump the packet-event log.")
+    Term.(const run $ fragments $ limit)
+
+let main_cmd =
+  let doc = "Multi-modal transport for DAQ workloads (HotNets '24 reproduction)" in
+  Cmd.group
+    (Cmd.info "shapeshift" ~version:"1.0.0" ~doc)
+    [ list_cmd; experiments_cmd; pilot_cmd; catalog_cmd; failover_cmd; trace_cmd ]
+
+let () =
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Version | `Help) -> exit 0
+  | Error _ -> exit 2

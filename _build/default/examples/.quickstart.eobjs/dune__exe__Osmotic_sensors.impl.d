@@ -1,0 +1,1 @@
+examples/osmotic_sensors.ml: Addr Bytes List Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_pilot Mmt_runtime Mmt_sim Mmt_tcp Mmt_util Printf Rng Units

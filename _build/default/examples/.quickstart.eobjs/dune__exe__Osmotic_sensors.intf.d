@@ -1,0 +1,1 @@
+examples/osmotic_sensors.mli:

@@ -1,0 +1,1 @@
+examples/partitioned_detector.ml: Addr Bytes Hashtbl List Mmt Mmt_daq Mmt_frame Mmt_pilot Mmt_sim Mmt_util Option Printf Rng Units

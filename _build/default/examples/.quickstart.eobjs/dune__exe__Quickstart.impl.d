@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mmt Mmt_pilot Mmt_sim Mmt_util Printf Stats Units

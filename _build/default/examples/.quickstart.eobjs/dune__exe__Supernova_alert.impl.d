@@ -1,0 +1,1 @@
+examples/supernova_alert.ml: List Mmt Mmt_daq Mmt_pilot Mmt_util Printf Stats Units

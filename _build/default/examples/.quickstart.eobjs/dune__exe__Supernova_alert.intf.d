@@ -1,0 +1,1 @@
+examples/supernova_alert.mli:

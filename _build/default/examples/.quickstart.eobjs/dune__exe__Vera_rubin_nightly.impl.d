@@ -1,0 +1,1 @@
+examples/vera_rubin_nightly.ml: Addr Bytes Mmt Mmt_daq Mmt_frame Mmt_pilot Mmt_sim Mmt_util Printf Units

@@ -1,0 +1,1 @@
+examples/vera_rubin_nightly.mli:

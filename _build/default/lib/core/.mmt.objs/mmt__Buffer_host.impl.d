@@ -1,0 +1,1 @@
+lib/core/buffer_host.ml: Addr Bytes Control Encap Experiment_id Feature Header List Mmt_frame Mmt_runtime Mmt_sim Retx_buffer

@@ -1,0 +1,1 @@
+lib/core/buffer_host.mli: Addr Control Mmt_frame Mmt_runtime Mmt_sim Mmt_util Retx_buffer Units

@@ -1,0 +1,1 @@
+lib/core/control.ml: Addr Format Int64 List Mmt_frame Mmt_util Mmt_wire Units

@@ -1,0 +1,1 @@
+lib/core/control.mli: Addr Format Mmt_frame Mmt_util Units

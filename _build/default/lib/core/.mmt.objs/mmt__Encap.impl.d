@@ -1,0 +1,1 @@
+lib/core/encap.ml: Addr Bytes Char Ethernet Ipv4 Mmt_frame Mmt_wire Printf

@@ -1,0 +1,1 @@
+lib/core/encap.mli: Addr Mmt_frame

@@ -1,0 +1,1 @@
+lib/core/experiment_id.mli: Format

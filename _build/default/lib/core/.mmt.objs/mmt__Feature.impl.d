@@ -1,0 +1,1 @@
+lib/core/feature.ml: Format Int List Printf String

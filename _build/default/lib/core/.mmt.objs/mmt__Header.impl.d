@@ -1,0 +1,1 @@
+lib/core/header.ml: Addr Bytes Char Experiment_id Feature Format Int32 Int64 List Mmt_frame Mmt_util Mmt_wire Option Printf Units

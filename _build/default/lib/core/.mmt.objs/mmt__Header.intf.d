@@ -1,0 +1,1 @@
+lib/core/header.mli: Addr Experiment_id Feature Format Mmt_frame Mmt_util Mmt_wire Units

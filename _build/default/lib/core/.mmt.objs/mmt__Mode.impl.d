@@ -1,0 +1,1 @@
+lib/core/mode.ml: Addr Feature Format Mmt_frame Mmt_util Option Printf Result Units

@@ -1,0 +1,1 @@
+lib/core/mode.mli: Addr Feature Format Mmt_frame Mmt_util Units

@@ -1,0 +1,1 @@
+lib/core/payload_crypto.ml: Bytes Char Int64 Mmt_util Rng String

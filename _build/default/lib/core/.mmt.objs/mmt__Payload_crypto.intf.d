@@ -1,0 +1,1 @@
+lib/core/payload_crypto.mli:

@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Addr Bytes Control Encap Experiment_id Feature Hashtbl Header Int64 List Mmt_frame Mmt_runtime Mmt_sim Mmt_util Option Stats Units

@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Experiment_id Header Mmt_runtime Mmt_sim Mmt_util Stats Units

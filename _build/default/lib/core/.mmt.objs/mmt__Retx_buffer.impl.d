@@ -1,0 +1,1 @@
+lib/core/retx_buffer.ml: Bytes Hashtbl Mmt_util Queue Units

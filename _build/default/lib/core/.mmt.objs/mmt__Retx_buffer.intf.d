@@ -1,0 +1,1 @@
+lib/core/retx_buffer.mli: Mmt_util Units

@@ -1,0 +1,1 @@
+lib/core/sender.ml: Addr Bytes Control Encap Ethernet Experiment_id Feature Header Ipv4 List Mmt_frame Mmt_runtime Mmt_sim Mmt_util Queue Units

@@ -1,0 +1,1 @@
+lib/core/sender.mli: Addr Encap Experiment_id Header Mmt_frame Mmt_runtime Mmt_util Units

@@ -1,0 +1,130 @@
+open Mmt_frame
+
+type stats = {
+  naks_received : int;
+  frames_resent : int;
+  escalated : int;
+  unserviceable : int;
+  buffer : Retx_buffer.stats;
+}
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  buffer : Retx_buffer.t;
+  upstream : Addr.Ip.t option;
+  mutable naks_received : int;
+  mutable frames_resent : int;
+  mutable escalated : int;
+  mutable unserviceable : int;
+}
+
+let create ~env ~capacity ?upstream () =
+  {
+    env;
+    buffer = Retx_buffer.create ~capacity;
+    upstream;
+    naks_received = 0;
+    frames_resent = 0;
+    escalated = 0;
+    unserviceable = 0;
+  }
+
+let store t ~seq ~born frame = Retx_buffer.store t.buffer ~seq ~born frame
+
+let resend t ~requester (entry : Retx_buffer.entry) =
+  (* Preserve the original birth time: a recovered message's latency is
+     end-to-end, not resend-to-delivery. *)
+  let packet =
+    Mmt_sim.Packet.create
+      ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+      ~born:entry.Retx_buffer.born
+      (Bytes.copy entry.Retx_buffer.frame)
+  in
+  t.frames_resent <- t.frames_resent + 1;
+  t.env.Mmt_runtime.Env.send requester packet
+
+let escalate t ~requester seqs =
+  match (t.upstream, seqs) with
+  | _, [] -> ()
+  | None, seqs -> t.unserviceable <- t.unserviceable + List.length seqs
+  | Some upstream, seqs ->
+      t.escalated <- t.escalated + List.length seqs;
+      let nak =
+        {
+          Control.Nak.requester;
+          ranges = Control.Nak.ranges_of_sorted (List.sort compare seqs);
+        }
+      in
+      let header =
+        Header.with_kind
+          (Header.mode0
+             ~experiment:(Experiment_id.make ~experiment:0 ~slice:0))
+          Feature.Kind.Nak
+      in
+      let mmt = Header.encode header in
+      let payload = Control.Nak.encode nak in
+      let frame = Bytes.create (Bytes.length mmt + Bytes.length payload) in
+      Bytes.blit mmt 0 frame 0 (Bytes.length mmt);
+      Bytes.blit payload 0 frame (Bytes.length mmt) (Bytes.length payload);
+      let wrapped =
+        Encap.wrap
+          (Encap.Over_ipv4
+             {
+               src = t.env.Mmt_runtime.Env.local_ip;
+               dst = upstream;
+               dscp = 0;
+               ttl = 64;
+             })
+          frame
+      in
+      t.env.Mmt_runtime.Env.send upstream (Mmt_runtime.Env.packet t.env wrapped)
+
+let handle_nak t nak =
+  t.naks_received <- t.naks_received + 1;
+  let missing = ref [] in
+  List.iter
+    (fun (first, last) ->
+      for seq = first to last do
+        match Retx_buffer.fetch t.buffer ~seq with
+        | Some entry -> resend t ~requester:nak.Control.Nak.requester entry
+        | None -> missing := seq :: !missing
+      done)
+    nak.Control.Nak.ranges;
+  escalate t ~requester:nak.Control.Nak.requester (List.rev !missing)
+
+let on_packet t packet =
+  if not packet.Mmt_sim.Packet.corrupted then
+    match Encap.strip (Mmt_sim.Packet.frame packet) with
+    | Error _ -> ()
+    | Ok (_encap, mmt_frame) -> (
+        match Header.decode_bytes mmt_frame with
+        | Error _ -> ()
+        | Ok header -> (
+            match header.Header.kind with
+            | Feature.Kind.Nak -> (
+                let payload =
+                  Bytes.sub mmt_frame (Header.size header)
+                    (Bytes.length mmt_frame - Header.size header)
+                in
+                match Control.Nak.decode payload with
+                | Error _ -> ()
+                | Ok nak -> handle_nak t nak)
+            | Feature.Kind.Data | Feature.Kind.Deadline_exceeded
+            | Feature.Kind.Backpressure | Feature.Kind.Buffer_advert ->
+                ()))
+
+let advert t ~rtt_hint =
+  {
+    Control.Buffer_advert.buffer = t.env.Mmt_runtime.Env.local_ip;
+    capacity = Retx_buffer.capacity t.buffer;
+    rtt_hint;
+  }
+
+let stats t =
+  {
+    naks_received = t.naks_received;
+    frames_resent = t.frames_resent;
+    escalated = t.escalated;
+    unserviceable = t.unserviceable;
+    buffer = Retx_buffer.stats t.buffer;
+  }

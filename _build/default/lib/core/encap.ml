@@ -1,0 +1,118 @@
+open Mmt_frame
+module Cursor = Mmt_wire.Cursor
+
+type t =
+  | Raw
+  | Over_ethernet of { src : Addr.Mac.t; dst : Addr.Mac.t }
+  | Over_ipv4 of { src : Addr.Ip.t; dst : Addr.Ip.t; dscp : int; ttl : int }
+
+let wrap t mmt_frame =
+  match t with
+  | Raw -> mmt_frame
+  | Over_ethernet { src; dst } ->
+      let w = Cursor.Writer.create (Ethernet.header_size + Bytes.length mmt_frame) in
+      Ethernet.write w { Ethernet.src; dst; ethertype = Ethernet.ethertype_mmt };
+      Cursor.Writer.bytes w mmt_frame;
+      Cursor.Writer.contents w
+  | Over_ipv4 { src; dst; dscp; ttl } ->
+      let w = Cursor.Writer.create (Ipv4.header_size + Bytes.length mmt_frame) in
+      Ipv4.write w
+        {
+          Ipv4.dscp;
+          ttl;
+          protocol = Ipv4.protocol_mmt;
+          src;
+          dst;
+          payload_length = Bytes.length mmt_frame;
+        };
+      Cursor.Writer.bytes w mmt_frame;
+      Cursor.Writer.contents w
+
+let locate frame =
+  if Bytes.length frame = 0 then Error "empty frame"
+  else
+    match Char.code (Bytes.get frame 0) with
+    | 0x01 -> Ok (Raw, 0)
+    | 0x45 -> (
+        match Ipv4.read (Cursor.Reader.of_bytes frame) with
+        | exception Cursor.Out_of_bounds _ -> Error "truncated IPv4 header"
+        | exception Failure e -> Error e
+        | ip ->
+            if ip.Ipv4.protocol <> Ipv4.protocol_mmt then
+              Error (Printf.sprintf "IPv4 protocol %d is not MMT" ip.Ipv4.protocol)
+            else
+              Ok
+                ( Over_ipv4
+                    {
+                      src = ip.Ipv4.src;
+                      dst = ip.Ipv4.dst;
+                      dscp = ip.Ipv4.dscp;
+                      ttl = ip.Ipv4.ttl;
+                    },
+                  Ipv4.header_size ))
+    | _ -> (
+        match Ethernet.read (Cursor.Reader.of_bytes frame) with
+        | exception Cursor.Out_of_bounds _ -> Error "truncated Ethernet header"
+        | eth ->
+            if eth.Ethernet.ethertype = Ethernet.ethertype_mmt then
+              Ok
+                ( Over_ethernet { src = eth.Ethernet.src; dst = eth.Ethernet.dst },
+                  Ethernet.header_size )
+            else if eth.Ethernet.ethertype = Ethernet.ethertype_ipv4 then
+              match
+                Ipv4.read (Cursor.Reader.of_bytes ~off:Ethernet.header_size frame)
+              with
+              | exception Cursor.Out_of_bounds _ -> Error "truncated inner IPv4"
+              | exception Failure e -> Error e
+              | ip ->
+                  if ip.Ipv4.protocol <> Ipv4.protocol_mmt then
+                    Error "inner IPv4 protocol is not MMT"
+                  else
+                    Ok
+                      ( Over_ipv4
+                          {
+                            src = ip.Ipv4.src;
+                            dst = ip.Ipv4.dst;
+                            dscp = ip.Ipv4.dscp;
+                            ttl = ip.Ipv4.ttl;
+                          },
+                        Ethernet.header_size + Ipv4.header_size )
+            else
+              Error
+                (Printf.sprintf "ethertype 0x%04x is not MMT" eth.Ethernet.ethertype))
+
+let strip frame =
+  match locate frame with
+  | Error _ as e -> e
+  | Ok (encap, off) ->
+      Ok (encap, Bytes.sub frame off (Bytes.length frame - off))
+
+let rewrap ~old_frame ~mmt_offset new_mmt =
+  let out = Bytes.create (mmt_offset + Bytes.length new_mmt) in
+  Bytes.blit old_frame 0 out 0 mmt_offset;
+  Bytes.blit new_mmt 0 out mmt_offset (Bytes.length new_mmt);
+  (* Fix the IPv4 total length + checksum if an IPv4 header ends exactly
+     at the transport offset. *)
+  let ip_off =
+    if mmt_offset = Ipv4.header_size then Some 0
+    else if mmt_offset = Ethernet.header_size + Ipv4.header_size then
+      Some Ethernet.header_size
+    else None
+  in
+  (match ip_off with
+  | Some off when Char.code (Bytes.get out off) = 0x45 ->
+      Bytes.set_uint16_be out (off + 2) (Ipv4.header_size + Bytes.length new_mmt);
+      Bytes.set_uint16_be out (off + 10) 0;
+      let csum = Cursor.checksum out ~off ~len:Ipv4.header_size in
+      Bytes.set_uint16_be out (off + 10) csum
+  | _ -> ());
+  out
+
+let describe = function
+  | Raw -> "raw"
+  | Over_ethernet { src; dst } ->
+      Printf.sprintf "ethernet(%s -> %s)" (Addr.Mac.to_string src)
+        (Addr.Mac.to_string dst)
+  | Over_ipv4 { src; dst; _ } ->
+      Printf.sprintf "ipv4(%s -> %s)" (Addr.Ip.to_string src)
+        (Addr.Ip.to_string dst)

@@ -1,0 +1,43 @@
+(** Encapsulation of the multi-modal transport (Req 1).
+
+    The protocol "works both directly on Ethernet and on IP" (§ 5.3):
+    inside a DAQ network frames may be raw transport datagrams or ride
+    an Ethernet frame with {!Mmt_frame.Ethernet.ethertype_mmt}; across
+    a WAN they ride IPv4 with {!Mmt_frame.Ipv4.protocol_mmt}.
+
+    In-network elements use {!locate} to find the transport header
+    inside an arbitrary frame without decapsulating — exactly what a P4
+    parser does.
+
+    Disambiguation rule for bare frames: the first byte of a raw
+    transport frame is the configuration identifier (1); an IPv4 header
+    starts 0x45; anything else is treated as Ethernet.  The simulator
+    never uses multicast source/destination MACs whose first octet
+    collides with these values. *)
+
+open Mmt_frame
+
+type t =
+  | Raw  (** transport header first — straight off a sensor *)
+  | Over_ethernet of { src : Addr.Mac.t; dst : Addr.Mac.t }
+  | Over_ipv4 of { src : Addr.Ip.t; dst : Addr.Ip.t; dscp : int; ttl : int }
+
+val wrap : t -> bytes -> bytes
+(** Prepend the encapsulation headers to an MMT frame
+    (header ++ payload). *)
+
+val locate : bytes -> (t * int, string) result
+(** [locate frame] identifies the encapsulation and returns the byte
+    offset of the transport header. *)
+
+val strip : bytes -> (t * bytes, string) result
+(** [locate] plus copying out the transport frame. *)
+
+val rewrap : old_frame:bytes -> mmt_offset:int -> bytes -> bytes
+(** [rewrap ~old_frame ~mmt_offset new_mmt] keeps the encapsulation
+    bytes of [old_frame] (fixing the IPv4 length/checksum when present)
+    and replaces everything from [mmt_offset] with [new_mmt] — how an
+    element swaps a grown or shrunk transport header without touching
+    the outer routing. *)
+
+val describe : t -> string

@@ -1,0 +1,20 @@
+type t = int (* 32-bit value: experiment in high 24, slice in low 8 *)
+
+let make ~experiment ~slice =
+  if experiment < 0 || experiment > 0xFFFFFF then
+    invalid_arg "Experiment_id.make: experiment out of 24-bit range";
+  if slice < 0 || slice > 0xFF then
+    invalid_arg "Experiment_id.make: slice out of 8-bit range";
+  (experiment lsl 8) lor slice
+
+let experiment t = t lsr 8
+let slice t = t land 0xFF
+let to_int32 t = Int32.of_int t
+let of_int32 raw = Int32.to_int raw land 0xFFFFFFFF
+let equal = Int.equal
+let compare = Int.compare
+let with_slice t slice = make ~experiment:(experiment t) ~slice
+
+let pp fmt t =
+  if slice t = 0 then Format.fprintf fmt "exp:%06x" (experiment t)
+  else Format.fprintf fmt "exp:%06x/slice:%d" (experiment t) (slice t)

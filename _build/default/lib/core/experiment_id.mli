@@ -1,0 +1,23 @@
+(** The 32-bit experiment identifier of the core header.
+
+    Per § 5.2, "some of these bits can be used to describe which part
+    of a partitioned instrument produced the data" (Req 8): the high
+    24 bits name the experiment, the low 8 bits name the instrument
+    slice (0 = unpartitioned / whole instrument). *)
+
+type t
+
+val make : experiment:int -> slice:int -> t
+(** @raise Invalid_argument unless [0 <= experiment < 2^24] and
+    [0 <= slice < 2^8]. *)
+
+val experiment : t -> int
+val slice : t -> int
+val to_int32 : t -> int32
+val of_int32 : int32 -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val with_slice : t -> int -> t
+(** Same experiment, different slice. *)

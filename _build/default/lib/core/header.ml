@@ -1,0 +1,311 @@
+open Mmt_util
+open Mmt_frame
+module Cursor = Mmt_wire.Cursor
+
+type age = {
+  age_us : int;
+  budget_us : int;
+  aged : bool;
+  hop_count : int;
+  last_touch_ns : Units.Time.t;
+}
+
+type timely = { deadline : Units.Time.t; notify : Addr.Ip.t }
+
+type t = {
+  config_id : int;
+  kind : Feature.Kind.t;
+  features : Feature.Set.t;
+  experiment : Experiment_id.t;
+  sequence : int option;
+  retransmit_from : Addr.Ip.t option;
+  timely : timely option;
+  age : age option;
+  pace_mbps : int option;
+  backpressure_to : Addr.Ip.t option;
+}
+
+let core_size = 8
+let sequence_size = 4
+let retransmit_size = 4
+let timely_size = 12
+let age_size = 20
+let pace_size = 4
+let backpressure_size = 4
+
+let check_u32 what v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Header: %s out of u32 range" what)
+
+let check_u24 what v =
+  if v < 0 || v > 0xFFFFFF then
+    invalid_arg (Printf.sprintf "Header: %s out of u24 range" what)
+
+let features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
+    ~backpressure_to ~extra =
+  let maybe feature opt set =
+    match opt with Some _ -> Feature.Set.add feature set | None -> set
+  in
+  let base =
+    Feature.Set.empty
+    |> maybe Feature.Sequenced sequence
+    |> maybe Feature.Reliable retransmit_from
+    |> maybe Feature.Timely timely
+    |> maybe Feature.Age_tracked age
+    |> maybe Feature.Paced pace_mbps
+    |> maybe Feature.Backpressured backpressure_to
+  in
+  List.fold_left
+    (fun set feature ->
+      match feature with
+      | Feature.Duplicated | Feature.Encrypted -> Feature.Set.add feature set
+      | Feature.Sequenced | Feature.Reliable | Feature.Timely
+      | Feature.Age_tracked | Feature.Paced | Feature.Backpressured ->
+          invalid_arg
+            (Printf.sprintf
+               "Header.create: feature %s carries a field; pass its value"
+               (Feature.to_string feature)))
+    base extra
+
+let create ?(kind = Feature.Kind.Data) ?sequence ?retransmit_from ?timely ?age
+    ?pace_mbps ?backpressure_to ?(extra_features = []) ~experiment () =
+  Option.iter (check_u32 "sequence") sequence;
+  Option.iter (fun a ->
+      check_u32 "age_us" a.age_us;
+      check_u32 "budget_us" a.budget_us;
+      check_u24 "hop_count" a.hop_count)
+    age;
+  Option.iter (check_u32 "pace_mbps") pace_mbps;
+  let features =
+    features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
+      ~backpressure_to ~extra:extra_features
+  in
+  {
+    config_id = Feature.config_id_v1;
+    kind;
+    features;
+    experiment;
+    sequence;
+    retransmit_from;
+    timely;
+    age;
+    pace_mbps;
+    backpressure_to;
+  }
+
+let mode0 ~experiment = create ~experiment ()
+
+let size t =
+  let ext feature width = if Feature.Set.mem feature t.features then width else 0 in
+  core_size
+  + ext Feature.Sequenced sequence_size
+  + ext Feature.Reliable retransmit_size
+  + ext Feature.Timely timely_size
+  + ext Feature.Age_tracked age_size
+  + ext Feature.Paced pace_size
+  + ext Feature.Backpressured backpressure_size
+
+let encode_into w t =
+  Cursor.Writer.u8 w t.config_id;
+  Cursor.Writer.u24 w (Feature.encode_config_data ~kind:t.kind t.features);
+  Cursor.Writer.u32 w (Experiment_id.to_int32 t.experiment);
+  Option.iter (fun s -> Cursor.Writer.u32_int w s) t.sequence;
+  Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.retransmit_from;
+  Option.iter
+    (fun tl ->
+      Cursor.Writer.u64 w (Units.Time.to_ns tl.deadline);
+      Cursor.Writer.u32 w (Addr.Ip.to_int32 tl.notify))
+    t.timely;
+  Option.iter
+    (fun a ->
+      Cursor.Writer.u32_int w a.age_us;
+      Cursor.Writer.u32_int w a.budget_us;
+      Cursor.Writer.u8 w (if a.aged then 1 else 0);
+      Cursor.Writer.u24 w a.hop_count;
+      Cursor.Writer.u64 w (Units.Time.to_ns a.last_touch_ns))
+    t.age;
+  Option.iter (fun p -> Cursor.Writer.u32_int w p) t.pace_mbps;
+  Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.backpressure_to
+
+let encode t =
+  let w = Cursor.Writer.create (size t) in
+  encode_into w t;
+  Cursor.Writer.contents w
+
+let decode r =
+  match
+    let config_id = Cursor.Reader.u8 r in
+    if config_id <> Feature.config_id_v1 then
+      Error (Printf.sprintf "unknown configuration identifier %d" config_id)
+    else
+      match Feature.decode_config_data (Cursor.Reader.u24 r) with
+      | Error e -> Error e
+      | Ok (kind, features) ->
+          let experiment = Experiment_id.of_int32 (Cursor.Reader.u32 r) in
+          let if_feature feature read =
+            if Feature.Set.mem feature features then Some (read ()) else None
+          in
+          let sequence = if_feature Feature.Sequenced (fun () -> Cursor.Reader.u32_int r) in
+          let retransmit_from =
+            if_feature Feature.Reliable (fun () ->
+                Addr.Ip.of_int32 (Cursor.Reader.u32 r))
+          in
+          let timely =
+            if_feature Feature.Timely (fun () ->
+                let deadline = Units.Time.ns (Cursor.Reader.u64 r) in
+                let notify = Addr.Ip.of_int32 (Cursor.Reader.u32 r) in
+                { deadline; notify })
+          in
+          let age =
+            if_feature Feature.Age_tracked (fun () ->
+                let age_us = Cursor.Reader.u32_int r in
+                let budget_us = Cursor.Reader.u32_int r in
+                let flags = Cursor.Reader.u8 r in
+                let hop_count = Cursor.Reader.u24 r in
+                let last_touch_ns = Units.Time.ns (Cursor.Reader.u64 r) in
+                { age_us; budget_us; aged = flags land 1 = 1; hop_count; last_touch_ns })
+          in
+          let pace_mbps = if_feature Feature.Paced (fun () -> Cursor.Reader.u32_int r) in
+          let backpressure_to =
+            if_feature Feature.Backpressured (fun () ->
+                Addr.Ip.of_int32 (Cursor.Reader.u32 r))
+          in
+          Ok
+            {
+              config_id;
+              kind;
+              features;
+              experiment;
+              sequence;
+              retransmit_from;
+              timely;
+              age;
+              pace_mbps;
+              backpressure_to;
+            }
+  with
+  | result -> result
+  | exception Cursor.Out_of_bounds what -> Error ("truncated header: " ^ what)
+
+let decode_bytes ?(off = 0) buf =
+  decode (Cursor.Reader.of_bytes ~off buf)
+
+(* Field surgery: each [with_*] re-derives the feature bit. *)
+
+let with_feature t feature =
+  { t with features = Feature.Set.add feature t.features }
+
+let with_sequence t sequence =
+  check_u32 "sequence" sequence;
+  { (with_feature t Feature.Sequenced) with sequence = Some sequence }
+
+let with_retransmit_from t ip =
+  { (with_feature t Feature.Reliable) with retransmit_from = Some ip }
+
+let with_timely t timely = { (with_feature t Feature.Timely) with timely = Some timely }
+
+let with_age t age =
+  check_u32 "age_us" age.age_us;
+  check_u32 "budget_us" age.budget_us;
+  check_u24 "hop_count" age.hop_count;
+  { (with_feature t Feature.Age_tracked) with age = Some age }
+
+let with_pace t pace =
+  check_u32 "pace_mbps" pace;
+  { (with_feature t Feature.Paced) with pace_mbps = Some pace }
+
+let with_backpressure_to t ip =
+  { (with_feature t Feature.Backpressured) with backpressure_to = Some ip }
+
+let with_kind t kind = { t with kind }
+
+let strip t feature =
+  let features = Feature.Set.remove feature t.features in
+  match feature with
+  | Feature.Sequenced -> { t with features; sequence = None }
+  | Feature.Reliable -> { t with features; retransmit_from = None }
+  | Feature.Timely -> { t with features; timely = None }
+  | Feature.Age_tracked -> { t with features; age = None }
+  | Feature.Paced -> { t with features; pace_mbps = None }
+  | Feature.Backpressured -> { t with features; backpressure_to = None }
+  | Feature.Duplicated | Feature.Encrypted -> { t with features }
+
+let offset_of_age t =
+  if not (Feature.Set.mem Feature.Age_tracked t.features) then None
+  else begin
+    let skip feature width =
+      if Feature.Set.mem feature t.features then width else 0
+    in
+    Some
+      (core_size
+      + skip Feature.Sequenced sequence_size
+      + skip Feature.Reliable retransmit_size
+      + skip Feature.Timely timely_size)
+  end
+
+let touch_age_in_place frame ~ext_off ~now =
+  (* Layout: u32 age_us | u32 budget_us | u8 flags | u24 hops | u64 touch *)
+  let age_us = Int32.to_int (Bytes.get_int32_be frame ext_off) land 0xFFFFFFFF in
+  let budget_us =
+    Int32.to_int (Bytes.get_int32_be frame (ext_off + 4)) land 0xFFFFFFFF
+  in
+  let flags = Char.code (Bytes.get frame (ext_off + 8)) in
+  let hops =
+    (Char.code (Bytes.get frame (ext_off + 9)) lsl 16)
+    lor Bytes.get_uint16_be frame (ext_off + 10)
+  in
+  let last_touch = Bytes.get_int64_be frame (ext_off + 12) in
+  let now_ns = Units.Time.to_ns now in
+  let elapsed_ns = Int64.max 0L (Int64.sub now_ns last_touch) in
+  let age_us = age_us + Int64.to_int (Int64.div elapsed_ns 1_000L) in
+  let age_us = min age_us 0xFFFFFFFF in
+  let aged = flags land 1 = 1 || age_us > budget_us in
+  let hops = min (hops + 1) 0xFFFFFF in
+  Bytes.set_int32_be frame ext_off (Int32.of_int age_us);
+  Bytes.set frame (ext_off + 8) (Char.chr (if aged then flags lor 1 else flags));
+  Bytes.set frame (ext_off + 9) (Char.chr ((hops lsr 16) land 0xFF));
+  Bytes.set_uint16_be frame (ext_off + 10) (hops land 0xFFFF);
+  Bytes.set_int64_be frame (ext_off + 12) now_ns;
+  (age_us, aged)
+
+let equal a b =
+  a.config_id = b.config_id
+  && Feature.Kind.equal a.kind b.kind
+  && Feature.Set.equal a.features b.features
+  && Experiment_id.equal a.experiment b.experiment
+  && a.sequence = b.sequence
+  && Option.equal Addr.Ip.equal a.retransmit_from b.retransmit_from
+  && Option.equal
+       (fun (x : timely) y ->
+         Units.Time.equal x.deadline y.deadline && Addr.Ip.equal x.notify y.notify)
+       a.timely b.timely
+  && Option.equal
+       (fun (x : age) y ->
+         x.age_us = y.age_us && x.budget_us = y.budget_us && x.aged = y.aged
+         && x.hop_count = y.hop_count
+         && Units.Time.equal x.last_touch_ns y.last_touch_ns)
+       a.age b.age
+  && a.pace_mbps = b.pace_mbps
+  && Option.equal Addr.Ip.equal a.backpressure_to b.backpressure_to
+
+let pp fmt t =
+  Format.fprintf fmt "@[mmt{%s %a %a" (Feature.Kind.to_string t.kind)
+    Experiment_id.pp t.experiment Feature.Set.pp t.features;
+  Option.iter (fun s -> Format.fprintf fmt " seq=%d" s) t.sequence;
+  Option.iter (fun ip -> Format.fprintf fmt " rtx=%a" Addr.Ip.pp ip) t.retransmit_from;
+  Option.iter
+    (fun tl ->
+      Format.fprintf fmt " deadline=%a notify=%a" Units.Time.pp tl.deadline
+        Addr.Ip.pp tl.notify)
+    t.timely;
+  Option.iter
+    (fun a ->
+      Format.fprintf fmt " age=%dus/%dus%s hops=%d" a.age_us a.budget_us
+        (if a.aged then "(AGED)" else "")
+        a.hop_count)
+    t.age;
+  Option.iter (fun p -> Format.fprintf fmt " pace=%dMbps" p) t.pace_mbps;
+  Option.iter
+    (fun ip -> Format.fprintf fmt " bp=%a" Addr.Ip.pp ip)
+    t.backpressure_to;
+  Format.fprintf fmt "}@]"

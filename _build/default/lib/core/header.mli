@@ -1,0 +1,123 @@
+(** The multi-modal transport header (§ 5.2 of the paper).
+
+    Core header — 8 bytes, present in every packet:
+
+    {v
+      u8   configuration identifier (version of the next field)
+      u24  configuration data (message kind + feature bits, {!Feature})
+      u32  experiment identifier ({!Experiment_id})
+    v}
+
+    Followed by fixed-size optional extension fields {e in a fixed
+    order}, present exactly when the corresponding feature bit is set:
+
+    {v
+      sequence          u32                      (Sequenced)
+      retransmit_from   u32 IPv4                 (Reliable)
+      deadline, notify  u64 ns, u32 IPv4         (Timely)
+      age               u32 age_us, u32 budget_us,
+                        u8 flags (bit0 = aged),
+                        u24 hop count, u64 last-touch ns   (Age_tracked)
+      pace              u32 Mbps                 (Paced)
+      backpressure_to   u32 IPv4                 (Backpressured)
+    v}
+
+    The header is designed for conservative, header-only rewriting in
+    P4 hardware: every field is a fixed-width integer at an offset
+    computable from the feature bits alone, and the hot-path age update
+    has an in-place primitive ({!touch_age_in_place}). *)
+
+open Mmt_util
+open Mmt_frame
+
+type age = {
+  age_us : int;  (** accumulated one-way age, microseconds *)
+  budget_us : int;  (** threshold after which the aged flag is set *)
+  aged : bool;
+  hop_count : int;
+  last_touch_ns : Units.Time.t;
+      (** when an element last accumulated age into this header *)
+}
+
+type timely = {
+  deadline : Units.Time.t;  (** absolute delivery deadline *)
+  notify : Addr.Ip.t;  (** where deadline-exceeded messages go *)
+}
+
+type t = private {
+  config_id : int;
+  kind : Feature.Kind.t;
+  features : Feature.Set.t;
+  experiment : Experiment_id.t;
+  sequence : int option;
+  retransmit_from : Addr.Ip.t option;
+  timely : timely option;
+  age : age option;
+  pace_mbps : int option;
+  backpressure_to : Addr.Ip.t option;
+}
+
+val create :
+  ?kind:Feature.Kind.t ->
+  ?sequence:int ->
+  ?retransmit_from:Addr.Ip.t ->
+  ?timely:timely ->
+  ?age:age ->
+  ?pace_mbps:int ->
+  ?backpressure_to:Addr.Ip.t ->
+  ?extra_features:Feature.t list ->
+  experiment:Experiment_id.t ->
+  unit ->
+  t
+(** The feature set is derived from which optional arguments are
+    given, plus [extra_features] for value-less features (Duplicated,
+    Encrypted).  [Reliable] implies [Sequenced] in any well-formed
+    header, but [create] does not add it implicitly — pass both.
+    @raise Invalid_argument on out-of-range field values or if
+    [extra_features] names a feature that carries a field. *)
+
+val mode0 : experiment:Experiment_id.t -> t
+(** Mode 0: identification only — how DAQ data leaves the sensor. *)
+
+val size : t -> int
+(** Encoded size in bytes. *)
+
+val core_size : int
+(** 8. *)
+
+val encode : t -> bytes
+val encode_into : Mmt_wire.Cursor.Writer.t -> t -> unit
+
+val decode : Mmt_wire.Cursor.Reader.t -> (t, string) result
+(** Consumes exactly [size] bytes on success. *)
+
+val decode_bytes : ?off:int -> bytes -> (t, string) result
+
+(* Field surgery *)
+
+val with_sequence : t -> int -> t
+val with_retransmit_from : t -> Addr.Ip.t -> t
+val with_timely : t -> timely -> t
+val with_age : t -> age -> t
+val with_pace : t -> int -> t
+val with_backpressure_to : t -> Addr.Ip.t -> t
+val with_kind : t -> Feature.Kind.t -> t
+val strip : t -> Feature.t -> t
+(** Remove a feature and its field; no-op if absent. *)
+
+val offset_of_age : t -> int option
+(** Byte offset of the age extension from the header start, when
+    present — computable from the feature bits alone, as a P4 parser
+    would. *)
+
+val touch_age_in_place :
+  bytes -> ext_off:int -> now:Units.Time.t -> int * bool
+(** [touch_age_in_place frame ~ext_off ~now] accumulates
+    [now - last_touch] into the age field, updates last-touch, sets the
+    aged flag if the budget is exceeded and increments the hop count —
+    all by in-place byte surgery, the way a switch pipeline would.
+    Returns [(age_us, aged)].  The caller supplies [ext_off] as the
+    header start offset within [frame] plus {!offset_of_age}. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+open Mmt_util
+open Mmt_frame
+
+type t = {
+  name : string;
+  features : Feature.Set.t;
+  retransmit_from : Addr.Ip.t option;
+  deadline_budget : Units.Time.t option;
+  notify : Addr.Ip.t option;
+  age_budget_us : int option;
+  pace_mbps : int option;
+  backpressure_to : Addr.Ip.t option;
+}
+
+let identification =
+  {
+    name = "mode0/identification";
+    features = Feature.Set.empty;
+    retransmit_from = None;
+    deadline_budget = None;
+    notify = None;
+    age_budget_us = None;
+    pace_mbps = None;
+    backpressure_to = None;
+  }
+
+let make ~name ?reliable ?deadline_budget ?age_budget_us ?pace_mbps
+    ?backpressure_to ?(duplicated = false) ?(encrypted = false) () =
+  let features = ref Feature.Set.empty in
+  let activate feature = features := Feature.Set.add feature !features in
+  Option.iter (fun _ -> activate Feature.Sequenced; activate Feature.Reliable) reliable;
+  Option.iter (fun _ -> activate Feature.Timely) deadline_budget;
+  Option.iter (fun _ -> activate Feature.Age_tracked) age_budget_us;
+  Option.iter (fun _ -> activate Feature.Paced) pace_mbps;
+  Option.iter (fun _ -> activate Feature.Backpressured) backpressure_to;
+  if duplicated then activate Feature.Duplicated;
+  if encrypted then activate Feature.Encrypted;
+  {
+    name;
+    features = !features;
+    retransmit_from = reliable;
+    deadline_budget = Option.map fst deadline_budget;
+    notify = Option.map snd deadline_budget;
+    age_budget_us;
+    pace_mbps;
+    backpressure_to;
+  }
+
+let check t =
+  let mem f = Feature.Set.mem f t.features in
+  let require condition message = if condition then Ok () else Error message in
+  let ( let* ) r f = Result.bind r f in
+  let* () =
+    require
+      (not (mem Feature.Reliable) || mem Feature.Sequenced)
+      (t.name ^ ": Reliable requires Sequenced")
+  in
+  let* () =
+    require
+      (mem Feature.Reliable = Option.is_some t.retransmit_from)
+      (t.name ^ ": Reliable iff a retransmission buffer address")
+  in
+  let* () =
+    require
+      (mem Feature.Timely = (Option.is_some t.deadline_budget && Option.is_some t.notify))
+      (t.name ^ ": Timely iff deadline budget and notify address")
+  in
+  let* () =
+    require
+      (mem Feature.Age_tracked = Option.is_some t.age_budget_us)
+      (t.name ^ ": Age_tracked iff an age budget")
+  in
+  let* () =
+    require
+      (mem Feature.Paced = Option.is_some t.pace_mbps)
+      (t.name ^ ": Paced iff a pace value")
+  in
+  require
+    (mem Feature.Backpressured = Option.is_some t.backpressure_to)
+    (t.name ^ ": Backpressured iff a sender control address")
+
+let transition_legal ~from_mode ~to_mode =
+  let from_has f = Feature.Set.mem f from_mode.features in
+  let to_has f = Feature.Set.mem f to_mode.features in
+  if to_has Feature.Reliable && not (to_has Feature.Sequenced) then
+    Error
+      (Printf.sprintf "%s -> %s: Reliable without Sequenced" from_mode.name
+         to_mode.name)
+  else if
+    from_has Feature.Reliable
+    && not (to_has Feature.Reliable)
+    && to_has Feature.Sequenced
+  then
+    Error
+      (Printf.sprintf
+         "%s -> %s: stripping Reliable but keeping Sequenced strands \
+          unrecoverable gaps"
+         from_mode.name to_mode.name)
+  else Ok ()
+
+let pp fmt t =
+  Format.fprintf fmt "mode{%s %a" t.name Feature.Set.pp t.features;
+  Option.iter (fun ip -> Format.fprintf fmt " buffer=%a" Addr.Ip.pp ip)
+    t.retransmit_from;
+  Option.iter
+    (fun budget -> Format.fprintf fmt " deadline+%a" Units.Time.pp budget)
+    t.deadline_budget;
+  Option.iter (fun b -> Format.fprintf fmt " age<=%dus" b) t.age_budget_us;
+  Option.iter (fun p -> Format.fprintf fmt " pace=%dMbps" p) t.pace_mbps;
+  Format.fprintf fmt "}"

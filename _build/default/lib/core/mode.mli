@@ -1,0 +1,56 @@
+(** Transport modes and per-segment mode plans (§ 5.3).
+
+    A mode names the feature combination and feature configuration a
+    flow uses while crossing one network segment.  Network elements at
+    segment boundaries rewrite headers from one mode to the next; the
+    {!Mmt_innet} library hosts the rewriting machinery, this module
+    holds the pure description plus the legality rules. *)
+
+open Mmt_util
+open Mmt_frame
+
+type t = {
+  name : string;
+  features : Feature.Set.t;
+  retransmit_from : Addr.Ip.t option;
+      (** buffer serving NAKs within this segment (Reliable) *)
+  deadline_budget : Units.Time.t option;
+      (** relative budget; an element entering the segment sets the
+          absolute deadline to ingress time + budget (Timely) *)
+  notify : Addr.Ip.t option;  (** deadline-exceeded sink (Timely) *)
+  age_budget_us : int option;  (** max age before the aged flag (Age_tracked) *)
+  pace_mbps : int option;  (** advised pace (Paced) *)
+  backpressure_to : Addr.Ip.t option;  (** sender control address (Backpressured) *)
+}
+
+val identification : t
+(** Mode 0: experiment identification only — no features.  How data
+    leaves the sensor (§ 5.3: "DAQ data starts out in mode 0"). *)
+
+val make :
+  name:string ->
+  ?reliable:Addr.Ip.t ->
+  ?deadline_budget:Units.Time.t * Addr.Ip.t ->
+  ?age_budget_us:int ->
+  ?pace_mbps:int ->
+  ?backpressure_to:Addr.Ip.t ->
+  ?duplicated:bool ->
+  ?encrypted:bool ->
+  unit ->
+  t
+(** Derives the feature set from the supplied configuration.
+    [reliable] implies [Sequenced]. *)
+
+val check : t -> (unit, string) result
+(** Well-formedness: [Reliable] requires [Sequenced] and a buffer
+    address; [Timely] requires budget and notify; etc. *)
+
+val transition_legal : from_mode:t -> to_mode:t -> (unit, string) result
+(** Mode-change legality at a segment boundary.  The one hard rule:
+    a segment must not strip [Sequenced] while keeping [Reliable], and
+    must not strip [Reliable] while unrecovered state may exist
+    upstream — conservatively, stripping [Reliable] is only legal when
+    also stripping [Sequenced] (the stream leaves the recoverable
+    region whole). *)
+
+val pp : Format.formatter -> t -> unit

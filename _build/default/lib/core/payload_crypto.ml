@@ -1,0 +1,66 @@
+open Mmt_util
+
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_string passphrase =
+  (* Two rounds of splitmix-style mixing over the bytes. *)
+  let fold seed =
+    let state = Rng.create ~seed in
+    String.fold_left
+      (fun acc c ->
+        let mixed = Int64.add (Int64.mul acc 1099511628211L) (Int64.of_int (Char.code c)) in
+        Int64.logxor mixed (Rng.int64 state))
+      1469598103934665603L passphrase
+  in
+  { k0 = fold 0x5EEDL; k1 = fold 0xFACEL }
+
+let overhead = 8
+
+let keystream key ~nonce =
+  Rng.create ~seed:Int64.(logxor (add key.k0 (mul nonce 0x9E3779B97F4A7C15L)) key.k1)
+
+let apply_keystream rng buf =
+  let n = Bytes.length buf in
+  let i = ref 0 in
+  while !i + 8 <= n do
+    Bytes.set_int64_le buf !i (Int64.logxor (Bytes.get_int64_le buf !i) (Rng.int64 rng));
+    i := !i + 8
+  done;
+  if !i < n then begin
+    let word = ref (Rng.int64 rng) in
+    while !i < n do
+      Bytes.set buf !i
+        (Char.chr (Char.code (Bytes.get buf !i) lxor (Int64.to_int !word land 0xFF)));
+      word := Int64.shift_right_logical !word 8;
+      incr i
+    done
+  end
+
+(* A 64-bit keyed checksum over the plaintext (FNV-style), bound to the
+   nonce.  Not a MAC; a corruption detector. *)
+let tag key ~nonce plaintext =
+  let h = ref (Int64.logxor key.k1 nonce) in
+  Bytes.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 1099511628211L)
+    plaintext;
+  Int64.logxor !h key.k0
+
+let encrypt key ~nonce payload =
+  let out = Bytes.create (Bytes.length payload + overhead) in
+  Bytes.blit payload 0 out 0 (Bytes.length payload);
+  Bytes.set_int64_be out (Bytes.length payload) (tag key ~nonce payload);
+  apply_keystream (keystream key ~nonce) out;
+  out
+
+let decrypt key ~nonce ciphertext =
+  if Bytes.length ciphertext < overhead then Error "ciphertext too short"
+  else begin
+    let work = Bytes.copy ciphertext in
+    apply_keystream (keystream key ~nonce) work;
+    let plain_length = Bytes.length work - overhead in
+    let plaintext = Bytes.sub work 0 plain_length in
+    let seen_tag = Bytes.get_int64_be work plain_length in
+    if Int64.equal seen_tag (tag key ~nonce plaintext) then Ok plaintext
+    else Error "integrity check failed"
+  end

@@ -1,0 +1,30 @@
+(** Payload confidentiality (Req 5).
+
+    The paper keeps encryption out of the transport: "we retain the
+    current practice of encrypting the payload using existing
+    third-party software or hardware" (§ 5.3) — e.g. Vera Rubin alerts
+    must be encrypted so security-sensitive observations don't leak
+    [54].  This module marks that seam with a stand-in stream cipher:
+    a splitmix64 keystream XORed over the payload, keyed by a shared
+    secret and a per-message nonce.  It is NOT cryptographically secure
+    — swap in a real AEAD for production — but it exercises the
+    architectural property that matters here: the transport header
+    stays in the clear for in-network processing while the payload is
+    opaque, and any on-path corruption of an encrypted payload is
+    detected by the integrity tag. *)
+
+type key
+(** A 128-bit shared secret. *)
+
+val key_of_string : string -> key
+(** Derive a key from a passphrase (hashing, not KDF-grade). *)
+
+val encrypt : key -> nonce:int64 -> bytes -> bytes
+(** [encrypt key ~nonce payload] returns nonce-bound ciphertext with a
+    64-bit integrity tag appended (8 bytes of overhead). *)
+
+val decrypt : key -> nonce:int64 -> bytes -> (bytes, string) result
+(** Fails on a wrong key, wrong nonce, truncation or bit corruption. *)
+
+val overhead : int
+(** Bytes added by {!encrypt}: 8. *)

@@ -1,0 +1,423 @@
+open Mmt_util
+open Mmt_frame
+
+type config = {
+  experiment : Experiment_id.t;
+  nak_delay : Units.Time.t;
+  nak_retry_timeout : Units.Time.t;
+  max_nak_retries : int;
+  expected_total : int option;
+}
+
+type meta = {
+  header : Header.t;
+  arrival : Units.Time.t;
+  transport_latency : Units.Time.t;
+  recovered : bool;
+  late : bool;
+  aged : bool;
+  age_us : int option;
+}
+
+type stats = {
+  delivered : int;
+  delivered_bytes : int;
+  duplicates : int;
+  corrupted : int;
+  unsequenced : int;
+  gaps_detected : int;
+  recovered : int;
+  lost : int;
+  unrecoverable : int;
+  naks_sent : int;
+  nak_sequences_requested : int;
+  late : int;
+  aged : int;
+  deadline_notices_sent : int;
+  out_of_order : int;
+  source_updates : int;  (* retargeted by buffer advertisements *)
+  first_arrival : Units.Time.t option;
+  last_arrival : Units.Time.t option;
+  completion : Units.Time.t option;
+  still_missing : int;
+}
+
+type gap = { mutable retries : int; mutable last_nak : Units.Time.t option }
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  config : config;
+  deliver : meta -> bytes -> unit;
+  received : (int, unit) Hashtbl.t;
+  missing : (int, gap) Hashtbl.t;
+  given_up : (int, unit) Hashtbl.t;
+  mutable next_expected : int option;
+  mutable retransmit_source : Addr.Ip.t option;
+  mutable flush_scheduled : bool;
+  mutable tail_timer : Mmt_sim.Engine.handle option;
+  latencies : Stats.Summary.t;
+  recovered_latencies : Stats.Summary.t;
+  ages : Stats.Summary.t;
+  mutable delivered : int;
+  mutable delivered_bytes : int;
+  mutable duplicates : int;
+  mutable corrupted : int;
+  mutable unsequenced : int;
+  mutable gaps_detected : int;
+  mutable recovered : int;
+  mutable lost : int;
+  mutable unrecoverable : int;
+  mutable naks_sent : int;
+  mutable nak_sequences_requested : int;
+  mutable late : int;
+  mutable aged : int;
+  mutable deadline_notices_sent : int;
+  mutable out_of_order : int;
+  mutable source_updates : int;
+  mutable first_arrival : Units.Time.t option;
+  mutable last_arrival : Units.Time.t option;
+  mutable completion : Units.Time.t option;
+}
+
+let create ~env config ~deliver =
+  {
+    env;
+    config;
+    deliver;
+    received = Hashtbl.create 4096;
+    missing = Hashtbl.create 64;
+    given_up = Hashtbl.create 16;
+    next_expected = None;
+    retransmit_source = None;
+    flush_scheduled = false;
+    tail_timer = None;
+    latencies = Stats.Summary.create ();
+    recovered_latencies = Stats.Summary.create ();
+    ages = Stats.Summary.create ();
+    delivered = 0;
+    delivered_bytes = 0;
+    duplicates = 0;
+    corrupted = 0;
+    unsequenced = 0;
+    gaps_detected = 0;
+    recovered = 0;
+    lost = 0;
+    unrecoverable = 0;
+    naks_sent = 0;
+    nak_sequences_requested = 0;
+    late = 0;
+    aged = 0;
+    deadline_notices_sent = 0;
+    out_of_order = 0;
+    source_updates = 0;
+    first_arrival = None;
+    last_arrival = None;
+    completion = None;
+  }
+
+let send_control t ~dst ~kind payload =
+  let header =
+    Header.with_kind (Header.mode0 ~experiment:t.config.experiment) kind
+  in
+  let mmt = Header.encode header in
+  let frame = Bytes.create (Bytes.length mmt + Bytes.length payload) in
+  Bytes.blit mmt 0 frame 0 (Bytes.length mmt);
+  Bytes.blit payload 0 frame (Bytes.length mmt) (Bytes.length payload);
+  let wrapped =
+    Encap.wrap
+      (Encap.Over_ipv4
+         { src = t.env.Mmt_runtime.Env.local_ip; dst; dscp = 0; ttl = 64 })
+      frame
+  in
+  t.env.Mmt_runtime.Env.send dst (Mmt_runtime.Env.packet t.env wrapped)
+
+(* NAK machinery ------------------------------------------------------- *)
+
+let rec flush_naks t =
+  t.flush_scheduled <- false;
+  let now = Mmt_runtime.Env.now t.env in
+  (* Retire hopeless gaps, collect the ones due for a (re-)NAK. *)
+  let due = ref [] in
+  let abandoned = ref [] in
+  Hashtbl.iter
+    (fun seq gap ->
+      let nak_due =
+        match gap.last_nak with
+        | None -> true
+        | Some last -> Units.Time.(Units.Time.diff now last >= t.config.nak_retry_timeout)
+      in
+      if nak_due then
+        if gap.retries >= t.config.max_nak_retries then abandoned := seq :: !abandoned
+        else due := seq :: !due)
+    t.missing;
+  List.iter
+    (fun seq ->
+      Hashtbl.remove t.missing seq;
+      Hashtbl.replace t.given_up seq ();
+      t.lost <- t.lost + 1)
+    !abandoned;
+  (match (!due, t.retransmit_source) with
+  | [], _ -> ()
+  | seqs, None ->
+      (* No buffer named in any header seen so far: nothing to NAK. *)
+      List.iter
+        (fun seq ->
+          Hashtbl.remove t.missing seq;
+          t.unrecoverable <- t.unrecoverable + 1)
+        seqs
+  | seqs, Some buffer ->
+      let sorted = List.sort compare seqs in
+      let ranges = Control.Nak.ranges_of_sorted sorted in
+      let nak =
+        { Control.Nak.requester = t.env.Mmt_runtime.Env.local_ip; ranges }
+      in
+      send_control t ~dst:buffer ~kind:Feature.Kind.Nak (Control.Nak.encode nak);
+      t.naks_sent <- t.naks_sent + 1;
+      t.nak_sequences_requested <-
+        t.nak_sequences_requested + Control.Nak.sequence_count nak;
+      List.iter
+        (fun seq ->
+          match Hashtbl.find_opt t.missing seq with
+          | None -> ()
+          | Some gap ->
+              gap.retries <- gap.retries + 1;
+              gap.last_nak <- Some now)
+        sorted);
+  if Hashtbl.length t.missing > 0 then schedule_flush t t.config.nak_retry_timeout
+
+and schedule_flush t delay =
+  if not t.flush_scheduled then begin
+    t.flush_scheduled <- true;
+    ignore (Mmt_runtime.Env.after t.env delay (fun () -> flush_naks t))
+  end
+
+(* Tail-loss detection --------------------------------------------------
+
+   A gap is only visible when a later sequence arrives; losses at the
+   very end of a stream would go unnoticed.  When the expected total is
+   known, a quiescence timer re-armed on every arrival declares the
+   unseen tail missing and NAKs it. *)
+
+let tail_timeout t =
+  Units.Time.max t.config.nak_retry_timeout (Units.Time.scale t.config.nak_delay 4.)
+
+let rec arm_tail_check t =
+  Option.iter Mmt_sim.Engine.cancel t.tail_timer;
+  t.tail_timer <- None;
+  match (t.config.expected_total, t.completion) with
+  | Some _, None ->
+      t.tail_timer <-
+        Some
+          (Mmt_runtime.Env.after t.env (tail_timeout t) (fun () ->
+               t.tail_timer <- None;
+               tail_check t))
+  | _ -> ()
+
+and tail_check t =
+  match (t.config.expected_total, t.completion, t.next_expected) with
+  | Some total, None, Some next_expected ->
+      let unseen =
+        total - t.delivered - Hashtbl.length t.missing - Hashtbl.length t.given_up
+      in
+      if unseen > 0 then begin
+        for seq = next_expected to next_expected + unseen - 1 do
+          if not (Hashtbl.mem t.received seq) && not (Hashtbl.mem t.given_up seq)
+          then begin
+            Hashtbl.replace t.missing seq { retries = 0; last_nak = None };
+            t.gaps_detected <- t.gaps_detected + 1
+          end
+        done;
+        t.next_expected <- Some (next_expected + unseen);
+        schedule_flush t t.config.nak_delay
+      end
+  | _ -> ()
+
+(* Data path ----------------------------------------------------------- *)
+
+let check_completion t now =
+  match (t.config.expected_total, t.completion) with
+  | Some total, None when t.delivered >= total -> t.completion <- Some now
+  | _ -> ()
+
+let timeliness_check t (header : Header.t) now =
+  (* Returns (late, aged, final_age_us) and emits notifications. *)
+  let late =
+    match header.Header.timely with
+    | None -> false
+    | Some { Header.deadline; notify } ->
+        if Units.Time.(now > deadline) then begin
+          let sequence = Option.value ~default:0xFFFFFFFF header.Header.sequence in
+          let notice =
+            { Control.Deadline_exceeded.sequence; deadline; observed = now }
+          in
+          if not (Addr.Ip.is_any notify) then begin
+            send_control t ~dst:notify ~kind:Feature.Kind.Deadline_exceeded
+              (Control.Deadline_exceeded.encode notice);
+            t.deadline_notices_sent <- t.deadline_notices_sent + 1
+          end;
+          true
+        end
+        else false
+  in
+  let aged, age_us =
+    match header.Header.age with
+    | None -> (false, None)
+    | Some age ->
+        (* Final accumulation: the destination is the last "element". *)
+        let elapsed_ns =
+          Units.Time.to_ns (Units.Time.diff now age.Header.last_touch_ns)
+        in
+        let final_age = age.Header.age_us + Int64.to_int (Int64.div elapsed_ns 1_000L) in
+        (age.Header.aged || final_age > age.Header.budget_us, Some final_age)
+  in
+  if late then t.late <- t.late + 1;
+  if aged then t.aged <- t.aged + 1;
+  Option.iter (fun a -> Stats.Summary.add t.ages (float_of_int a)) age_us;
+  (late, aged, age_us)
+
+let deliver_message t packet (header : Header.t) payload ~recovered =
+  let now = Mmt_runtime.Env.now t.env in
+  let late, aged, age_us = timeliness_check t header now in
+  let transport_latency = Units.Time.diff now packet.Mmt_sim.Packet.born in
+  Stats.Summary.add t.latencies (Units.Time.to_float_s transport_latency);
+  if recovered then
+    Stats.Summary.add t.recovered_latencies (Units.Time.to_float_s transport_latency);
+  t.delivered <- t.delivered + 1;
+  t.delivered_bytes <-
+    t.delivered_bytes + Units.Size.to_bytes (Mmt_sim.Packet.wire_size packet);
+  if t.first_arrival = None then t.first_arrival <- Some now;
+  t.last_arrival <- Some now;
+  check_completion t now;
+  arm_tail_check t;
+  t.deliver
+    { header; arrival = now; transport_latency; recovered; late; aged; age_us }
+    payload
+
+let handle_sequenced t packet header payload seq =
+  Option.iter (fun ip -> t.retransmit_source <- Some ip)
+    header.Header.retransmit_from;
+  if Hashtbl.mem t.received seq then t.duplicates <- t.duplicates + 1
+  else begin
+    Hashtbl.replace t.received seq ();
+    match t.next_expected with
+    | None ->
+        t.next_expected <- Some (seq + 1);
+        (* Streams are sequenced from zero (PROTOCOL.md § 5): anything
+           below the first arrival is head loss, recoverable like any
+           other gap. *)
+        if seq > 0 then begin
+          for gap_seq = 0 to seq - 1 do
+            Hashtbl.replace t.missing gap_seq { retries = 0; last_nak = None };
+            t.gaps_detected <- t.gaps_detected + 1
+          done;
+          schedule_flush t t.config.nak_delay
+        end;
+        deliver_message t packet header payload ~recovered:false
+    | Some expected ->
+        if seq >= expected then begin
+          if seq > expected then begin
+            for gap_seq = expected to seq - 1 do
+              if not (Hashtbl.mem t.received gap_seq) then begin
+                Hashtbl.replace t.missing gap_seq { retries = 0; last_nak = None };
+                t.gaps_detected <- t.gaps_detected + 1
+              end
+            done;
+            schedule_flush t t.config.nak_delay
+          end;
+          t.next_expected <- Some (seq + 1);
+          deliver_message t packet header payload ~recovered:false
+        end
+        else begin
+          (* Before the frontier: either recovery of a known gap or
+             plain reordering. *)
+          t.out_of_order <- t.out_of_order + 1;
+          let recovered = Hashtbl.mem t.missing seq in
+          if recovered then begin
+            Hashtbl.remove t.missing seq;
+            t.recovered <- t.recovered + 1
+          end;
+          deliver_message t packet header payload ~recovered
+        end
+  end
+
+let on_packet t packet =
+  if packet.Mmt_sim.Packet.corrupted then t.corrupted <- t.corrupted + 1
+  else
+    match Encap.strip (Mmt_sim.Packet.frame packet) with
+    | Error _ -> t.corrupted <- t.corrupted + 1
+    | Ok (_encap, mmt_frame) -> (
+        match Header.decode_bytes mmt_frame with
+        | Error _ -> t.corrupted <- t.corrupted + 1
+        | Ok header -> (
+            match header.Header.kind with
+            | Feature.Kind.Data -> (
+                let payload =
+                  Bytes.sub mmt_frame (Header.size header)
+                    (Bytes.length mmt_frame - Header.size header)
+                in
+                match header.Header.sequence with
+                | Some seq -> handle_sequenced t packet header payload seq
+                | None ->
+                    t.unsequenced <- t.unsequenced + 1;
+                    deliver_message t packet header payload ~recovered:false)
+            | Feature.Kind.Buffer_advert -> (
+                (* The control plane retargeting recovery: a buffer
+                   advertisement pushed downstream (e.g. after a
+                   failover) updates where NAKs go, even when no new
+                   data arrives to carry the change. *)
+                let payload =
+                  Bytes.sub mmt_frame (Header.size header)
+                    (Bytes.length mmt_frame - Header.size header)
+                in
+                match Control.Buffer_advert.decode payload with
+                | Error _ -> ()
+                | Ok advert ->
+                    t.retransmit_source <- Some advert.Control.Buffer_advert.buffer;
+                    t.source_updates <- t.source_updates + 1;
+                    (* Re-aim pending recovery at the new buffer now:
+                       an explicit retarget flushes immediately rather
+                       than waiting out the retry timer. *)
+                    if Hashtbl.length t.missing > 0 then begin
+                      Hashtbl.iter (fun _seq gap -> gap.last_nak <- None) t.missing;
+                      flush_naks t
+                    end)
+            | Feature.Kind.Nak | Feature.Kind.Deadline_exceeded
+            | Feature.Kind.Backpressure ->
+                (* Control traffic not for the data sink. *)
+                ()))
+
+let stats t =
+  {
+    delivered = t.delivered;
+    delivered_bytes = t.delivered_bytes;
+    duplicates = t.duplicates;
+    corrupted = t.corrupted;
+    unsequenced = t.unsequenced;
+    gaps_detected = t.gaps_detected;
+    recovered = t.recovered;
+    lost = t.lost;
+    unrecoverable = t.unrecoverable;
+    naks_sent = t.naks_sent;
+    nak_sequences_requested = t.nak_sequences_requested;
+    late = t.late;
+    aged = t.aged;
+    deadline_notices_sent = t.deadline_notices_sent;
+    out_of_order = t.out_of_order;
+    source_updates = t.source_updates;
+    first_arrival = t.first_arrival;
+    last_arrival = t.last_arrival;
+    completion = t.completion;
+    still_missing = Hashtbl.length t.missing;
+  }
+
+let latency_summary t = t.latencies
+let recovered_latency_summary t = t.recovered_latencies
+let age_summary t = t.ages
+
+let goodput t =
+  match (t.first_arrival, t.last_arrival) with
+  | Some first, Some last when Units.Time.(last > first) ->
+      Units.Rate.of_size_per_time
+        (Units.Size.bytes t.delivered_bytes)
+        (Units.Time.diff last first)
+  | _ -> Units.Rate.zero

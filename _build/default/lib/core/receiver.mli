@@ -1,0 +1,88 @@
+(** Data sink endpoint.
+
+    Implements the destination behaviour of the pilot study (§ 5.4):
+    loss detection from in-network-assigned sequence numbers, NAK-based
+    recovery against the retransmission buffer named in the header
+    (mode 2), and the timeliness check (mode 3): final age
+    accumulation, deadline comparison, and deadline-exceeded
+    notifications toward the configured address.
+
+    Messages are delivered to the application immediately on arrival,
+    out of order — the message abstraction (Req 7) means there is no
+    head-of-line blocking; recovered messages are delivered late and
+    flagged. *)
+
+open Mmt_util
+
+type config = {
+  experiment : Experiment_id.t;
+  nak_delay : Units.Time.t;
+      (** debounce between detecting a gap and sending the first NAK *)
+  nak_retry_timeout : Units.Time.t;
+      (** re-NAK period for still-missing sequences *)
+  max_nak_retries : int;  (** give up (count as lost) after this many NAKs *)
+  expected_total : int option;
+      (** when known, completion time is recorded at full delivery *)
+}
+
+type meta = {
+  header : Header.t;
+  arrival : Units.Time.t;
+  transport_latency : Units.Time.t;  (** arrival - packet birth *)
+  recovered : bool;  (** this message previously appeared as a gap *)
+  late : bool;  (** arrived past its deadline *)
+  aged : bool;  (** age budget exceeded by final accumulation *)
+  age_us : int option;  (** final accumulated age, when age-tracked *)
+}
+
+type stats = {
+  delivered : int;
+  delivered_bytes : int;
+  duplicates : int;
+  corrupted : int;
+  unsequenced : int;
+  gaps_detected : int;
+  recovered : int;
+  lost : int;  (** gaps abandoned after [max_nak_retries] *)
+  unrecoverable : int;  (** gaps with no retransmission source in the header *)
+  naks_sent : int;
+  nak_sequences_requested : int;
+  late : int;
+  aged : int;
+  deadline_notices_sent : int;
+  out_of_order : int;
+  source_updates : int;
+      (** retransmission source retargeted by buffer advertisements
+          (e.g. after an in-network buffer failover) *)
+  first_arrival : Units.Time.t option;
+  last_arrival : Units.Time.t option;
+  completion : Units.Time.t option;
+  still_missing : int;
+}
+
+type t
+
+val create :
+  env:Mmt_runtime.Env.t ->
+  config ->
+  deliver:(meta -> bytes -> unit) ->
+  t
+
+val on_packet : t -> Mmt_sim.Packet.t -> unit
+(** Feed an arriving packet (any encapsulation).  Corrupted packets
+    are discarded, as a failed frame check would. *)
+
+val stats : t -> stats
+
+val latency_summary : t -> Stats.Summary.t
+(** Transport latency of every delivered message. *)
+
+val recovered_latency_summary : t -> Stats.Summary.t
+(** Transport latency of recovered (previously missing) messages
+    only — the observable behind the buffer-placement argument. *)
+
+val age_summary : t -> Stats.Summary.t
+(** Final age (microseconds) of every age-tracked delivery. *)
+
+val goodput : t -> Units.Rate.t
+(** Delivered bytes over the first-to-last arrival window. *)

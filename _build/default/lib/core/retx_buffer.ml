@@ -1,0 +1,87 @@
+open Mmt_util
+
+type stats = {
+  stored : int;
+  evicted : int;
+  hits : int;
+  misses : int;
+  occupancy : Units.Size.t;
+  entries : int;
+}
+
+type entry = { frame : bytes; born : Units.Time.t }
+
+type t = {
+  capacity : int;
+  frames : (int, entry) Hashtbl.t;
+  order : int Queue.t; (* insertion order of sequence numbers *)
+  mutable bytes : int;
+  mutable stored : int;
+  mutable evicted : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    capacity = Units.Size.to_bytes capacity;
+    frames = Hashtbl.create 1024;
+    order = Queue.create ();
+    bytes = 0;
+    stored = 0;
+    evicted = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some seq -> (
+      match Hashtbl.find_opt t.frames seq with
+      | None -> () (* already overwritten; its queue entry was stale *)
+      | Some entry ->
+          Hashtbl.remove t.frames seq;
+          t.bytes <- t.bytes - Bytes.length entry.frame;
+          t.evicted <- t.evicted + 1)
+
+let store t ~seq ~born frame =
+  let size = Bytes.length frame in
+  t.stored <- t.stored + 1;
+  if size > t.capacity then t.evicted <- t.evicted + 1
+  else begin
+    (match Hashtbl.find_opt t.frames seq with
+    | Some old ->
+        t.bytes <- t.bytes - Bytes.length old.frame;
+        Hashtbl.remove t.frames seq
+    | None -> ());
+    while t.bytes + size > t.capacity do
+      evict_one t
+    done;
+    Hashtbl.replace t.frames seq { frame; born };
+    Queue.push seq t.order;
+    t.bytes <- t.bytes + size
+  end
+
+let fetch t ~seq =
+  match Hashtbl.find_opt t.frames seq with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      Some entry
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let contains t ~seq = Hashtbl.mem t.frames seq
+
+let stats t =
+  {
+    stored = t.stored;
+    evicted = t.evicted;
+    hits = t.hits;
+    misses = t.misses;
+    occupancy = Units.Size.bytes t.bytes;
+    entries = Hashtbl.length t.frames;
+  }
+
+let capacity t = Units.Size.bytes t.capacity

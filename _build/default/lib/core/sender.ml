@@ -1,0 +1,155 @@
+open Mmt_util
+open Mmt_frame
+
+type config = {
+  experiment : Experiment_id.t;
+  destination : Addr.Ip.t;
+  encap : Encap.t;
+  deadline_budget : (Units.Time.t * Addr.Ip.t) option;
+  backpressure_to : Addr.Ip.t option;
+  pace : Units.Rate.t option;
+  padding : int;
+}
+
+type stats = {
+  messages_sent : int;
+  bytes_sent : int;
+  backpressure_received : int;
+  deadline_notices_received : int;
+  current_pace : Units.Rate.t option;
+  queued : int;
+}
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  config : config;
+  queue : bytes Queue.t;
+  mutable pace : Units.Rate.t option;
+  mutable drain_scheduled : bool;
+  mutable next_departure : Units.Time.t;
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable backpressure_received : int;
+  mutable deadline_notices_received : int;
+}
+
+let create ~env config =
+  {
+    env;
+    config;
+    queue = Queue.create ();
+    pace = config.pace;
+    drain_scheduled = false;
+    next_departure = Units.Time.zero;
+    messages_sent = 0;
+    bytes_sent = 0;
+    backpressure_received = 0;
+    deadline_notices_received = 0;
+  }
+
+let header_for t ~now =
+  let header = Header.mode0 ~experiment:t.config.experiment in
+  let header =
+    match t.config.deadline_budget with
+    | None -> header
+    | Some (budget, notify) ->
+        Header.with_timely header
+          { Header.deadline = Units.Time.add now budget; notify }
+  in
+  match t.config.backpressure_to with
+  | None -> header
+  | Some control -> Header.with_backpressure_to header control
+
+let build_frame t payload =
+  let header = header_for t ~now:(Mmt_runtime.Env.now t.env) in
+  let mmt = Header.encode header in
+  let frame = Bytes.create (Bytes.length mmt + Bytes.length payload) in
+  Bytes.blit mmt 0 frame 0 (Bytes.length mmt);
+  Bytes.blit payload 0 frame (Bytes.length mmt) (Bytes.length payload);
+  Encap.wrap t.config.encap frame
+
+let transmit t payload =
+  let frame = build_frame t payload in
+  let packet = Mmt_runtime.Env.packet t.env ~padding:t.config.padding frame in
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <-
+    t.bytes_sent + Units.Size.to_bytes (Mmt_sim.Packet.wire_size packet);
+  t.env.Mmt_runtime.Env.send t.config.destination packet
+
+let message_wire_size t payload =
+  (* The pacer's view of one message on the wire. *)
+  let header_size = Header.size (header_for t ~now:Units.Time.zero) in
+  let encap_size =
+    match t.config.encap with
+    | Encap.Raw -> 0
+    | Encap.Over_ethernet _ -> Ethernet.header_size
+    | Encap.Over_ipv4 _ -> Ipv4.header_size
+  in
+  Units.Size.bytes
+    (header_size + encap_size + Bytes.length payload + t.config.padding)
+
+let rec drain t =
+  t.drain_scheduled <- false;
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some payload -> (
+      let now = Mmt_runtime.Env.now t.env in
+      match t.pace with
+      | None ->
+          (* Pace was removed while queued: flush everything. *)
+          Queue.iter (transmit t) t.queue;
+          Queue.clear t.queue
+      | Some pace ->
+          if Units.Time.(t.next_departure <= now) then begin
+            ignore (Queue.pop t.queue);
+            transmit t payload;
+            let gap = Units.Rate.transmission_time pace (message_wire_size t payload) in
+            t.next_departure <- Units.Time.add now gap
+          end;
+          if not (Queue.is_empty t.queue) then schedule_drain t)
+
+and schedule_drain t =
+  if not t.drain_scheduled then begin
+    t.drain_scheduled <- true;
+    let now = Mmt_runtime.Env.now t.env in
+    let delay = Units.Time.diff t.next_departure now in
+    ignore (Mmt_runtime.Env.after t.env delay (fun () -> drain t))
+  end
+
+let send t payload =
+  match t.pace with
+  | None when Queue.is_empty t.queue -> transmit t payload
+  | _ ->
+      Queue.push payload t.queue;
+      schedule_drain t
+
+let send_many t payloads = List.iter (send t) payloads
+
+let on_control t header payload =
+  match header.Header.kind with
+  | Feature.Kind.Backpressure -> (
+      match Control.Backpressure.decode payload with
+      | Error _ -> ()
+      | Ok bp ->
+          t.backpressure_received <- t.backpressure_received + 1;
+          if bp.Control.Backpressure.severity = 0 then t.pace <- t.config.pace
+          else
+            t.pace <-
+              Some
+                (Units.Rate.mbps
+                   (float_of_int bp.Control.Backpressure.advised_pace_mbps)))
+  | Feature.Kind.Deadline_exceeded ->
+      t.deadline_notices_received <- t.deadline_notices_received + 1
+  | Feature.Kind.Data | Feature.Kind.Nak | Feature.Kind.Buffer_advert -> ()
+
+let stats t =
+  {
+    messages_sent = t.messages_sent;
+    bytes_sent = t.bytes_sent;
+    backpressure_received = t.backpressure_received;
+    deadline_notices_received = t.deadline_notices_received;
+    current_pace = t.pace;
+    queued = Queue.length t.queue;
+  }
+
+let config t = t.config

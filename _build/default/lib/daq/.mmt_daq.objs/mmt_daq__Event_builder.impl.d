@@ -1,0 +1,1 @@
+lib/daq/event_builder.ml: Fragment Hashtbl List Mmt Mmt_util Units

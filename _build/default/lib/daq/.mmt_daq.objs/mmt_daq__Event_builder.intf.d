@@ -1,0 +1,1 @@
+lib/daq/event_builder.mli: Fragment Mmt_util Units

@@ -1,0 +1,1 @@
+lib/daq/experiment.ml: Format List Mmt Mmt_util String Units

@@ -1,0 +1,1 @@
+lib/daq/experiment.mli: Format Mmt Mmt_util Units

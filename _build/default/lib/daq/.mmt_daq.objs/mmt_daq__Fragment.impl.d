@@ -1,0 +1,1 @@
+lib/daq/fragment.ml: Bytes Format Mmt Mmt_util Mmt_wire Printf Units

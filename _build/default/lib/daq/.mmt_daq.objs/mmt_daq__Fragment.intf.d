@@ -1,0 +1,1 @@
+lib/daq/fragment.mli: Format Mmt Mmt_util Units

@@ -1,0 +1,1 @@
+lib/daq/lartpc.ml: Array Bytes Float List Mmt_util Mmt_wire Rng

@@ -1,0 +1,1 @@
+lib/daq/lartpc.mli: Mmt_util Rng

@@ -1,0 +1,1 @@
+lib/daq/photon.ml: Array Bytes Float Mmt_util Mmt_wire Rng

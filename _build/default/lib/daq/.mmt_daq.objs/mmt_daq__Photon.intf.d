@@ -1,0 +1,1 @@
+lib/daq/photon.mli: Mmt_util Rng

@@ -1,0 +1,1 @@
+lib/daq/workload.ml: Array Bytes Experiment Fragment Int64 Lartpc List Mmt Mmt_sim Mmt_util Photon Rng Units

@@ -1,0 +1,1 @@
+lib/daq/workload.mli: Experiment Fragment Lartpc Mmt_sim Mmt_util Photon Rng Units

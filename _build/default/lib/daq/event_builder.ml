@@ -1,0 +1,105 @@
+open Mmt_util
+
+type event = {
+  run : int;
+  trigger : int;
+  fragments : Fragment.t list;
+  opened_at : Units.Time.t;
+  completed_at : Units.Time.t;
+}
+
+type stats = {
+  complete : int;
+  timed_out : int;
+  duplicates : int;
+  fragments_seen : int;
+  pending : int;
+}
+
+type pending = {
+  p_opened_at : Units.Time.t;
+  by_slice : (int, Fragment.t) Hashtbl.t;
+}
+
+type t = {
+  slices : int list;
+  timeout : Units.Time.t;
+  open_events : (int * int, pending) Hashtbl.t; (* keyed by (run, trigger) *)
+  mutable complete : int;
+  mutable timed_out : int;
+  mutable duplicates : int;
+  mutable fragments_seen : int;
+}
+
+let create ~slices ~timeout =
+  if slices = [] then invalid_arg "Event_builder.create: no slices";
+  {
+    slices = List.sort_uniq compare slices;
+    timeout;
+    open_events = Hashtbl.create 256;
+    complete = 0;
+    timed_out = 0;
+    duplicates = 0;
+    fragments_seen = 0;
+  }
+
+let add t ~now fragment =
+  t.fragments_seen <- t.fragments_seen + 1;
+  let slice = Mmt.Experiment_id.slice fragment.Fragment.experiment in
+  let key = (fragment.Fragment.run, fragment.Fragment.trigger) in
+  let pending =
+    match Hashtbl.find_opt t.open_events key with
+    | Some pending -> pending
+    | None ->
+        let pending = { p_opened_at = now; by_slice = Hashtbl.create 8 } in
+        Hashtbl.replace t.open_events key pending;
+        pending
+  in
+  if Hashtbl.mem pending.by_slice slice then begin
+    t.duplicates <- t.duplicates + 1;
+    None
+  end
+  else begin
+    Hashtbl.replace pending.by_slice slice fragment;
+    let have_all =
+      List.for_all (fun s -> Hashtbl.mem pending.by_slice s) t.slices
+    in
+    if have_all then begin
+      Hashtbl.remove t.open_events key;
+      t.complete <- t.complete + 1;
+      let fragments =
+        List.map (fun s -> Hashtbl.find pending.by_slice s) t.slices
+      in
+      Some
+        {
+          run = fst key;
+          trigger = snd key;
+          fragments;
+          opened_at = pending.p_opened_at;
+          completed_at = now;
+        }
+    end
+    else None
+  end
+
+let sweep t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun key pending acc ->
+        if Units.Time.(Units.Time.diff now pending.p_opened_at > t.timeout) then
+          key :: acc
+        else acc)
+      t.open_events []
+  in
+  List.iter (Hashtbl.remove t.open_events) stale;
+  t.timed_out <- t.timed_out + List.length stale;
+  List.length stale
+
+let stats t =
+  {
+    complete = t.complete;
+    timed_out = t.timed_out;
+    duplicates = t.duplicates;
+    fragments_seen = t.fragments_seen;
+    pending = Hashtbl.length t.open_events;
+  }

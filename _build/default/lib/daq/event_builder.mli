@@ -1,0 +1,42 @@
+(** Event building: assembling fragments into physics events.
+
+    The first processing stage after the DAQ network (Fig. 1 stage A):
+    fragments from every instrument slice that share a trigger number
+    are combined into one event.  Incomplete events time out after a
+    configurable window — with a lossless DAQ network they complete;
+    losses upstream show up here as incomplete events, making this the
+    natural integration check for transport reliability (Req 4). *)
+
+open Mmt_util
+
+type event = {
+  run : int;
+  trigger : int;
+  fragments : Fragment.t list;  (** one per slice, slice order *)
+  opened_at : Units.Time.t;
+  completed_at : Units.Time.t;
+}
+
+type stats = {
+  complete : int;
+  timed_out : int;
+  duplicates : int;
+  fragments_seen : int;
+  pending : int;
+}
+
+type t
+
+val create : slices:int list -> timeout:Units.Time.t -> t
+(** [slices] is the set of slice numbers every event must cover.
+    @raise Invalid_argument on an empty slice list. *)
+
+val add : t -> now:Units.Time.t -> Fragment.t -> event option
+(** Returns the completed event when this fragment was the last one
+    missing. *)
+
+val sweep : t -> now:Units.Time.t -> int
+(** Time out pending events older than the window; returns how many
+    were abandoned. *)
+
+val stats : t -> stats

@@ -1,0 +1,85 @@
+open Mmt_util
+
+type kind = Cms_l1_trigger | Dune | Ecce_detector | Mu2e | Vera_rubin
+
+type t = {
+  kind : kind;
+  name : string;
+  id : Mmt.Experiment_id.t;
+  daq_rate : Units.Rate.t;
+  message_size : Units.Size.t;
+  wan_rtt : Units.Time.t;
+  slices : int;
+  alert_stream : Units.Rate.t option;
+}
+
+let kind_to_string = function
+  | Cms_l1_trigger -> "CMS L1 Trigger"
+  | Dune -> "DUNE"
+  | Ecce_detector -> "ECCE detector"
+  | Mu2e -> "Mu2e"
+  | Vera_rubin -> "Vera Rubin"
+
+let experiment_number = function
+  | Cms_l1_trigger -> 1
+  | Dune -> 2
+  | Ecce_detector -> 3
+  | Mu2e -> 4
+  | Vera_rubin -> 5
+
+let make kind ~daq_rate ~message_size ~wan_rtt ~slices ?alert_stream () =
+  {
+    kind;
+    name = kind_to_string kind;
+    id = Mmt.Experiment_id.make ~experiment:(experiment_number kind) ~slice:0;
+    daq_rate;
+    message_size;
+    wan_rtt;
+    slices;
+    alert_stream;
+  }
+
+let all =
+  [
+    (* CMS reads out through custom electronics into jumbo-frame-sized
+       event fragments; RTT is CERN -> Tier-1s. *)
+    make Cms_l1_trigger ~daq_rate:(Units.Rate.tbps 63.)
+      ~message_size:(Units.Size.bytes 8192)
+      ~wan_rtt:(Units.Time.ms 20.) ~slices:4 ();
+    (* DUNE: Ethernet readout, four detector modules, South Dakota ->
+       Fermilab (~13 ms). *)
+    make Dune ~daq_rate:(Units.Rate.tbps 120.)
+      ~message_size:(Units.Size.bytes 7200)
+      ~wan_rtt:(Units.Time.ms 13.) ~slices:4 ();
+    make Ecce_detector ~daq_rate:(Units.Rate.tbps 100.)
+      ~message_size:(Units.Size.bytes 8192)
+      ~wan_rtt:(Units.Time.ms 25.) ~slices:2 ();
+    (* Mu2e carries DAQ data directly over Ethernet frames (§ 4). *)
+    make Mu2e ~daq_rate:(Units.Rate.gbps 160.)
+      ~message_size:(Units.Size.bytes 4096)
+      ~wan_rtt:(Units.Time.ms 15.) ~slices:1 ();
+    (* Vera Rubin: nightly 30 TB capture plus the 5.4 Gbps alert burst
+       stream (§ 2.1); Chile -> California is ~70 ms. *)
+    make Vera_rubin ~daq_rate:(Units.Rate.gbps 400.)
+      ~message_size:(Units.Size.bytes 8192)
+      ~wan_rtt:(Units.Time.ms 70.) ~slices:1
+      ~alert_stream:(Units.Rate.gbps 5.4) ();
+  ]
+
+let find kind = List.find (fun t -> t.kind = kind) all
+
+let find_by_name name =
+  List.find_opt
+    (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii name)
+    all
+
+let scaled_rate t ~scale = Units.Rate.scale t.daq_rate scale
+
+let messages_per_second t ~scale =
+  Units.Rate.to_bps (scaled_rate t ~scale)
+  /. float_of_int (Units.Size.to_bits t.message_size)
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%a, %a fragments, %a RTT, %d slices)" t.name
+    Units.Rate.pp t.daq_rate Units.Size.pp t.message_size Units.Time.pp
+    t.wan_rtt t.slices

@@ -1,0 +1,44 @@
+(** Catalog of large-instrument experiments (Table 1 of the paper).
+
+    Each entry carries the published DAQ rate plus the workload-shape
+    parameters used by the generators: typical message (fragment)
+    size, the WAN RTT of the instrument's transfer path (§ 2: 10-100 ms;
+    e.g. DUNE's South Dakota → Illinois, Vera Rubin's Chile →
+    California), and the instrument's slice count for partitioned
+    operation (Req 8). *)
+
+open Mmt_util
+
+type kind =
+  | Cms_l1_trigger  (** 63 Tbps [77] *)
+  | Dune  (** 120 Tbps [68] *)
+  | Ecce_detector  (** 100 Tbps [13] *)
+  | Mu2e  (** 160 Gbps [29] *)
+  | Vera_rubin  (** 400 Gbps [38] *)
+
+type t = {
+  kind : kind;
+  name : string;
+  id : Mmt.Experiment_id.t;
+  daq_rate : Units.Rate.t;  (** acquisition rate from Table 1 *)
+  message_size : Units.Size.t;  (** typical fragment payload *)
+  wan_rtt : Units.Time.t;  (** instrument -> analysis-facility RTT *)
+  slices : int;  (** partitions for simultaneous experiments *)
+  alert_stream : Units.Rate.t option;
+      (** side stream for rapid dissemination, e.g. Vera Rubin's
+          5.4 Gbps alert burst (§ 2.1) *)
+}
+
+val all : t list
+val find : kind -> t
+val find_by_name : string -> t option
+val kind_to_string : kind -> string
+
+val scaled_rate : t -> scale:float -> Units.Rate.t
+(** The catalog rate multiplied by [scale] — experiments in this
+    repository run the paper's workload {e shapes} at
+    simulator-feasible rates; EXPERIMENTS.md records the scale used by
+    each reproduction. *)
+
+val messages_per_second : t -> scale:float -> float
+val pp : Format.formatter -> t -> unit

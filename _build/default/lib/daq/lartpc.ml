@@ -1,0 +1,183 @@
+open Mmt_util
+module Cursor = Mmt_wire.Cursor
+
+type config = {
+  channels : int;
+  samples_per_channel : int;
+  pedestal : int;
+  noise_sigma : float;
+  sample_period_ns : int;
+  adc_max : int;
+}
+
+let iceberg =
+  {
+    channels = 64;
+    samples_per_channel = 512;
+    pedestal = 900;
+    noise_sigma = 2.5;
+    sample_period_ns = 500;
+    adc_max = 16383;
+  }
+
+type activity = Quiet | Cosmic | Beam_event | Supernova_burst
+
+let pulses_per_window = function
+  | Quiet -> 0.02
+  | Cosmic -> 0.3
+  | Beam_event -> 1.5
+  | Supernova_burst -> 4.0
+
+type hit = {
+  channel : int;
+  start_tick : int;
+  time_over_threshold : int;
+  peak_adc : int;
+  sum_adc : int;
+}
+
+(* A drifting ionization track induces a fast-rising pulse with an
+   exponential tail on a collection wire. *)
+let add_pulse config waveform rng =
+  let start = Rng.int rng ~bound:config.samples_per_channel in
+  let amplitude = Rng.int_in_range rng ~lo:25 ~hi:250 in
+  let rise = Rng.int_in_range rng ~lo:1 ~hi:3 in
+  let tail_tau = Rng.float_in_range rng ~lo:3. ~hi:10. in
+  let length = rise + int_of_float (tail_tau *. 5.) in
+  for i = 0 to length - 1 do
+    let tick = start + i in
+    if tick < config.samples_per_channel then begin
+      let shape =
+        if i < rise then float_of_int (i + 1) /. float_of_int rise
+        else exp (-.float_of_int (i - rise) /. tail_tau)
+      in
+      let value = waveform.(tick) + int_of_float (float_of_int amplitude *. shape) in
+      waveform.(tick) <- min value config.adc_max
+    end
+  done
+
+let generate_waveform config rng ~activity =
+  let waveform =
+    Array.init config.samples_per_channel (fun _ ->
+        let noisy =
+          Rng.gaussian rng ~mu:(float_of_int config.pedestal)
+            ~sigma:config.noise_sigma
+        in
+        max 0 (min config.adc_max (int_of_float (Float.round noisy))))
+  in
+  let pulses = Rng.poisson rng ~mean:(pulses_per_window activity) in
+  for _ = 1 to pulses do
+    add_pulse config waveform rng
+  done;
+  waveform
+
+let generate_window config rng ~activity =
+  Array.init config.channels (fun _ -> generate_waveform config rng ~activity)
+
+let zero_suppress config ~threshold waveform =
+  let cut = config.pedestal + threshold in
+  let guard = 2 in
+  let n = Array.length waveform in
+  let regions = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if waveform.(!i) > cut then begin
+      let start = max 0 (!i - guard) in
+      let finish = ref !i in
+      while !finish < n - 1 && waveform.(!finish + 1) > cut do
+        incr finish
+      done;
+      let stop = min (n - 1) (!finish + guard) in
+      regions := (start, Array.sub waveform start (stop - start + 1)) :: !regions;
+      i := stop + 1
+    end
+    else incr i
+  done;
+  List.rev !regions
+
+let trigger_primitives config ~threshold ~channel waveform =
+  let cut = config.pedestal + threshold in
+  let n = Array.length waveform in
+  let hits = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if waveform.(!i) > cut then begin
+      let start = !i in
+      let peak = ref 0 in
+      let total = ref 0 in
+      while !i < n && waveform.(!i) > cut do
+        let above = waveform.(!i) - config.pedestal in
+        if above > !peak then peak := above;
+        total := !total + above;
+        incr i
+      done;
+      hits :=
+        {
+          channel;
+          start_tick = start;
+          time_over_threshold = !i - start;
+          peak_adc = !peak;
+          sum_adc = !total;
+        }
+        :: !hits
+    end
+    else incr i
+  done;
+  List.rev !hits
+
+let serialize_window window =
+  let channels = Array.length window in
+  let samples = if channels = 0 then 0 else Array.length window.(0) in
+  let w = Cursor.Writer.create (2 * channels * samples) in
+  Array.iter (fun waveform -> Array.iter (fun s -> Cursor.Writer.u16 w s) waveform) window;
+  Cursor.Writer.contents w
+
+let deserialize_window ~channels ~samples_per_channel buf =
+  if Bytes.length buf <> 2 * channels * samples_per_channel then None
+  else begin
+    let r = Cursor.Reader.of_bytes buf in
+    Some
+      (Array.init channels (fun _ ->
+           Array.init samples_per_channel (fun _ -> Cursor.Reader.u16 r)))
+  end
+
+let serialize_hits hits =
+  let w = Cursor.Writer.create (4 + (12 * List.length hits)) in
+  Cursor.Writer.u32_int w (List.length hits);
+  List.iter
+    (fun hit ->
+      Cursor.Writer.u16 w hit.channel;
+      Cursor.Writer.u16 w hit.start_tick;
+      Cursor.Writer.u16 w hit.time_over_threshold;
+      Cursor.Writer.u16 w hit.peak_adc;
+      Cursor.Writer.u32_int w hit.sum_adc)
+    hits;
+  Cursor.Writer.contents w
+
+let deserialize_hits buf =
+  match
+    let r = Cursor.Reader.of_bytes buf in
+    let count = Cursor.Reader.u32_int r in
+    List.init count (fun _ ->
+        let channel = Cursor.Reader.u16 r in
+        let start_tick = Cursor.Reader.u16 r in
+        let time_over_threshold = Cursor.Reader.u16 r in
+        let peak_adc = Cursor.Reader.u16 r in
+        let sum_adc = Cursor.Reader.u32_int r in
+        { channel; start_tick; time_over_threshold; peak_adc; sum_adc })
+  with
+  | hits -> Some hits
+  | exception Cursor.Out_of_bounds _ -> None
+
+let compression_ratio config ~threshold window =
+  let raw = 2 * config.channels * config.samples_per_channel in
+  let kept =
+    Array.fold_left
+      (fun acc waveform ->
+        List.fold_left
+          (fun acc (_start, samples) -> acc + (2 * Array.length samples) + 4)
+          acc
+          (zero_suppress config ~threshold waveform))
+      0 window
+  in
+  if kept = 0 then float_of_int raw else float_of_int raw /. float_of_int kept

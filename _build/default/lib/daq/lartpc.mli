@@ -1,0 +1,70 @@
+(** Synthetic liquid-argon TPC (LArTPC) detector data.
+
+    Stands in for the pilot's two data sources (§ 5.4): the ICEBERG
+    DUNE prototype (a LArTPC) and "synthetic DUNE DAQ data that
+    simulates the neutrino generation by different physical events".
+
+    A readout window per wire channel is a waveform of ADC samples:
+    a pedestal baseline, Gaussian electronics noise, and
+    track-induced pulses (fast rise, exponential tail).  On top of the
+    raw waveforms the module implements the two standard DAQ
+    reductions: zero suppression and trigger primitives (hits). *)
+
+open Mmt_util
+
+type config = {
+  channels : int;  (** wires per fragment *)
+  samples_per_channel : int;  (** ticks per readout window *)
+  pedestal : int;  (** ADC baseline *)
+  noise_sigma : float;  (** electronics noise, ADC counts *)
+  sample_period_ns : int;  (** 500 ns for DUNE's 2 MHz digitization *)
+  adc_max : int;  (** saturation value, e.g. 16383 for 14-bit *)
+}
+
+val iceberg : config
+(** ICEBERG-prototype-like geometry: 64 channels x 512 ticks. *)
+
+type activity =
+  | Quiet  (** radiological background only *)
+  | Cosmic  (** a few cosmic-ray tracks per window *)
+  | Beam_event  (** accelerator-driven neutrino interaction *)
+  | Supernova_burst  (** sustained high activity across channels *)
+
+val pulses_per_window : activity -> float
+(** Mean track-pulse count per channel window. *)
+
+type hit = {
+  channel : int;
+  start_tick : int;
+  time_over_threshold : int;  (** ticks *)
+  peak_adc : int;  (** above pedestal *)
+  sum_adc : int;  (** integral above pedestal *)
+}
+
+val generate_waveform : config -> Rng.t -> activity:activity -> int array
+(** One channel's readout window. *)
+
+val generate_window : config -> Rng.t -> activity:activity -> int array array
+(** All channels ([channels] waveforms). *)
+
+val zero_suppress :
+  config -> threshold:int -> int array -> (int * int array) list
+(** [(start_tick, kept_samples)] regions where the signal exceeds
+    pedestal + threshold, with 2 guard ticks either side. *)
+
+val trigger_primitives :
+  config -> threshold:int -> channel:int -> int array -> hit list
+(** Hit finding over one waveform. *)
+
+val serialize_window : int array array -> bytes
+(** Big-endian u16 samples, channel-major — the fragment payload. *)
+
+val deserialize_window :
+  channels:int -> samples_per_channel:int -> bytes -> int array array option
+
+val serialize_hits : hit list -> bytes
+val deserialize_hits : bytes -> hit list option
+
+val compression_ratio : config -> threshold:int -> int array array -> float
+(** Raw bytes over zero-suppressed bytes for a window — how much DAQ
+    preprocessing shrinks the stream before the WAN. *)

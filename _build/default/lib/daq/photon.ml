@@ -1,0 +1,117 @@
+open Mmt_util
+module Cursor = Mmt_wire.Cursor
+
+type config = {
+  sipms : int;
+  samples : int;
+  sample_period_ns : int;
+  baseline : int;
+  noise_sigma : float;
+  dark_rate_hz : float;
+  spe_amplitude : int;
+  spe_decay_ns : float;
+  fast_fraction : float;
+  fast_tau_ns : float;
+  slow_tau_ns : float;
+  adc_max : int;
+}
+
+let dune_pds =
+  {
+    sipms = 48;
+    samples = 1024;
+    sample_period_ns = 16;
+    baseline = 800;
+    noise_sigma = 1.8;
+    dark_rate_hz = 200.;
+    spe_amplitude = 18;
+    spe_decay_ns = 50.;
+    fast_fraction = 0.3;
+    fast_tau_ns = 6.;
+    slow_tau_ns = 1400.;
+    adc_max = 16383;
+  }
+
+(* Add one single-photoelectron pulse starting at [tick]. *)
+let add_spe config waveform tick =
+  let tail_ticks =
+    int_of_float (5. *. config.spe_decay_ns /. float_of_int config.sample_period_ns)
+  in
+  for i = 0 to tail_ticks do
+    let at = tick + i in
+    if at >= 0 && at < config.samples then begin
+      let shape =
+        exp
+          (-.(float_of_int (i * config.sample_period_ns)) /. config.spe_decay_ns)
+      in
+      let value =
+        waveform.(at) + int_of_float (float_of_int config.spe_amplitude *. shape)
+      in
+      waveform.(at) <- min value config.adc_max
+    end
+  done
+
+let generate config rng ~photons =
+  let waveform =
+    Array.init config.samples (fun _ ->
+        let noisy =
+          Rng.gaussian rng ~mu:(float_of_int config.baseline)
+            ~sigma:config.noise_sigma
+        in
+        max 0 (min config.adc_max (int_of_float (Float.round noisy))))
+  in
+  (* Dark counts: Poisson across the window over all SiPMs. *)
+  let window_s =
+    float_of_int (config.samples * config.sample_period_ns) *. 1e-9
+  in
+  let dark_mean = config.dark_rate_hz *. window_s *. float_of_int config.sipms in
+  let dark = Rng.poisson rng ~mean:dark_mean in
+  for _ = 1 to dark do
+    add_spe config waveform (Rng.int rng ~bound:config.samples)
+  done;
+  (* The flash: photon arrival times follow the two-component argon
+     scintillation decay, starting a quarter into the window. *)
+  let flash_tick = config.samples / 4 in
+  for _ = 1 to photons do
+    let tau =
+      if Rng.bernoulli rng ~p:config.fast_fraction then config.fast_tau_ns
+      else config.slow_tau_ns
+    in
+    let delay_ns = Rng.exponential rng ~rate:(1. /. tau) in
+    let tick =
+      flash_tick + int_of_float (delay_ns /. float_of_int config.sample_period_ns)
+    in
+    add_spe config waveform tick
+  done;
+  waveform
+
+(* Integrate above a ~3-sigma noise cut so rectified baseline noise
+   does not masquerade as light. *)
+let noise_cut config = max 4 (int_of_float (3. *. config.noise_sigma))
+
+let integral config waveform =
+  let cut = config.baseline + noise_cut config in
+  Array.fold_left (fun acc s -> if s > cut then acc + (s - config.baseline) else acc)
+    0 waveform
+
+(* The expected integral of one SPE pulse (geometric sum of the decay). *)
+let spe_integral config =
+  let r =
+    exp (-.(float_of_int config.sample_period_ns) /. config.spe_decay_ns)
+  in
+  float_of_int config.spe_amplitude /. (1. -. r)
+
+let estimate_photons config waveform =
+  int_of_float (Float.round (float_of_int (integral config waveform) /. spe_integral config))
+
+let serialize waveform =
+  let w = Cursor.Writer.create (2 * Array.length waveform) in
+  Array.iter (fun s -> Cursor.Writer.u16 w s) waveform;
+  Cursor.Writer.contents w
+
+let deserialize ~samples buf =
+  if Bytes.length buf <> 2 * samples then None
+  else begin
+    let r = Cursor.Reader.of_bytes buf in
+    Some (Array.init samples (fun _ -> Cursor.Reader.u16 r))
+  end

@@ -1,0 +1,44 @@
+(** Photon-detection system (PDS) synthesis.
+
+    DUNE's second readout subsystem: silicon photomultipliers watching
+    liquid-argon scintillation light.  A readout window is a summed
+    SiPM waveform: baseline + dark-count pulses + (optionally) a
+    scintillation flash whose photons arrive with argon's fast/slow
+    decay structure (~6 ns and ~1.4 µs components).  Photon fragments
+    ride the same top-level DAQ header as wire fragments
+    ({!Fragment.Photon_detector}), exercising Req 9's shared-header,
+    detector-specific-subheader layering. *)
+
+open Mmt_util
+
+type config = {
+  sipms : int;  (** photosensors summed into the waveform *)
+  samples : int;  (** ticks per readout window *)
+  sample_period_ns : int;  (** 16 ns for DUNE's 62.5 MHz PDS digitizers *)
+  baseline : int;  (** ADC pedestal *)
+  noise_sigma : float;
+  dark_rate_hz : float;  (** per-SiPM dark-count rate *)
+  spe_amplitude : int;  (** single-photoelectron pulse height, ADC *)
+  spe_decay_ns : float;  (** SPE exponential tail *)
+  fast_fraction : float;  (** photons in argon's fast component *)
+  fast_tau_ns : float;
+  slow_tau_ns : float;
+  adc_max : int;
+}
+
+val dune_pds : config
+(** DUNE-like defaults: 48 SiPMs, 1024 ticks at 16 ns. *)
+
+val generate : config -> Rng.t -> photons:int -> int array
+(** One readout window containing a scintillation flash of [photons]
+    detected photons at a quarter of the window (plus dark counts);
+    [photons = 0] is a dark window. *)
+
+val integral : config -> int array -> int
+(** Baseline-subtracted integral — proportional to collected light. *)
+
+val estimate_photons : config -> int array -> int
+(** Photon-count estimate from the integral and the SPE response. *)
+
+val serialize : int array -> bytes
+val deserialize : samples:int -> bytes -> int array option

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Float List Mmt Mmt_daq Mmt_pilot Mmt_tcp Mmt_telemetry Mmt_util Option Printf Table Units

@@ -1,0 +1,1 @@
+lib/experiments/challenge6.ml: Addr Array Bytes List Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_pilot Mmt_sim Mmt_telemetry Mmt_util Printf Rng Table Units

@@ -1,0 +1,1 @@
+lib/experiments/challenge6.mli:

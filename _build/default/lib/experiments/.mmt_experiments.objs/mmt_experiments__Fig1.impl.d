@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: List Mmt Mmt_daq Mmt_pilot Mmt_sim Mmt_telemetry Mmt_util Printf Stats String Table Units

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: List Mmt_pilot Mmt_sim Mmt_tcp Mmt_telemetry Mmt_util Printf Table Units

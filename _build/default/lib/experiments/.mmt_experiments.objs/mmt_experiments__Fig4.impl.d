@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Mmt Mmt_daq Mmt_innet Mmt_pilot Mmt_telemetry Mmt_util Printf Stats Table Units

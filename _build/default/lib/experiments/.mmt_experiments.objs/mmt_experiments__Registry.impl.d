@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Challenge6 Fig1 Fig2 Fig3 Fig4 List Printf String Table1

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Float List Mmt_daq Mmt_sim Mmt_telemetry Mmt_util Printf Rng Units

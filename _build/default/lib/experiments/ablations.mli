@@ -1,0 +1,23 @@
+(** Ablation studies for the design choices DESIGN.md calls out. *)
+
+val buffer_placement : unit -> string * bool
+(** E-A1: retransmission-buffer position sweep along the WAN path.
+    Expected shape: worst-case (recovered-packet) latency falls roughly
+    linearly as the buffer moves toward the destination. *)
+
+val loss_sweep : unit -> string * bool
+(** E-A2: loss-rate sweep, tuned TCP vs multi-modal transport on the
+    same path and transfer.  Expected shape: TCP flow completion time
+    degrades sharply with loss (congestion control reacts to corruption
+    loss); the multi-modal transport stays near the lossless baseline
+    because recovery is local and there is no window collapse. *)
+
+val deadline_sweep : unit -> string * bool
+(** E-A4: deadline-budget sweep.  Expected shape: the late fraction
+    falls from 100 % to 0 as the budget crosses the path latency. *)
+
+val priority_queue : unit -> string * bool
+(** E-A5: deadline-aware queueing vs drop-tail under bulk congestion
+    (§ 5.3: deadlines are "an input to active queue management").
+    Expected shape: with EDF service the deadline-bearing alert stream
+    stops being late while bulk throughput is unharmed. *)

@@ -1,0 +1,16 @@
+(** E-X1 / E-X2 — § 6: the paper's open challenges, implemented.
+
+    These go beyond the paper's evaluation: they turn § 6's future-work
+    sketches into running systems and measure them. *)
+
+val discovery_failover : unit -> string * bool
+(** E-X1 (§ 6 challenge 1): soft-state resource discovery with
+    planner-driven mode reconfiguration.  A retransmission buffer
+    fails mid-stream; its advertisements stop, the map expires it, the
+    planner re-points the mode at the surviving buffer, and recovery
+    continues with zero data loss. *)
+
+val payload_alerts : unit -> string * bool
+(** E-X2 (§ 6 challenge 2): multi-domain alert generation from raw DAQ
+    data on a payload-capable device.  Also verifies the discipline: a
+    P4 switch refuses to host the payload-processing element. *)

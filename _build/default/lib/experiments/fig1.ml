@@ -1,0 +1,88 @@
+open Mmt_util
+
+let run () =
+  let config =
+    {
+      Mmt_pilot.Pilot.default_config with
+      Mmt_pilot.Pilot.fragment_count = 1000;
+      researchers = 3;
+      wan_loss = 0.002;
+      wan_corrupt = 0.0005;
+      payload = Mmt_daq.Workload.Synthetic (Units.Size.bytes 2048);
+    }
+  in
+  let pilot = Mmt_pilot.Pilot.build config in
+  Mmt_pilot.Pilot.run pilot;
+  let results = Mmt_pilot.Pilot.results pilot in
+  let receiver = Mmt_pilot.Pilot.receiver pilot in
+  let analysis_latency = Stats.Summary.median (Mmt.Receiver.latency_summary receiver) in
+  let researcher_latencies =
+    List.map
+      (fun r -> Stats.Summary.median (Mmt.Receiver.latency_summary r))
+      (Mmt_pilot.Pilot.researcher_receivers pilot)
+  in
+  let stage_table =
+    Table.create ~title:"Fig. 1 staged dataflow (one simulated run)"
+      ~columns:
+        [
+          ("stage", Table.Left);
+          ("role", Table.Left);
+          ("packets", Table.Right);
+          ("median latency", Table.Right);
+        ]
+      ()
+  in
+  Table.add_row stage_table
+    [ "1 DAQ"; "sensor -> DTN1, mode 0"; string_of_int results.Mmt_pilot.Pilot.emitted; "-" ];
+  Table.add_row stage_table
+    [
+      "2 WAN";
+      "DTN1 -> switch -> DTN2, mode 1";
+      string_of_int results.Mmt_pilot.Pilot.wan_a.Mmt_sim.Link.delivered;
+      "-";
+    ];
+  Table.add_row stage_table
+    [
+      "3 analysis";
+      "DTN2 receiver, mode 2 check";
+      string_of_int results.Mmt_pilot.Pilot.receiver.Mmt.Receiver.delivered;
+      Printf.sprintf "%.3f ms" (analysis_latency *. 1e3);
+    ];
+  List.iteri
+    (fun i (stats : Mmt.Receiver.stats) ->
+      Table.add_row stage_table
+        [
+          Printf.sprintf "4 researcher %d" i;
+          "duplicated at the switch (1 -> 4 shortcut)";
+          string_of_int stats.Mmt.Receiver.delivered;
+          Printf.sprintf "%.3f ms" (List.nth researcher_latencies i *. 1e3);
+        ])
+    results.Mmt_pilot.Pilot.researcher_stats;
+  let researchers_beat_analysis =
+    List.for_all (fun l -> l < analysis_latency +. 0.002) researcher_latencies
+  in
+  let rows =
+    [
+      Mmt_telemetry.Report.check ~metric:"end-to-end delivery across all stages"
+        ~expected:"instrument data reaches analysis complete"
+        ~measured:
+          (Printf.sprintf "%d/%d at the analysis facility"
+             results.Mmt_pilot.Pilot.receiver.Mmt.Receiver.delivered
+             results.Mmt_pilot.Pilot.emitted)
+        (results.Mmt_pilot.Pilot.receiver.Mmt.Receiver.delivered
+        = results.Mmt_pilot.Pilot.emitted);
+      Mmt_telemetry.Report.check ~metric:"researchers reached directly"
+        ~expected:"the 1 -> 4 shortcut is at network latency, not via storage"
+        ~measured:
+          (Printf.sprintf "researcher medians %s ms; analysis %.3f ms"
+             (String.concat ", "
+                (List.map (fun l -> Printf.sprintf "%.3f" (l *. 1e3)) researcher_latencies))
+             (analysis_latency *. 1e3))
+        researchers_beat_analysis;
+    ]
+  in
+  let report =
+    { Mmt_telemetry.Report.id = "E-F1"; title = "Fig. 1: staged dataflow"; note = None; rows }
+  in
+  ( Table.render stage_table ^ "\n" ^ Mmt_telemetry.Report.render report,
+    Mmt_telemetry.Report.all_ok report )

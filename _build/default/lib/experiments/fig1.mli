@@ -1,0 +1,9 @@
+(** E-F1 — Fig. 1: the end-to-end dataflow for large instruments.
+
+    Drives the full staged path — DAQ network (1), WAN transmission
+    (2), analysis facility (3) and direct fan-out to downstream
+    researchers (4) — in one simulation and reports per-stage delivery
+    and latency, including the 1 -> 4 shortcut ("sometimes, data must go
+    straight from 1 to 4 for rapid coordination"). *)
+
+val run : unit -> string * bool

@@ -1,0 +1,10 @@
+(** E-F2 — Fig. 2 and § 4.1: transporting DAQ data today.
+
+    Reproduces the baseline picture: the per-segment feature matrix of
+    today's UDP/TCP approach, plus the quantitative claims —
+    single-stream TCP throughput is window-tuning-bound (untuned ≪
+    autotuned ≪ DTN-tuned, the latter in the tens of Gbps), multiple
+    tuned streams fill the link, loss head-of-line blocks messages, and
+    UDP loss in the DAQ segment is simply gone. *)
+
+val run : unit -> string * bool

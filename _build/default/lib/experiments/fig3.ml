@@ -1,0 +1,153 @@
+open Mmt_util
+
+let mode_matrix () =
+  let table =
+    Table.create ~title:"Fig. 3 mode matrix: multi-modal transport per segment"
+      ~columns:
+        [
+          ("segment", Table.Left);
+          ("mode", Table.Left);
+          ("features", Table.Left);
+          ("set by", Table.Left);
+        ]
+      ()
+  in
+  List.iter (Table.add_row table)
+    [
+      [ "sensor -> DTN 1"; "0 (identification)"; "experiment + slice only"; "sensor" ];
+      [
+        "DTN 1 -> WAN";
+        "1 (recoverable, age-sensitive)";
+        "sequenced, reliable(buffer=DTN1), age-tracked, timely";
+        "DTN 1 smartNIC rewriter";
+      ];
+      [
+        "WAN switch";
+        "1 (maintained)";
+        "age touch, duplication, back-pressure relay";
+        "Tofino2 elements";
+      ];
+      [ "DTN 2"; "2 (timeliness check)"; "final age + deadline verdict"; "receiver" ];
+    ];
+  Table.render table
+
+let recovery_comparison () =
+  let run_at position =
+    Mmt_pilot.Runners.Placement_run.run
+      (Mmt_pilot.Runners.Placement_run.params ~buffer_position:position
+         ~fragment_count:4000 ~loss:0.005 ())
+  in
+  (run_at 0., run_at 0.9)
+
+let duplication_latency () =
+  let config =
+    {
+      Mmt_pilot.Pilot.default_config with
+      Mmt_pilot.Pilot.fragment_count = 500;
+      wan_loss = 0.;
+      wan_corrupt = 0.;
+      researchers = 2;
+      payload = Mmt_daq.Workload.Synthetic (Units.Size.bytes 1024);
+    }
+  in
+  let pilot = Mmt_pilot.Pilot.build config in
+  Mmt_pilot.Pilot.run pilot;
+  let receiver_latency =
+    Stats.Summary.median (Mmt.Receiver.latency_summary (Mmt_pilot.Pilot.receiver pilot))
+  in
+  let researcher_latency =
+    match Mmt_pilot.Pilot.researcher_receivers pilot with
+    | r :: _ -> Stats.Summary.median (Mmt.Receiver.latency_summary r)
+    | [] -> nan
+  in
+  let results = Mmt_pilot.Pilot.results pilot in
+  (receiver_latency, researcher_latency, results)
+
+let backpressure_demo ~backpressure =
+  let config =
+    {
+      Mmt_pilot.Pilot.default_config with
+      Mmt_pilot.Pilot.fragment_count = 4000;
+      (* Offered ~24 Gbps against a 10 Gbps bottleneck hop. *)
+      scale = 2e-4;
+      wan_bottleneck = 0.1;
+      wan_loss = 0.;
+      wan_corrupt = 0.;
+      backpressure;
+      payload = Mmt_daq.Workload.Synthetic (Units.Size.bytes 7200);
+    }
+  in
+  let pilot = Mmt_pilot.Pilot.build config in
+  Mmt_pilot.Pilot.run pilot;
+  Mmt_pilot.Pilot.results pilot
+
+let run () =
+  let near_source, near_sink = recovery_comparison () in
+  let dtn2_latency, researcher_latency, dup_results = duplication_latency () in
+  let without_bp = backpressure_demo ~backpressure:false in
+  let with_bp = backpressure_demo ~backpressure:true in
+  let recovered_p50 (o : Mmt_pilot.Runners.Placement_run.outcome) = o.Mmt_pilot.Runners.Placement_run.latency_max in
+  let bp_drops (r : Mmt_pilot.Pilot.results) =
+    r.Mmt_pilot.Pilot.wan_b.Mmt_sim.Link.queue_drops
+  in
+  let rows =
+    [
+      Mmt_telemetry.Report.check ~metric:"recovery from a nearer buffer"
+        ~expected:"max latency shrinks as the buffer approaches the sink (§ 5.1)"
+        ~measured:
+          (Printf.sprintf "buffer@source max %.2f ms vs buffer@90%% max %.2f ms"
+             (recovered_p50 near_source *. 1e3)
+             (recovered_p50 near_sink *. 1e3))
+        (recovered_p50 near_sink < recovered_p50 near_source);
+      Mmt_telemetry.Report.check ~metric:"reliability maintained in both placements"
+        ~expected:"all fragments delivered"
+        ~measured:
+          (Printf.sprintf "%d and %d of 4000"
+             near_source.Mmt_pilot.Runners.Placement_run.delivered
+             near_sink.Mmt_pilot.Runners.Placement_run.delivered)
+        (near_source.Mmt_pilot.Runners.Placement_run.delivered = 4000
+        && near_sink.Mmt_pilot.Runners.Placement_run.delivered = 4000);
+      Mmt_telemetry.Report.check ~metric:"in-network duplication (Fig. 3 point 5)"
+        ~expected:"researchers receive the full stream directly"
+        ~measured:
+          (Printf.sprintf "researchers got %s; median latency %.3f ms vs DTN2 %.3f ms"
+             (String.concat ", "
+                (List.map
+                   (fun (s : Mmt.Receiver.stats) -> string_of_int s.Mmt.Receiver.delivered)
+                   dup_results.Mmt_pilot.Pilot.researcher_stats))
+             (researcher_latency *. 1e3) (dtn2_latency *. 1e3))
+        (List.for_all
+           (fun (s : Mmt.Receiver.stats) -> s.Mmt.Receiver.delivered = 500)
+           dup_results.Mmt_pilot.Pilot.researcher_stats);
+      Mmt_telemetry.Report.check ~metric:"back-pressure (Fig. 3 point 4)"
+        ~expected:"signal to the sender drains the congested queue"
+        ~measured:
+          (Printf.sprintf
+             "bottleneck queue drops: %d without BP, %d with BP (%d signals)"
+             (bp_drops without_bp) (bp_drops with_bp)
+             (match with_bp.Mmt_pilot.Pilot.backpressure_stats with
+             | Some s -> s.Mmt_innet.Backpressure_monitor.signals_sent
+             | None -> 0))
+        (bp_drops with_bp < bp_drops without_bp
+        &&
+        match with_bp.Mmt_pilot.Pilot.backpressure_stats with
+        | Some s -> s.Mmt_innet.Backpressure_monitor.signals_sent > 0
+        | None -> false);
+      Mmt_telemetry.Report.check ~metric:"sender reacted to back-pressure"
+        ~expected:"pace adopted from the advisory"
+        ~measured:
+          (Printf.sprintf "%d back-pressure messages received by the sensor"
+             with_bp.Mmt_pilot.Pilot.sender.Mmt.Sender.backpressure_received)
+        (with_bp.Mmt_pilot.Pilot.sender.Mmt.Sender.backpressure_received > 0);
+    ]
+  in
+  let report =
+    {
+      Mmt_telemetry.Report.id = "E-F3";
+      title = "Fig. 3: multi-modal transport goal scenario";
+      note = None;
+      rows;
+    }
+  in
+  ( mode_matrix () ^ "\n" ^ Mmt_telemetry.Report.render report,
+    Mmt_telemetry.Report.all_ok report )

@@ -1,0 +1,9 @@
+(** E-F3 — Fig. 3: the multi-modal goal scenario.
+
+    Per-segment mode matrix of the proposed transport, plus the
+    behaviours Fig. 3 calls out: (3) nearer retransmission buffers cut
+    recovery latency, (4) back-pressure from a congested element slows
+    the sender and drains the queue, (5) in-network duplication gets
+    fresh data to researchers at network latency. *)
+
+val run : unit -> string * bool

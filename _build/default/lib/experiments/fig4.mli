@@ -1,0 +1,11 @@
+(** E-F4 — Fig. 4 / § 5.4: the pilot study.
+
+    Runs the three-mode pilot on both hardware variants (FABRIC
+    virtual, physical 100 GbE) with ICEBERG-like LArTPC data, checking:
+    mode changes happen entirely in network elements, loss on the WAN
+    is recovered by NAK to DTN 1 (not the source), age is tracked
+    hop-by-hop with the timeliness verdict at the destination, and the
+    physical variant saturates its links where the virtual one is
+    capped. *)
+
+val run : unit -> string * bool

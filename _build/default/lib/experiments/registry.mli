@@ -1,0 +1,16 @@
+(** Registry of every table/figure reproduction. *)
+
+type entry = {
+  id : string;  (** DESIGN.md experiment id, e.g. "E-F3" *)
+  title : string;
+  run : unit -> string * bool;
+      (** rendered output and whether every shape check passed *)
+}
+
+val all : entry list
+val find : string -> entry option
+(** Case-insensitive lookup by id (with or without the "E-" prefix). *)
+
+val run_all : unit -> bool
+(** Run every experiment, printing each report; [true] when every
+    shape check in every experiment passed. *)

@@ -1,0 +1,8 @@
+(** E-T1 — Table 1: DAQ rates of the catalogued experiments.
+
+    For every instrument in the catalog, drives the workload generator
+    at a recorded scale and verifies the offered load matches the
+    scaled Table 1 rate (shape check: within 3 %). *)
+
+val run : unit -> string * bool
+(** Rendered report and whether every shape check passed. *)

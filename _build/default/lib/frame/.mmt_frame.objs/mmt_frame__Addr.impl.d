@@ -1,0 +1,1 @@
+lib/frame/addr.ml: Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/frame/ethernet.ml: Addr Format Int64 Mmt_wire

@@ -1,0 +1,1 @@
+lib/frame/udp.ml: Format Mmt_wire

@@ -1,0 +1,1 @@
+lib/frame/udp.mli: Format Mmt_wire

@@ -1,0 +1,61 @@
+module Cursor = Mmt_wire.Cursor
+
+type t = {
+  dscp : int;
+  ttl : int;
+  protocol : int;
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+  payload_length : int;
+}
+
+let header_size = 20
+let protocol_udp = 17
+let protocol_mmt = 0xFD
+
+let write w t =
+  let scratch = Cursor.Writer.create header_size in
+  Cursor.Writer.u8 scratch 0x45; (* version 4, IHL 5 *)
+  Cursor.Writer.u8 scratch ((t.dscp land 0x3F) lsl 2);
+  Cursor.Writer.u16 scratch (header_size + t.payload_length);
+  Cursor.Writer.u16 scratch 0; (* identification *)
+  Cursor.Writer.u16 scratch 0x4000; (* DF set, offset 0 *)
+  Cursor.Writer.u8 scratch t.ttl;
+  Cursor.Writer.u8 scratch t.protocol;
+  Cursor.Writer.u16 scratch 0; (* checksum placeholder *)
+  Cursor.Writer.u32 scratch (Addr.Ip.to_int32 t.src);
+  Cursor.Writer.u32 scratch (Addr.Ip.to_int32 t.dst);
+  let raw = Cursor.Writer.contents scratch in
+  let csum = Cursor.checksum raw ~off:0 ~len:header_size in
+  Bytes.set_uint16_be raw 10 csum;
+  Cursor.Writer.bytes w raw
+
+let read r =
+  let raw = Cursor.Reader.take r header_size in
+  if Cursor.checksum raw ~off:0 ~len:header_size <> 0 then
+    failwith "Ipv4.read: bad checksum";
+  let r = Cursor.Reader.of_bytes raw in
+  let version_ihl = Cursor.Reader.u8 r in
+  if version_ihl lsr 4 <> 4 then failwith "Ipv4.read: not IPv4";
+  if version_ihl land 0xF <> 5 then failwith "Ipv4.read: options unsupported";
+  let dscp = Cursor.Reader.u8 r lsr 2 in
+  let total_length = Cursor.Reader.u16 r in
+  let _identification = Cursor.Reader.u16 r in
+  let flags_offset = Cursor.Reader.u16 r in
+  if flags_offset land 0x3FFF <> 0 || flags_offset land 0x2000 <> 0 then
+    failwith "Ipv4.read: fragmentation unsupported";
+  let ttl = Cursor.Reader.u8 r in
+  let protocol = Cursor.Reader.u8 r in
+  let _checksum = Cursor.Reader.u16 r in
+  let src = Addr.Ip.of_int32 (Cursor.Reader.u32 r) in
+  let dst = Addr.Ip.of_int32 (Cursor.Reader.u32 r) in
+  { dscp; ttl; protocol; src; dst; payload_length = total_length - header_size }
+
+let equal a b =
+  a.dscp = b.dscp && a.ttl = b.ttl && a.protocol = b.protocol
+  && Addr.Ip.equal a.src b.src && Addr.Ip.equal a.dst b.dst
+  && a.payload_length = b.payload_length
+
+let pp fmt t =
+  Format.fprintf fmt "ipv4{%a -> %a, proto %d, ttl %d, payload %dB}" Addr.Ip.pp
+    t.src Addr.Ip.pp t.dst t.protocol t.ttl t.payload_length

@@ -1,0 +1,33 @@
+(** IPv4 header (no options, no fragmentation).
+
+    DAQ networks configure MTUs to remove fragmentation (§ 2.1 of the
+    paper), so the codec rejects fragmented datagrams rather than
+    reassemble. *)
+
+type t = {
+  dscp : int; (* 6-bit differentiated services code point *)
+  ttl : int;
+  protocol : int;
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+  payload_length : int; (* bytes after this header *)
+}
+
+val header_size : int
+(** 20 bytes. *)
+
+val protocol_udp : int
+val protocol_mmt : int
+(** 0xFD: IANA "use for experimentation and testing" protocol number,
+    carrying the multi-modal transport over IP (Req 1). *)
+
+val write : Mmt_wire.Cursor.Writer.t -> t -> unit
+(** Computes and embeds the header checksum. *)
+
+val read : Mmt_wire.Cursor.Reader.t -> t
+(** @raise Failure on bad version, bad checksum, options present or a
+    fragmented datagram.
+    @raise Mmt_wire.Cursor.Out_of_bounds on truncated input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+module Cursor = Mmt_wire.Cursor
+
+type t = { src_port : int; dst_port : int; payload_length : int }
+
+let header_size = 8
+
+let write w t =
+  Cursor.Writer.u16 w t.src_port;
+  Cursor.Writer.u16 w t.dst_port;
+  Cursor.Writer.u16 w (header_size + t.payload_length);
+  Cursor.Writer.u16 w 0
+
+let read r =
+  let src_port = Cursor.Reader.u16 r in
+  let dst_port = Cursor.Reader.u16 r in
+  let length = Cursor.Reader.u16 r in
+  let _checksum = Cursor.Reader.u16 r in
+  { src_port; dst_port; payload_length = length - header_size }
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port
+  && a.payload_length = b.payload_length
+
+let pp fmt t =
+  Format.fprintf fmt "udp{%d -> %d, payload %dB}" t.src_port t.dst_port
+    t.payload_length

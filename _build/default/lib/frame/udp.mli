@@ -1,0 +1,18 @@
+(** UDP header.
+
+    Used by the baseline DAQ-network transport (as DUNE does today,
+    § 4 of the paper).  The checksum is left zero — legal for IPv4 UDP
+    and matching high-rate DAQ practice where integrity is handled at
+    the application layer. *)
+
+type t = { src_port : int; dst_port : int; payload_length : int }
+
+val header_size : int
+(** 8 bytes. *)
+
+val write : Mmt_wire.Cursor.Writer.t -> t -> unit
+val read : Mmt_wire.Cursor.Reader.t -> t
+(** @raise Mmt_wire.Cursor.Out_of_bounds on truncated input. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

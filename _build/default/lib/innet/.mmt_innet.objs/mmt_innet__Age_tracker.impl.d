@@ -1,0 +1,1 @@
+lib/innet/age_tracker.ml: Element Lazy Mmt Mmt_sim Op

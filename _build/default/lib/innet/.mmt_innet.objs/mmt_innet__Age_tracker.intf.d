@@ -1,0 +1,1 @@
+lib/innet/age_tracker.mli: Element

@@ -1,0 +1,1 @@
+lib/innet/alert_generator.ml: Addr Bytes Element Lazy List Mmt Mmt_daq Mmt_frame Mmt_runtime Mmt_sim Mmt_util Op Units

@@ -1,0 +1,1 @@
+lib/innet/alert_generator.mli: Addr Element Mmt_frame Mmt_runtime Mmt_util

@@ -1,0 +1,1 @@
+lib/innet/backpressure_monitor.ml: Bytes Element Lazy Mmt Mmt_runtime Mmt_sim Mmt_util Op Units

@@ -1,0 +1,1 @@
+lib/innet/backpressure_monitor.mli: Element Mmt_runtime Mmt_util Units

@@ -1,0 +1,1 @@
+lib/innet/control_plane.ml: Addr Bytes Hashtbl List Mmt Mmt_frame Mmt_runtime Mmt_sim Mmt_util Option Resource_map Units

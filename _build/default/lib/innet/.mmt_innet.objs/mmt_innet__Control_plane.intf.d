@@ -1,0 +1,1 @@
+lib/innet/control_plane.mli: Addr Mmt Mmt_frame Mmt_runtime Mmt_sim Mmt_util Resource_map Units

@@ -1,0 +1,1 @@
+lib/innet/duplicator.ml: Addr Bytes Char Element Lazy List Mmt Mmt_frame Mmt_runtime Mmt_sim Op

@@ -1,0 +1,1 @@
+lib/innet/duplicator.mli: Addr Element Mmt_frame Mmt_runtime

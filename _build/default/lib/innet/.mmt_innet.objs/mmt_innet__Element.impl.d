@@ -1,0 +1,1 @@
+lib/innet/element.ml: List Mmt_sim Mmt_util Op Units

@@ -1,0 +1,1 @@
+lib/innet/element.mli: Mmt_sim Mmt_util Op Units

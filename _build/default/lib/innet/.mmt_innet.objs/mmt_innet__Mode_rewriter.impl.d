@@ -1,0 +1,1 @@
+lib/innet/mode_rewriter.ml: Bytes Element Hashtbl Lazy Mmt Mmt_sim Mmt_util Op Option Units

@@ -1,0 +1,1 @@
+lib/innet/mode_rewriter.mli: Element Mmt Mmt_util

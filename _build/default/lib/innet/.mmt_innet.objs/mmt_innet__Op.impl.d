@@ -1,0 +1,1 @@
+lib/innet/op.ml: List Printf String

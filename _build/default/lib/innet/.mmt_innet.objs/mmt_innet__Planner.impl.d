@@ -1,0 +1,1 @@
+lib/innet/planner.ml: Addr Mmt Mmt_frame Mmt_util Mode_rewriter Option Resource_map Result Units

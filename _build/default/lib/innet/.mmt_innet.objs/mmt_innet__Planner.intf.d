@@ -1,0 +1,1 @@
+lib/innet/planner.mli: Addr Mmt Mmt_frame Mmt_util Mode_rewriter Resource_map Units

@@ -1,0 +1,1 @@
+lib/innet/resource_map.ml: Addr Hashtbl List Mmt Mmt_frame Mmt_util Units

@@ -1,0 +1,1 @@
+lib/innet/resource_map.mli: Addr Mmt Mmt_frame Mmt_util Units

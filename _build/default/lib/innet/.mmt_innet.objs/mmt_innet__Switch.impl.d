@@ -1,0 +1,1 @@
+lib/innet/switch.ml: Element List Mmt_sim Mmt_util Op Units

@@ -1,0 +1,1 @@
+lib/innet/switch.mli: Element Mmt_sim Mmt_util Units

@@ -1,0 +1,1 @@
+lib/innet/timeliness_checker.ml: Addr Bytes Element Lazy Mmt Mmt_frame Mmt_runtime Mmt_sim Mmt_util Op Option Units

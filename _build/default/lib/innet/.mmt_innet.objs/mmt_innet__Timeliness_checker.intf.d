@@ -1,0 +1,1 @@
+lib/innet/timeliness_checker.mli: Element Mmt_runtime

@@ -1,0 +1,70 @@
+type stats = { touched : int; aged_marked : int; untracked : int }
+
+type t = {
+  mutable touched : int;
+  mutable aged_marked : int;
+  mutable untracked : int;
+  element : Element.t Lazy.t;
+}
+
+let program =
+  {
+    Op.name = "age-tracker";
+    ops =
+      [
+        Op.Extract "config_data";
+        Op.Compare "features.age_tracked";
+        Op.Extract "age.last_touch";
+        Op.Add_to_field "age.age_us";
+        Op.Compare "age.budget_us";
+        Op.Set_flag "age.aged";
+        Op.Add_to_field "age.hop_count";
+        Op.Set_field "age.last_touch";
+      ];
+  }
+
+let process t ~now packet =
+  let frame = Mmt_sim.Packet.frame packet in
+  (match Mmt.Encap.locate frame with
+  | Error _ -> t.untracked <- t.untracked + 1
+  | Ok (_encap, mmt_offset) -> (
+      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      | Error _ -> t.untracked <- t.untracked + 1
+      | Ok header -> (
+          match Mmt.Header.offset_of_age header with
+          | None -> t.untracked <- t.untracked + 1
+          | Some age_offset ->
+              let was_aged =
+                match header.Mmt.Header.age with
+                | Some age -> age.Mmt.Header.aged
+                | None -> false
+              in
+              let _age_us, aged =
+                Mmt.Header.touch_age_in_place frame
+                  ~ext_off:(mmt_offset + age_offset) ~now
+              in
+              t.touched <- t.touched + 1;
+              if aged && not was_aged then t.aged_marked <- t.aged_marked + 1)));
+  Element.Forward packet
+
+let create () =
+  let rec t =
+    {
+      touched = 0;
+      aged_marked = 0;
+      untracked = 0;
+      element =
+        lazy
+          {
+            Element.name = "age-tracker";
+            program;
+            process = (fun ~now packet -> process t ~now packet);
+          };
+    }
+  in
+  t
+
+let element t = Lazy.force t.element
+
+let stats t =
+  { touched = t.touched; aged_marked = t.aged_marked; untracked = t.untracked }

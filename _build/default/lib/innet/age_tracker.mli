@@ -1,0 +1,19 @@
+(** Mid-path age accumulation (§ 5.4).
+
+    "An element updates an 'age' field, and it additionally updates an
+    'aged' flag if a maximum age threshold was exceeded by the time the
+    packet reached that network element."  The update is in-place byte
+    surgery on the age extension — no reserialization — matching what
+    a pipeline ALU does. *)
+
+type stats = {
+  touched : int;
+  aged_marked : int;  (** packets first marked aged at this element *)
+  untracked : int;  (** data packets without the age feature *)
+}
+
+type t
+
+val create : unit -> t
+val element : t -> Element.t
+val stats : t -> stats

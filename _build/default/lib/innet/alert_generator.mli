@@ -1,0 +1,36 @@
+(** In-network multi-domain alert generation (§ 6, challenge 2).
+
+    "DPDK-capable or FPGA resources could be used to generate
+    multi-domain alerts from raw DAQ data": this element inspects the
+    DAQ fragments inside passing data packets — trigger-primitive (hit)
+    payloads — and when the summed collected charge of a fragment
+    crosses a threshold (a supernova-burst-like excess), it emits a
+    compact {!Mmt_daq.Fragment.Telescope_alert} message directly toward
+    subscribed instruments, without waiting for the analysis facility.
+
+    Its declared program contains {!Op.Payload_access}, so it is NOT
+    P4-realizable: {!Switch.attach} only accepts it on a device marked
+    [~allow_payload:true] (the Alveo/DPDK class) — the discipline the
+    paper draws between header processing on switches and payload
+    processing on smartNICs. *)
+
+open Mmt_frame
+
+type config = {
+  sum_adc_threshold : int;
+      (** total collected charge in one fragment that triggers an alert *)
+  subscribers : Addr.Ip.t list;
+  min_gap : Mmt_util.Units.Time.t;  (** alert rate limit *)
+}
+
+type stats = {
+  inspected : int;  (** data packets whose payload was examined *)
+  triggers_seen : int;  (** fragments crossing the threshold *)
+  alerts_emitted : int;
+}
+
+type t
+
+val create : env:Mmt_runtime.Env.t -> config -> t
+val element : t -> Element.t
+val stats : t -> stats

@@ -1,0 +1,37 @@
+(** Congestion relay toward the sender (§ 5.1, Fig. 3 point 4).
+
+    "If an element receives signals of downstream congestion or loss,
+    it can relay a back-pressure signal to the sender."  This element
+    watches a queue-depth probe (typically the downstream link's output
+    queue); when depth crosses the high watermark it sends a
+    back-pressure control message to the address carried in the data
+    header, advising a pace; when depth falls below the low watermark
+    it sends a clear (severity 0).  Signals are rate-limited. *)
+
+open Mmt_util
+
+type config = {
+  high_watermark : Units.Size.t;
+  low_watermark : Units.Size.t;
+  advised_pace_mbps : int;  (** pace to advise while congested *)
+  min_signal_gap : Units.Time.t;
+}
+
+type stats = {
+  signals_sent : int;
+  clears_sent : int;
+  congested : bool;  (** current state *)
+}
+
+type t
+
+val create :
+  env:Mmt_runtime.Env.t ->
+  config ->
+  queue_depth:(unit -> Units.Size.t) ->
+  unit ->
+  t
+(** @raise Invalid_argument if the low watermark exceeds the high. *)
+
+val element : t -> Element.t
+val stats : t -> stats

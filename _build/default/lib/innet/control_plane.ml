@@ -1,0 +1,134 @@
+open Mmt_util
+open Mmt_frame
+
+type stats = {
+  adverts_sent : int;
+  adverts_received : int;
+  gossip_forwarded : int;
+}
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  period : Units.Time.t;
+  peers : Addr.Ip.t list;
+  gossip_hops : int;
+  map : Resource_map.t;
+  mutable providers : (unit -> Mmt.Control.Buffer_advert.t option) list;
+  mutable running : bool;
+  mutable adverts_sent : int;
+  mutable adverts_received : int;
+  mutable gossip_forwarded : int;
+  (* hop budget left per learned buffer, for bounded re-gossip *)
+  hops_left : (Addr.Ip.t, int) Hashtbl.t;
+}
+
+let create ~env ~period ~peers ?map_ttl ?(gossip_hops = 1) () =
+  let ttl = Option.value ~default:(Units.Time.scale period 4.) map_ttl in
+  {
+    env;
+    period;
+    peers;
+    gossip_hops;
+    map = Resource_map.create ~ttl ();
+    providers = [];
+    running = false;
+    adverts_sent = 0;
+    adverts_received = 0;
+    gossip_forwarded = 0;
+    hops_left = Hashtbl.create 8;
+  }
+
+let add_local t provider = t.providers <- provider :: t.providers
+
+let send_advert t ~dst advert =
+  let header =
+    Mmt.Header.with_kind
+      (Mmt.Header.mode0 ~experiment:(Mmt.Experiment_id.make ~experiment:0 ~slice:0))
+      Mmt.Feature.Kind.Buffer_advert
+  in
+  let frame =
+    Bytes.cat (Mmt.Header.encode header) (Mmt.Control.Buffer_advert.encode advert)
+  in
+  let wrapped =
+    Mmt.Encap.wrap
+      (Mmt.Encap.Over_ipv4
+         { src = t.env.Mmt_runtime.Env.local_ip; dst; dscp = 0; ttl = 64 })
+      frame
+  in
+  t.env.Mmt_runtime.Env.send dst (Mmt_runtime.Env.packet t.env wrapped)
+
+let broadcast t advert =
+  List.iter
+    (fun peer ->
+      t.adverts_sent <- t.adverts_sent + 1;
+      send_advert t ~dst:peer advert)
+    t.peers
+
+let rec round t =
+  if t.running then begin
+    let now = Mmt_runtime.Env.now t.env in
+    (* Advertise local resources; refresh them in our own map too. *)
+    List.iter
+      (fun provider ->
+        match provider () with
+        | Some advert ->
+            Resource_map.learn t.map ~now advert;
+            broadcast t advert
+        | None -> ())
+      t.providers;
+    ignore (Resource_map.expire t.map ~now);
+    ignore (Mmt_runtime.Env.after t.env t.period (fun () -> round t))
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    round t
+  end
+
+let stop t = t.running <- false
+
+let on_packet t packet =
+  if not packet.Mmt_sim.Packet.corrupted then
+    match Mmt.Encap.strip (Mmt_sim.Packet.frame packet) with
+    | Error _ -> ()
+    | Ok (_encap, mmt_frame) -> (
+        match Mmt.Header.decode_bytes mmt_frame with
+        | Ok header when header.Mmt.Header.kind = Mmt.Feature.Kind.Buffer_advert -> (
+            let payload =
+              Bytes.sub mmt_frame (Mmt.Header.size header)
+                (Bytes.length mmt_frame - Mmt.Header.size header)
+            in
+            match Mmt.Control.Buffer_advert.decode payload with
+            | Error _ -> ()
+            | Ok advert ->
+                t.adverts_received <- t.adverts_received + 1;
+                let now = Mmt_runtime.Env.now t.env in
+                let key = advert.Mmt.Control.Buffer_advert.buffer in
+                let fresh = Resource_map.lookup t.map key = None in
+                Resource_map.learn t.map ~now advert;
+                (* Bounded re-gossip of newly learned resources. *)
+                if fresh && t.gossip_hops > 0 then begin
+                  let budget =
+                    Option.value ~default:t.gossip_hops
+                      (Hashtbl.find_opt t.hops_left key)
+                  in
+                  if budget > 0 then begin
+                    Hashtbl.replace t.hops_left key (budget - 1);
+                    t.gossip_forwarded <- t.gossip_forwarded + 1;
+                    broadcast t advert
+                  end
+                end)
+        | Ok _ | Error _ -> ())
+
+let map t = t.map
+
+let best_buffer t =
+  Resource_map.best_buffer t.map ~now:(Mmt_runtime.Env.now t.env)
+
+let stats t =
+  {
+    adverts_sent = t.adverts_sent;
+    adverts_received = t.adverts_received;
+    gossip_forwarded = t.gossip_forwarded;
+  }

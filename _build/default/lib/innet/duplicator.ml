@@ -1,0 +1,98 @@
+open Mmt_frame
+
+type stats = { duplicated : int; copies_sent : int; passed : int }
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  mutable consumers : Addr.Ip.t list;
+  mutable duplicated : int;
+  mutable copies_sent : int;
+  mutable passed : int;
+  element : Element.t Lazy.t;
+}
+
+let program =
+  {
+    Op.name = "duplicator";
+    ops =
+      [
+        Op.Extract "config_data";
+        Op.Compare "kind";
+        Op.Clone "multicast-group";
+        Op.Set_flag "features.duplicated";
+      ];
+  }
+
+let mark_duplicated frame =
+  match Mmt.Encap.locate frame with
+  | Error _ -> frame
+  | Ok (_encap, mmt_offset) -> (
+      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      | Error _ -> frame
+      | Ok header ->
+          if Mmt.Feature.Set.mem Mmt.Feature.Duplicated header.Mmt.Header.features
+          then frame
+          else begin
+            (* The Duplicated bit lives in the configuration data; the
+               header size is unchanged, so flip it in place. *)
+            let header' =
+              Mmt.Feature.encode_config_data ~kind:header.Mmt.Header.kind
+                (Mmt.Feature.Set.add Mmt.Feature.Duplicated
+                   header.Mmt.Header.features)
+            in
+            let out = Bytes.copy frame in
+            Bytes.set out (mmt_offset + 1) (Char.chr ((header' lsr 16) land 0xFF));
+            Bytes.set_uint16_be out (mmt_offset + 2) (header' land 0xFFFF);
+            out
+          end)
+
+let process t ~now:_ packet =
+  let frame = Mmt_sim.Packet.frame packet in
+  let is_data =
+    match Mmt.Encap.locate frame with
+    | Error _ -> false
+    | Ok (_encap, mmt_offset) -> (
+        match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+        | Error _ -> false
+        | Ok header -> header.Mmt.Header.kind = Mmt.Feature.Kind.Data)
+  in
+  if (not is_data) || t.consumers = [] then begin
+    t.passed <- t.passed + 1;
+    Element.Forward packet
+  end
+  else begin
+    t.duplicated <- t.duplicated + 1;
+    let marked = mark_duplicated frame in
+    List.iter
+      (fun consumer ->
+        let copy = Mmt_sim.Packet.copy packet ~id:(t.env.Mmt_runtime.Env.fresh_id ()) in
+        Mmt_sim.Packet.set_frame copy (Bytes.copy marked);
+        t.copies_sent <- t.copies_sent + 1;
+        t.env.Mmt_runtime.Env.send consumer copy)
+      t.consumers;
+    Element.Forward packet
+  end
+
+let create ~env ~consumers () =
+  let rec t =
+    {
+      env;
+      consumers;
+      duplicated = 0;
+      copies_sent = 0;
+      passed = 0;
+      element =
+        lazy
+          {
+            Element.name = "duplicator";
+            program;
+            process = (fun ~now packet -> process t ~now packet);
+          };
+    }
+  in
+  t
+
+let element t = Lazy.force t.element
+let stats t = { duplicated = t.duplicated; copies_sent = t.copies_sent; passed = t.passed }
+let subscribe t consumer = t.consumers <- consumer :: t.consumers
+let consumers t = t.consumers

@@ -1,0 +1,26 @@
+(** In-network stream duplication (§ 5.1, Fig. 3 point 5).
+
+    "Streams can be duplicated in the network to reach several
+    downstream researchers directly, ensuring that they get rapid
+    access to fresh data" — e.g. Vera Rubin's alert stream fanning out
+    to telescopes and astronomers.  Copies get the [Duplicated] feature
+    bit and are sent toward each subscribed consumer through the
+    environment; the original continues unchanged. *)
+
+open Mmt_frame
+
+type stats = {
+  duplicated : int;  (** originals that were fanned out *)
+  copies_sent : int;
+  passed : int;
+}
+
+type t
+
+val create :
+  env:Mmt_runtime.Env.t -> consumers:Addr.Ip.t list -> unit -> t
+
+val element : t -> Element.t
+val stats : t -> stats
+val subscribe : t -> Addr.Ip.t -> unit
+val consumers : t -> Addr.Ip.t list

@@ -1,0 +1,208 @@
+open Mmt_util
+
+type stats = {
+  rewritten : int;
+  sequenced : int;
+  passed : int;
+  parse_errors : int;
+}
+
+type t = {
+  mutable mode : Mmt.Mode.t;
+  re_encap : Mmt.Encap.t option;
+  on_rewrite : (seq:int option -> born:Mmt_util.Units.Time.t -> bytes -> unit) option;
+  counters : (Mmt.Experiment_id.t, int) Hashtbl.t;
+  mutable rewritten : int;
+  mutable sequenced : int;
+  mutable passed : int;
+  mutable parse_errors : int;
+  element : Element.t Lazy.t;
+}
+
+let program =
+  {
+    Op.name = "mode-rewriter";
+    ops =
+      [
+        Op.Extract "config_id";
+        Op.Extract "config_data";
+        Op.Extract "experiment_id";
+        Op.Compare "kind";
+        Op.Register_read "seq[experiment]";
+        Op.Register_write "seq[experiment]";
+        Op.Set_field "sequence";
+        Op.Set_field "retransmit_from";
+        Op.Set_field "deadline";
+        Op.Set_field "notify";
+        Op.Set_field "age.init";
+        Op.Set_field "age.last_touch";
+        Op.Set_field "pace";
+        Op.Set_field "backpressure_to";
+        Op.Set_field "config_data";
+        Op.Emit_digest "rewritten-frame";
+      ];
+  }
+
+let take_sequence t experiment =
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counters experiment) in
+  Hashtbl.replace t.counters experiment (current + 1);
+  current
+
+let next_sequence t ~experiment =
+  Option.value ~default:0 (Hashtbl.find_opt t.counters experiment)
+
+let apply_mode t ~now (header : Mmt.Header.t) =
+  let mode = t.mode in
+  let target = mode.Mmt.Mode.features in
+  let has feature = Mmt.Feature.Set.mem feature target in
+  (* Activate / configure target features. *)
+  let header, assigned_seq =
+    if has Mmt.Feature.Sequenced then
+      match header.Mmt.Header.sequence with
+      | Some _ -> (header, None)
+      | None ->
+          let seq = take_sequence t header.Mmt.Header.experiment in
+          (Mmt.Header.with_sequence header seq, Some seq)
+    else (Mmt.Header.strip header Mmt.Feature.Sequenced, None)
+  in
+  let header =
+    if has Mmt.Feature.Reliable then
+      match mode.Mmt.Mode.retransmit_from with
+      | Some buffer -> Mmt.Header.with_retransmit_from header buffer
+      | None -> header
+    else Mmt.Header.strip header Mmt.Feature.Reliable
+  in
+  let header =
+    if has Mmt.Feature.Timely then
+      match (header.Mmt.Header.timely, mode.Mmt.Mode.deadline_budget, mode.Mmt.Mode.notify) with
+      | Some _, _, _ -> header (* keep the end-to-end deadline *)
+      | None, Some budget, Some notify ->
+          Mmt.Header.with_timely header
+            { Mmt.Header.deadline = Units.Time.add now budget; notify }
+      | None, _, _ -> header
+    else Mmt.Header.strip header Mmt.Feature.Timely
+  in
+  let header =
+    if has Mmt.Feature.Age_tracked then
+      match (header.Mmt.Header.age, mode.Mmt.Mode.age_budget_us) with
+      | Some _, _ -> header
+      | None, Some budget_us ->
+          Mmt.Header.with_age header
+            {
+              Mmt.Header.age_us = 0;
+              budget_us;
+              aged = false;
+              hop_count = 0;
+              last_touch_ns = now;
+            }
+      | None, None -> header
+    else Mmt.Header.strip header Mmt.Feature.Age_tracked
+  in
+  let header =
+    if has Mmt.Feature.Paced then
+      match mode.Mmt.Mode.pace_mbps with
+      | Some pace -> Mmt.Header.with_pace header pace
+      | None -> header
+    else Mmt.Header.strip header Mmt.Feature.Paced
+  in
+  let header =
+    if has Mmt.Feature.Backpressured then
+      match (header.Mmt.Header.backpressure_to, mode.Mmt.Mode.backpressure_to) with
+      | Some _, _ -> header
+      | None, Some control -> Mmt.Header.with_backpressure_to header control
+      | None, None -> header
+    else Mmt.Header.strip header Mmt.Feature.Backpressured
+  in
+  (header, assigned_seq)
+
+let process t ~now packet =
+  let frame = Mmt_sim.Packet.frame packet in
+  match Mmt.Encap.locate frame with
+  | Error reason ->
+      t.parse_errors <- t.parse_errors + 1;
+      Element.Discard ("mode-rewriter: " ^ reason)
+  | Ok (_encap, mmt_offset) -> (
+      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      | Error reason ->
+          t.parse_errors <- t.parse_errors + 1;
+          Element.Discard ("mode-rewriter: " ^ reason)
+      | Ok header ->
+          if header.Mmt.Header.kind <> Mmt.Feature.Kind.Data then begin
+            t.passed <- t.passed + 1;
+            Element.Forward packet
+          end
+          else begin
+            let old_header_size = Mmt.Header.size header in
+            let new_header, assigned_seq = apply_mode t ~now header in
+            let payload_offset = mmt_offset + old_header_size in
+            let payload =
+              Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
+            in
+            let new_mmt_header = Mmt.Header.encode new_header in
+            let new_mmt =
+              Bytes.cat new_mmt_header payload
+            in
+            let new_frame =
+              match t.re_encap with
+              | Some encap -> Mmt.Encap.wrap encap new_mmt
+              | None -> Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt
+            in
+            Mmt_sim.Packet.set_frame packet new_frame;
+            t.rewritten <- t.rewritten + 1;
+            (match assigned_seq with
+            | Some _ -> t.sequenced <- t.sequenced + 1
+            | None -> ());
+            Option.iter
+              (fun callback ->
+                callback ~seq:new_header.Mmt.Header.sequence
+                  ~born:packet.Mmt_sim.Packet.born (Bytes.copy new_frame))
+              t.on_rewrite;
+            Element.Forward packet
+          end)
+
+let create ~mode ?re_encap ?on_rewrite () =
+  (match Mmt.Mode.check mode with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Mode_rewriter.create: " ^ reason));
+  let rec t =
+    {
+      mode;
+      re_encap;
+      on_rewrite;
+      counters = Hashtbl.create 8;
+      rewritten = 0;
+      sequenced = 0;
+      passed = 0;
+      parse_errors = 0;
+      element =
+        lazy
+          {
+            Element.name = "mode-rewriter(" ^ mode.Mmt.Mode.name ^ ")";
+            program;
+            process = (fun ~now packet -> process t ~now packet);
+          };
+    }
+  in
+  t
+
+let element t = Lazy.force t.element
+
+let set_mode t mode =
+  match Mmt.Mode.check mode with
+  | Error reason -> Error ("Mode_rewriter.set_mode: " ^ reason)
+  | Ok () -> (
+      match Mmt.Mode.transition_legal ~from_mode:t.mode ~to_mode:mode with
+      | Error reason -> Error ("Mode_rewriter.set_mode: " ^ reason)
+      | Ok () ->
+          t.mode <- mode;
+          Ok ())
+
+let mode t = t.mode
+
+let stats t =
+  {
+    rewritten = t.rewritten;
+    sequenced = t.sequenced;
+    passed = t.passed;
+    parse_errors = t.parse_errors;
+  }

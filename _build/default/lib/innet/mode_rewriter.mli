@@ -1,0 +1,54 @@
+(** Segment-boundary mode rewriting — the multi-modality mechanism.
+
+    "The mode may be changed by programmable hardware as the
+    transported packets traverse network segments" (§ 5).  A rewriter
+    is configured with the target {!Mmt.Mode} of the segment it guards
+    the entrance to.  For each data packet it:
+
+    - assigns a sequence number from a per-experiment register when the
+      target mode is sequenced and the packet is not yet ("network
+      elements add a sequence number to loss-recoverable streams",
+      § 5.4);
+    - names the segment's retransmission buffer in the header;
+    - sets the absolute deadline (ingress time + budget) and the
+      notification address when activating timeliness — preserving an
+      already-present end-to-end deadline;
+    - initializes the age extension when activating age tracking;
+    - writes the advised pace and the back-pressure address;
+    - strips features absent from the target mode;
+    - optionally re-encapsulates (e.g. DAQ Ethernet → WAN IPv4 at the
+      border, Req 1).
+
+    A callback observes each rewritten frame so a co-located
+    retransmission buffer ({!Mmt.Buffer_host}) can store it. *)
+
+
+type stats = {
+  rewritten : int;
+  sequenced : int;  (** sequence numbers assigned *)
+  passed : int;  (** non-data packets forwarded untouched *)
+  parse_errors : int;
+}
+
+type t
+
+val create :
+  mode:Mmt.Mode.t ->
+  ?re_encap:Mmt.Encap.t ->
+  ?on_rewrite:(seq:int option -> born:Mmt_util.Units.Time.t -> bytes -> unit) ->
+  unit ->
+  t
+(** @raise Invalid_argument when [mode] fails {!Mmt.Mode.check}. *)
+
+val element : t -> Element.t
+
+val set_mode : t -> Mmt.Mode.t -> (unit, string) result
+(** Control-plane reconfiguration: swap the target mode at run time
+    (e.g. pointing reliability at a different buffer after a failure).
+    Validates the new mode and the legality of the transition from the
+    current one; sequence counters persist across the change. *)
+
+val mode : t -> Mmt.Mode.t
+val stats : t -> stats
+val next_sequence : t -> experiment:Mmt.Experiment_id.t -> int
+(** Peek the register value the next packet of [experiment] would get. *)

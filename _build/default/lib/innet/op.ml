@@ -1,0 +1,61 @@
+type op =
+  | Extract of string
+  | Set_field of string
+  | Add_to_field of string
+  | Copy_field of string * string
+  | Compare of string
+  | Set_flag of string
+  | Register_read of string
+  | Register_write of string
+  | Emit_digest of string
+  | Clone of string
+  | Payload_access of string
+  | Float_op of string
+
+type program = { name : string; ops : op list }
+
+let default_max_ops = 48
+
+let op_count program = List.length program.ops
+
+let realizable ?(max_ops = default_max_ops) ?(allow_payload = false) program =
+  let forbidden =
+    List.filter_map
+      (fun op ->
+        match op with
+        | Payload_access what ->
+            if allow_payload then None else Some ("payload access: " ^ what)
+        | Float_op what -> Some ("floating point: " ^ what)
+        | Extract _ | Set_field _ | Add_to_field _ | Copy_field _ | Compare _
+        | Set_flag _ | Register_read _ | Register_write _ | Emit_digest _
+        | Clone _ ->
+            None)
+      program.ops
+  in
+  match forbidden with
+  | reason :: _ ->
+      Error (Printf.sprintf "%s is not P4-realizable (%s)" program.name reason)
+  | [] ->
+      if op_count program > max_ops then
+        Error
+          (Printf.sprintf "%s exceeds the per-packet op budget (%d > %d)"
+             program.name (op_count program) max_ops)
+      else Ok ()
+
+let describe_op = function
+  | Extract f -> "extract " ^ f
+  | Set_field f -> "set " ^ f
+  | Add_to_field f -> "add " ^ f
+  | Copy_field (a, b) -> Printf.sprintf "copy %s -> %s" a b
+  | Compare f -> "compare " ^ f
+  | Set_flag f -> "flag " ^ f
+  | Register_read r -> "reg-read " ^ r
+  | Register_write r -> "reg-write " ^ r
+  | Emit_digest d -> "digest " ^ d
+  | Clone target -> "clone " ^ target
+  | Payload_access what -> "PAYLOAD " ^ what
+  | Float_op what -> "FLOAT " ^ what
+
+let describe program =
+  Printf.sprintf "%s: %s" program.name
+    (String.concat "; " (List.map describe_op program.ops))

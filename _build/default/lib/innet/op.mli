@@ -1,0 +1,42 @@
+(** A P4-realizability vocabulary for in-network programs.
+
+    Each element declares what it does per packet as a list of these
+    primitive operations.  {!realizable} enforces the constraints the
+    paper sets for its in-network support (§ 5, § 5.3): "conservative,
+    header-based processing, using features that existing P4 hardware
+    supports well [25]" — fixed-width integer header fields, bounded
+    per-packet work, stateful registers, digests to the control plane;
+    no payload access, no floating point, no loops.
+
+    The OCaml implementations of the elements are the executable
+    semantics; the declared programs are checked in tests so that every
+    shipped element stays within what a Tofino-class pipeline can do. *)
+
+type op =
+  | Extract of string  (** parse a named fixed-width header field *)
+  | Set_field of string
+  | Add_to_field of string  (** ALU add-immediate / add-register *)
+  | Copy_field of string * string
+  | Compare of string  (** branch on a field against a constant/register *)
+  | Set_flag of string
+  | Register_read of string  (** per-stage stateful memory, e.g. a counter *)
+  | Register_write of string
+  | Emit_digest of string  (** generate a control-plane message *)
+  | Clone of string  (** packet replication via the traffic manager *)
+  | Payload_access of string  (** NOT realizable: rejected *)
+  | Float_op of string  (** NOT realizable: rejected, cf. Fingerhut [25] *)
+
+type program = { name : string; ops : op list }
+
+val default_max_ops : int
+(** 48 — a conservative bound on match-action operations per packet
+    for a single pipeline pass. *)
+
+val realizable : ?max_ops:int -> ?allow_payload:bool -> program -> (unit, string) result
+(** [allow_payload] (default false) models DPDK/FPGA-class devices
+    (§ 6, challenge 2: "DPDK-capable or FPGA resources could be used to
+    generate multi-domain alerts from raw DAQ data"): payload access is
+    then permitted, floating point still is not. *)
+
+val op_count : program -> int
+val describe : program -> string

@@ -1,0 +1,52 @@
+open Mmt_util
+open Mmt_frame
+
+type requirement = {
+  name : string;
+  reliability : bool;
+  deadline_budget : (Units.Time.t * Addr.Ip.t) option;
+  age_budget_us : int option;
+  pace_mbps : int option;
+  backpressure_to : Addr.Ip.t option;
+}
+
+let requirement ~name ?(reliability = false) ?deadline_budget ?age_budget_us
+    ?pace_mbps ?backpressure_to () =
+  { name; reliability; deadline_budget; age_budget_us; pace_mbps; backpressure_to }
+
+let plan requirement ~map ~now =
+  let buffer =
+    if requirement.reliability then
+      match Resource_map.best_buffer map ~now with
+      | Some buffer -> Ok (Some buffer)
+      | None ->
+          Error
+            (requirement.name
+            ^ ": reliability requested but no live retransmission buffer is \
+               known")
+    else Ok None
+  in
+  Result.bind buffer (fun buffer ->
+      let mode =
+        Mmt.Mode.make ~name:requirement.name ?reliable:buffer
+          ?deadline_budget:requirement.deadline_budget
+          ?age_budget_us:requirement.age_budget_us
+          ?pace_mbps:requirement.pace_mbps
+          ?backpressure_to:requirement.backpressure_to ()
+      in
+      Result.map (fun () -> mode) (Mmt.Mode.check mode))
+
+let modes_equal (a : Mmt.Mode.t) (b : Mmt.Mode.t) =
+  Mmt.Feature.Set.equal a.Mmt.Mode.features b.Mmt.Mode.features
+  && Option.equal Addr.Ip.equal a.Mmt.Mode.retransmit_from b.Mmt.Mode.retransmit_from
+  && Option.equal Units.Time.equal a.Mmt.Mode.deadline_budget b.Mmt.Mode.deadline_budget
+  && Option.equal Addr.Ip.equal a.Mmt.Mode.notify b.Mmt.Mode.notify
+  && a.Mmt.Mode.age_budget_us = b.Mmt.Mode.age_budget_us
+  && a.Mmt.Mode.pace_mbps = b.Mmt.Mode.pace_mbps
+  && Option.equal Addr.Ip.equal a.Mmt.Mode.backpressure_to b.Mmt.Mode.backpressure_to
+
+let replan_rewriter requirement ~rewriter ~map ~now =
+  Result.bind (plan requirement ~map ~now) (fun mode ->
+      if modes_equal mode (Mode_rewriter.mode rewriter) then Ok mode
+      else
+        Result.map (fun () -> mode) (Mode_rewriter.set_mode rewriter mode))

@@ -1,0 +1,53 @@
+(** Mode planning from discovered resources (§ 6, challenge 1).
+
+    "It is an open problem how to discover programmable resources in
+    the network, distribute work to them, and coordinate their
+    activity."  The planner is the coordination step: given the
+    feature requirements of a segment and the current {!Resource_map},
+    it selects concrete resources (today: the nearest live
+    retransmission buffer) and produces a checked {!Mmt.Mode} — or an
+    explanation of what is missing.  Re-planning after a resource
+    failure and applying the result through
+    {!Mode_rewriter.set_mode} is the § 5.4 "simple 3-mode setup that
+    pre-supposes knowledge of in-network resources" generalized to
+    soft-state discovery. *)
+
+open Mmt_util
+open Mmt_frame
+
+type requirement = {
+  name : string;
+  reliability : bool;  (** requires a discovered retransmission buffer *)
+  deadline_budget : (Units.Time.t * Addr.Ip.t) option;
+  age_budget_us : int option;
+  pace_mbps : int option;
+  backpressure_to : Addr.Ip.t option;
+}
+
+val requirement :
+  name:string ->
+  ?reliability:bool ->
+  ?deadline_budget:Units.Time.t * Addr.Ip.t ->
+  ?age_budget_us:int ->
+  ?pace_mbps:int ->
+  ?backpressure_to:Addr.Ip.t ->
+  unit ->
+  requirement
+
+val plan :
+  requirement ->
+  map:Resource_map.t ->
+  now:Units.Time.t ->
+  (Mmt.Mode.t, string) result
+(** Select resources and build the mode; [Error] names the missing
+    resource ("reliability requested but no live buffer"). *)
+
+val replan_rewriter :
+  requirement ->
+  rewriter:Mode_rewriter.t ->
+  map:Resource_map.t ->
+  now:Units.Time.t ->
+  (Mmt.Mode.t, string) result
+(** [plan] and, if the chosen mode differs from the rewriter's current
+    one, apply it via {!Mode_rewriter.set_mode}.  Returns the mode now
+    in force. *)

@@ -1,0 +1,62 @@
+open Mmt_util
+open Mmt_frame
+
+type entry = {
+  advert : Mmt.Control.Buffer_advert.t;
+  learned_at : Units.Time.t;
+}
+
+type t = {
+  ttl : Units.Time.t;
+  table : (Addr.Ip.t, entry) Hashtbl.t;
+}
+
+let create ?(ttl = Units.Time.seconds 60.) () = { ttl; table = Hashtbl.create 16 }
+
+let live t ~now entry =
+  Units.Time.(Units.Time.diff now entry.learned_at <= t.ttl)
+
+let learn t ~now advert =
+  let key = advert.Mmt.Control.Buffer_advert.buffer in
+  match Hashtbl.find_opt t.table key with
+  | Some existing when Units.Time.(existing.learned_at > now) -> ()
+  | _ -> Hashtbl.replace t.table key { advert; learned_at = now }
+
+let entries t ~now =
+  Hashtbl.fold
+    (fun _key entry acc -> if live t ~now entry then entry :: acc else acc)
+    t.table []
+  |> List.sort (fun a b ->
+         Units.Time.compare a.advert.Mmt.Control.Buffer_advert.rtt_hint
+           b.advert.Mmt.Control.Buffer_advert.rtt_hint)
+
+let best_buffer t ~now =
+  match entries t ~now with
+  | [] -> None
+  | entry :: _ -> Some entry.advert.Mmt.Control.Buffer_advert.buffer
+
+let lookup t key = Hashtbl.find_opt t.table key
+
+let merge t ~from ~now =
+  let absorbed = ref 0 in
+  Hashtbl.iter
+    (fun key entry ->
+      if live from ~now entry then
+        match Hashtbl.find_opt t.table key with
+        | Some existing when Units.Time.(existing.learned_at >= entry.learned_at) -> ()
+        | _ ->
+            Hashtbl.replace t.table key entry;
+            incr absorbed)
+    from.table;
+  !absorbed
+
+let expire t ~now =
+  let stale =
+    Hashtbl.fold
+      (fun key entry acc -> if live t ~now entry then acc else key :: acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  List.length stale
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,43 @@
+(** Map of in-network programmable resources (§ 6, challenge 1).
+
+    "We initially envisage having a map of in-network programmable
+    resources that DAQ workloads can use.  This map is shared between
+    network operators — perhaps by piggy-backing on BGP messages."
+
+    This module implements that map for retransmission buffers: it
+    learns from {!Mmt.Control.Buffer_advert} messages, answers
+    nearest-buffer queries by advertised RTT, expires stale entries,
+    and merges with a peer operator's map (the gossip/piggy-back
+    step). *)
+
+open Mmt_util
+open Mmt_frame
+
+type entry = {
+  advert : Mmt.Control.Buffer_advert.t;
+  learned_at : Units.Time.t;
+}
+
+type t
+
+val create : ?ttl:Units.Time.t -> unit -> t
+(** [ttl] defaults to 60 simulated seconds. *)
+
+val learn : t -> now:Units.Time.t -> Mmt.Control.Buffer_advert.t -> unit
+(** Insert or refresh; the freshest advertisement for a buffer wins. *)
+
+val best_buffer : t -> now:Units.Time.t -> Addr.Ip.t option
+(** Live buffer with the smallest advertised RTT. *)
+
+val lookup : t -> Addr.Ip.t -> entry option
+val entries : t -> now:Units.Time.t -> entry list
+(** Live entries, nearest first. *)
+
+val merge : t -> from:t -> now:Units.Time.t -> int
+(** Gossip: absorb the peer's live entries; returns how many were new
+    or fresher. *)
+
+val expire : t -> now:Units.Time.t -> int
+(** Drop stale entries; returns how many were removed. *)
+
+val size : t -> int

@@ -1,0 +1,52 @@
+(** Programmable-device hosting shell.
+
+    Binds an element chain to a simulator node with a device profile
+    (pipeline latency), mirroring the pilot hardware: a Tofino2 switch
+    and Alveo FPGA smartNICs (§ 5.4).  Every element's declared program
+    must pass {!Op.realizable} — attaching an unrealizable element is a
+    programming error, keeping the repository honest about what the
+    paper claims P4 hardware can do.
+
+    Routing is a function from the (possibly rewritten) packet to a
+    sink; [None] drops with accounting. *)
+
+open Mmt_util
+
+type profile = { profile_name : string; pipeline_latency : Units.Time.t }
+
+val tofino2 : profile
+(** ~450 ns pipeline latency. *)
+
+val alveo_smartnic : profile
+(** ~2 µs store-and-process FPGA NIC. *)
+
+val software_switch : profile
+(** ~20 µs — the FABRIC virtual-hardware pilot variant. *)
+
+type stats = {
+  processed : int;
+  forwarded : int;
+  replicated : int;  (** extra copies emitted beyond the originals *)
+  discarded : int;  (** by an element *)
+  unrouted : int;  (** no sink for the destination *)
+}
+
+type t
+
+val attach :
+  engine:Mmt_sim.Engine.t ->
+  node:Mmt_sim.Node.t ->
+  profile:profile ->
+  ?allow_payload:bool ->
+  elements:Element.t list ->
+  route:(Mmt_sim.Packet.t -> (Mmt_sim.Packet.t -> unit) option) ->
+  unit ->
+  t
+(** Installs the node's handler.  [allow_payload] marks a DPDK/FPGA
+    class device that may host payload-processing elements (§ 6
+    challenge 2); P4 switches (the default) may not.
+    @raise Invalid_argument if any element fails {!Op.realizable} for
+    the device class. *)
+
+val stats : t -> stats
+val name : t -> string

@@ -1,0 +1,116 @@
+open Mmt_util
+open Mmt_frame
+
+type policy = Mark | Drop_expired | Notify
+
+type stats = {
+  checked : int;
+  expired : int;
+  dropped : int;
+  notices_sent : int;
+}
+
+type t = {
+  env : Mmt_runtime.Env.t;
+  policy : policy;
+  mutable checked : int;
+  mutable expired : int;
+  mutable dropped : int;
+  mutable notices_sent : int;
+  element : Element.t Lazy.t;
+}
+
+let program =
+  {
+    Op.name = "timeliness-checker";
+    ops =
+      [
+        Op.Extract "config_data";
+        Op.Compare "features.timely";
+        Op.Extract "deadline";
+        Op.Compare "now";
+        Op.Extract "notify";
+        Op.Emit_digest "deadline-exceeded";
+      ];
+  }
+
+let send_notice t ~dst notice =
+  let header =
+    Mmt.Header.with_kind
+      (Mmt.Header.mode0 ~experiment:(Mmt.Experiment_id.make ~experiment:0 ~slice:0))
+      Mmt.Feature.Kind.Deadline_exceeded
+  in
+  let frame =
+    Bytes.cat (Mmt.Header.encode header) (Mmt.Control.Deadline_exceeded.encode notice)
+  in
+  let wrapped =
+    Mmt.Encap.wrap
+      (Mmt.Encap.Over_ipv4
+         { src = t.env.Mmt_runtime.Env.local_ip; dst; dscp = 0; ttl = 64 })
+      frame
+  in
+  t.env.Mmt_runtime.Env.send dst (Mmt_runtime.Env.packet t.env wrapped);
+  t.notices_sent <- t.notices_sent + 1
+
+let process t ~now packet =
+  let frame = Mmt_sim.Packet.frame packet in
+  match Mmt.Encap.locate frame with
+  | Error _ -> Element.Forward packet
+  | Ok (_encap, mmt_offset) -> (
+      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      | Error _ -> Element.Forward packet
+      | Ok header -> (
+          match (header.Mmt.Header.kind, header.Mmt.Header.timely) with
+          | Mmt.Feature.Kind.Data, Some { Mmt.Header.deadline; notify } ->
+              t.checked <- t.checked + 1;
+              if Units.Time.(now > deadline) then begin
+                t.expired <- t.expired + 1;
+                let notice =
+                  {
+                    Mmt.Control.Deadline_exceeded.sequence =
+                      Option.value ~default:0xFFFFFFFF header.Mmt.Header.sequence;
+                    deadline;
+                    observed = now;
+                  }
+                in
+                match t.policy with
+                | Mark -> Element.Forward packet
+                | Drop_expired ->
+                    t.dropped <- t.dropped + 1;
+                    Element.Discard "expired"
+                | Notify ->
+                    if not (Addr.Ip.is_any notify) then send_notice t ~dst:notify notice;
+                    Element.Forward packet
+              end
+              else Element.Forward packet
+          | _ -> Element.Forward packet))
+
+let create ~env ~policy () =
+  let rec t =
+    {
+      env;
+      policy;
+      checked = 0;
+      expired = 0;
+      dropped = 0;
+      notices_sent = 0;
+      element =
+        lazy
+          {
+            Element.name = "timeliness-checker";
+            program;
+            process = (fun ~now packet -> process t ~now packet);
+          };
+    }
+  in
+  t
+
+let element t = Lazy.force t.element
+
+let stats t =
+  {
+    checked = t.checked;
+    expired = t.expired;
+    dropped = t.dropped;
+    notices_sent = t.notices_sent;
+  }

@@ -1,0 +1,26 @@
+(** In-network deadline enforcement (§ 5.3, pilot mode 3).
+
+    "Timely-behavior (Req 3) is ensured by explicit transport deadlines
+    that provide a signal for congestion and an input to active queue
+    management."  Deployed at (or near) the destination, this element
+    checks the deadline of timely packets and applies a policy:
+
+    - [Mark]: count and forward (the receiver sees lateness itself);
+    - [Drop_expired]: expired data is useless — shed it in-network;
+    - [Notify]: send a deadline-exceeded message toward the header's
+      notification address and forward the packet. *)
+
+type policy = Mark | Drop_expired | Notify
+
+type stats = {
+  checked : int;  (** timely data packets examined *)
+  expired : int;
+  dropped : int;
+  notices_sent : int;
+}
+
+type t
+
+val create : env:Mmt_runtime.Env.t -> policy:policy -> unit -> t
+val element : t -> Element.t
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/pilot/address.ml: Addr Mmt_frame

@@ -1,0 +1,1 @@
+lib/pilot/address.mli: Addr Mmt_frame

@@ -1,0 +1,1 @@
+lib/pilot/failover_run.ml: Addr Bytes Mmt Mmt_frame Mmt_innet Mmt_runtime Mmt_sim Mmt_util Option Rng Router Units

@@ -1,0 +1,1 @@
+lib/pilot/failover_run.mli: Mmt Mmt_util Units

@@ -1,0 +1,1 @@
+lib/pilot/pilot.ml: Address Bytes Fun List Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_sim Mmt_util Option Printf Profile Rng Router Units

@@ -1,0 +1,1 @@
+lib/pilot/pilot.mli: Mmt Mmt_daq Mmt_innet Mmt_sim Mmt_util Profile Units

@@ -1,0 +1,1 @@
+lib/pilot/profile.ml: Mmt_innet Mmt_util Units

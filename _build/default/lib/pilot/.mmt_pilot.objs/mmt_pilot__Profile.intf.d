@@ -1,0 +1,1 @@
+lib/pilot/profile.mli: Mmt_innet Mmt_util Units

@@ -1,0 +1,1 @@
+lib/pilot/router.ml: Addr Hashtbl Mmt_frame Mmt_runtime Mmt_sim

@@ -1,0 +1,1 @@
+lib/pilot/router.mli: Addr Mmt_frame Mmt_runtime Mmt_sim

@@ -1,0 +1,1 @@
+lib/pilot/runners.ml: Array Bytes Mmt Mmt_frame Mmt_innet Mmt_sim Mmt_tcp Mmt_util Option Rng Router Stats Units

@@ -1,0 +1,1 @@
+lib/pilot/runners.mli: Mmt Mmt_tcp Mmt_util Units

@@ -1,0 +1,8 @@
+open Mmt_frame
+
+let sensor_ip = Addr.Ip.of_octets 10 0 0 1
+let dtn1_ip = Addr.Ip.of_octets 10 0 1 1
+let dtn2_ip = Addr.Ip.of_octets 10 0 3 1
+let researcher_ip i = Addr.Ip.of_octets 10 1 0 (1 + i)
+let sensor_mac = Addr.Mac.of_string "02:00:00:00:00:01"
+let dtn1_mac = Addr.Mac.of_string "02:00:00:00:01:01"

@@ -1,0 +1,12 @@
+(** Well-known addresses of the pilot topology (Fig. 4). *)
+
+open Mmt_frame
+
+val sensor_ip : Addr.Ip.t
+val dtn1_ip : Addr.Ip.t
+val dtn2_ip : Addr.Ip.t
+val researcher_ip : int -> Addr.Ip.t
+(** [researcher_ip i] for downstream consumers 0, 1, ... *)
+
+val sensor_mac : Addr.Mac.t
+val dtn1_mac : Addr.Mac.t

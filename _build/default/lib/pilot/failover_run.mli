@@ -1,0 +1,50 @@
+(** Dynamic buffer discovery and failover (§ 6, challenge 1, end to end).
+
+    Topology: {v source -> ingress switch -> buffer A -> buffer B -> sink v}
+    with loss on the final hop.  Both buffer points snoop passing
+    sequenced frames into their retransmission buffers and advertise
+    themselves to the ingress switch's control-plane participant;
+    the ingress rewriter's reliability mode is (re)planned from the
+    resource map, so it names the nearest live buffer.
+
+    Mid-run, buffer A fails: it stops advertising, snooping and serving
+    NAKs.  Its soft state expires from the map, the planner re-points
+    the mode at buffer B, and recovery continues without operator
+    action — the "simple 3-mode setup that pre-supposes knowledge of
+    in-network resources" (§ 5.4) upgraded to discovered, failure-
+    tolerant state. *)
+
+open Mmt_util
+
+type params = {
+  fragment_count : int;
+  fragment_size : Units.Size.t;
+  loss : float;  (** on the buffer-B -> sink hop *)
+  fail_buffer_a_at : Units.Time.t option;  (** [None]: no failure *)
+  advert_period : Units.Time.t;
+  seed : int64;
+}
+
+val params :
+  ?fragment_count:int ->
+  ?fragment_size:Units.Size.t ->
+  ?loss:float ->
+  ?fail_buffer_a_at:Units.Time.t ->
+  ?advert_period:Units.Time.t ->
+  ?seed:int64 ->
+  unit ->
+  params
+
+type outcome = {
+  delivered : int;
+  recovered : int;
+  lost : int;
+  naks_served_by_a : int;
+  naks_served_by_b : int;
+  mode_changes : int;  (** rewriter reconfigurations by the planner *)
+  final_buffer : string;  (** "A", "B" or "none" *)
+  adverts_received : int;
+  receiver : Mmt.Receiver.stats;
+}
+
+val run : params -> outcome

@@ -1,0 +1,35 @@
+open Mmt_util
+
+type t = {
+  name : string;
+  daq_link_rate : Units.Rate.t;
+  wan_link_rate : Units.Rate.t;
+  daq_propagation : Units.Time.t;
+  switch : Mmt_innet.Switch.profile;
+  nic : Mmt_innet.Switch.profile;
+  host_overhead : Units.Time.t;
+}
+
+let fabric_virtual =
+  {
+    name = "fabric-virtual";
+    daq_link_rate = Units.Rate.gbps 25.;
+    wan_link_rate = Units.Rate.gbps 25.;
+    daq_propagation = Units.Time.us 50.;
+    switch = Mmt_innet.Switch.software_switch;
+    nic = Mmt_innet.Switch.software_switch;
+    host_overhead = Units.Time.us 30.;
+  }
+
+let physical_100gbe =
+  {
+    name = "physical-100gbe";
+    daq_link_rate = Units.Rate.gbps 100.;
+    wan_link_rate = Units.Rate.gbps 100.;
+    daq_propagation = Units.Time.us 5.;
+    switch = Mmt_innet.Switch.tofino2;
+    nic = Mmt_innet.Switch.alveo_smartnic;
+    host_overhead = Units.Time.us 3.;
+  }
+
+let all = [ fabric_virtual; physical_100gbe ]

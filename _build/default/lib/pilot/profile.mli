@@ -1,0 +1,25 @@
+(** Pilot hardware profiles (§ 5.4).
+
+    "Two versions of the pilot were developed: the first uses
+    lower-performance, virtual hardware on the FABRIC testbed, and the
+    second uses physical hardware and saturates 100 GbE links." *)
+
+open Mmt_util
+
+type t = {
+  name : string;
+  daq_link_rate : Units.Rate.t;  (** sensor -> DTN 1 *)
+  wan_link_rate : Units.Rate.t;  (** DTN 1 -> switch -> DTN 2 *)
+  daq_propagation : Units.Time.t;
+  switch : Mmt_innet.Switch.profile;  (** the mid-path device *)
+  nic : Mmt_innet.Switch.profile;  (** DTN smartNIC (Alveo model) *)
+  host_overhead : Units.Time.t;  (** per-packet host processing at DTNs *)
+}
+
+val fabric_virtual : t
+(** FABRIC testbed VMs: 25 GbE virtual links, software switching. *)
+
+val physical_100gbe : t
+(** EdgeCore Tofino2 + Alveo U280/U55C, 100 GbE links. *)
+
+val all : t list

@@ -1,0 +1,24 @@
+open Mmt_frame
+
+type t = {
+  table : (Addr.Ip.t, Mmt_sim.Packet.t -> unit) Hashtbl.t;
+  default : (Mmt_sim.Packet.t -> unit) option;
+  mutable unrouted : int;
+}
+
+let create ?default () = { table = Hashtbl.create 8; default; unrouted = 0 }
+
+let add t ip sink = Hashtbl.replace t.table ip sink
+
+let send t ip packet =
+  match Hashtbl.find_opt t.table ip with
+  | Some sink -> sink packet
+  | None -> (
+      match t.default with
+      | Some sink -> sink packet
+      | None -> t.unrouted <- t.unrouted + 1)
+
+let unrouted t = t.unrouted
+
+let env t ~engine ~fresh_id ~local_ip =
+  { Mmt_runtime.Env.engine; local_ip; send = send t; fresh_id }

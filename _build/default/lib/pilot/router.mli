@@ -1,0 +1,22 @@
+(** Per-host static routing and environment construction.
+
+    Each host in a pilot topology owns a router: a map from destination
+    IP to a sink (usually [Link.send] of the next-hop link).  The
+    router also manufactures the {!Mmt_runtime.Env.t} handed to the
+    protocol endpoints living on that host. *)
+
+open Mmt_frame
+
+type t
+
+val create : ?default:(Mmt_sim.Packet.t -> unit) -> unit -> t
+val add : t -> Addr.Ip.t -> (Mmt_sim.Packet.t -> unit) -> unit
+val send : t -> Addr.Ip.t -> Mmt_sim.Packet.t -> unit
+val unrouted : t -> int
+
+val env :
+  t ->
+  engine:Mmt_sim.Engine.t ->
+  fresh_id:(unit -> int) ->
+  local_ip:Addr.Ip.t ->
+  Mmt_runtime.Env.t

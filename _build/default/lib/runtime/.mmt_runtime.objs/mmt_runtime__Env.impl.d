@@ -1,0 +1,1 @@
+lib/runtime/env.ml: Addr Mmt_frame Mmt_sim Queue

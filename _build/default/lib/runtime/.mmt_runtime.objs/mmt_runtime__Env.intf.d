@@ -1,0 +1,1 @@
+lib/runtime/env.mli: Addr Mmt_frame Mmt_sim Mmt_util Queue Units

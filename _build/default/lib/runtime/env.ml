@@ -1,0 +1,25 @@
+open Mmt_frame
+
+type t = {
+  engine : Mmt_sim.Engine.t;
+  local_ip : Addr.Ip.t;
+  send : Addr.Ip.t -> Mmt_sim.Packet.t -> unit;
+  fresh_id : unit -> int;
+}
+
+let now t = Mmt_sim.Engine.now t.engine
+let after t delay fn = Mmt_sim.Engine.schedule_after t.engine ~delay fn
+
+let packet t ?(padding = 0) frame =
+  Mmt_sim.Packet.create ~padding ~id:(t.fresh_id ()) ~born:(now t) frame
+
+let loopback ?(local_ip = Addr.Ip.of_octets 127 0 0 1) engine =
+  let queue = Queue.create () in
+  let counter = ref 0 in
+  let fresh_id () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let send _dst pkt = Queue.push pkt queue in
+  ({ engine; local_ip; send; fresh_id }, queue)

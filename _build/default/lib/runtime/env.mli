@@ -1,0 +1,30 @@
+(** Protocol runtime environment.
+
+    Transport endpoints (both the multi-modal transport and the TCP/UDP
+    baselines) are written against this capability record instead of a
+    concrete topology: a clock and timers from the simulation engine,
+    an IP-addressed send primitive, and fresh packet identities.  The
+    pilot layer constructs one per host from a {!Mmt_sim.Topology}. *)
+
+open Mmt_util
+open Mmt_frame
+
+type t = {
+  engine : Mmt_sim.Engine.t;
+  local_ip : Addr.Ip.t;
+  send : Addr.Ip.t -> Mmt_sim.Packet.t -> unit;
+      (** Route a packet toward a destination IP and transmit it on the
+          corresponding link.  Unroutable destinations are counted and
+          dropped by the implementation. *)
+  fresh_id : unit -> int;  (** Fresh packet identity. *)
+}
+
+val now : t -> Units.Time.t
+val after : t -> Units.Time.t -> (unit -> unit) -> Mmt_sim.Engine.handle
+
+val packet : t -> ?padding:int -> bytes -> Mmt_sim.Packet.t
+(** Wrap a frame into a packet born now with a fresh identity. *)
+
+val loopback : ?local_ip:Addr.Ip.t -> Mmt_sim.Engine.t -> t * Mmt_sim.Packet.t Queue.t
+(** Test helper: an environment whose [send] appends to the returned
+    queue regardless of destination. *)

@@ -1,0 +1,1 @@
+lib/sim/link.ml: Engine Loss Mmt_util Packet Queue_model Units

@@ -1,0 +1,1 @@
+lib/sim/link.mli: Engine Loss Mmt_util Packet Queue_model Units

@@ -1,0 +1,1 @@
+lib/sim/loss.ml: Mmt_util Printf Rng

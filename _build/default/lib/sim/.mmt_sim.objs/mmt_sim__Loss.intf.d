@@ -1,0 +1,1 @@
+lib/sim/loss.mli: Mmt_util Rng

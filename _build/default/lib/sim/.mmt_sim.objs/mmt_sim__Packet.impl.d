@@ -1,0 +1,1 @@
+lib/sim/packet.ml: Bytes Format Mmt_util Units

@@ -1,0 +1,1 @@
+lib/sim/queue_model.ml: Array Bytes Mmt_util Packet Printf Queue Units

@@ -1,0 +1,1 @@
+lib/sim/queue_model.mli: Mmt_util Packet Units

@@ -1,0 +1,1 @@
+lib/sim/topology.ml: Engine Hashtbl Link List Node Option Trace

@@ -1,0 +1,1 @@
+lib/sim/topology.mli: Engine Link Loss Mmt_util Node Queue_model Trace Units

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Engine Link List Mmt_util Packet Printf Queue Units

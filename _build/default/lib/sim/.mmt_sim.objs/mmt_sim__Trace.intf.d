@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Engine Link Mmt_util Packet Units

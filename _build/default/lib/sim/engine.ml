@@ -1,0 +1,147 @@
+open Mmt_util
+
+type event = {
+  at : Units.Time.t;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+(* Array-backed binary min-heap ordered by (at, seq). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : Units.Time.t;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable processed : int;
+}
+
+let dummy_event =
+  { at = Units.Time.zero; seq = -1; fn = ignore; cancelled = true }
+
+let create () =
+  {
+    heap = Array.make 64 dummy_event;
+    size = 0;
+    clock = Units.Time.zero;
+    next_seq = 0;
+    live = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let earlier a b =
+  let c = Units.Time.compare a.at b.at in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && earlier t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && earlier t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t event =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy_event in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- event;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy_event;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let schedule t ~at fn =
+  let at = Units.Time.max at t.clock in
+  let event = { at; seq = t.next_seq; fn; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  push t event;
+  event
+
+let schedule_after t ~delay fn = schedule t ~at:(Units.Time.add t.clock delay) fn
+
+let cancel handle = handle.cancelled <- true
+
+let pending t =
+  (* [live] over-counts cancelled-but-queued events; recount lazily. *)
+  let count = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr count
+  done;
+  t.live <- !count;
+  !count
+
+let processed t = t.processed
+
+let step t =
+  let rec next () =
+    if t.size = 0 then false
+    else begin
+      let event = pop t in
+      if event.cancelled then next ()
+      else begin
+        t.clock <- event.at;
+        t.live <- t.live - 1;
+        t.processed <- t.processed + 1;
+        event.fn ();
+        true
+      end
+    end
+  in
+  next ()
+
+let run ?until t =
+  let fits event =
+    match until with
+    | None -> true
+    | Some limit -> Units.Time.(event.at <= limit)
+  in
+  let rec loop () =
+    if t.size > 0 then begin
+      let top = t.heap.(0) in
+      if top.cancelled then begin
+        ignore (pop t);
+        loop ()
+      end
+      else if fits top then begin
+        ignore (step t);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  match until with
+  | Some limit when Units.Time.(t.clock < limit) -> t.clock <- limit
+  | _ -> ()

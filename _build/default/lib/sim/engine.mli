@@ -1,0 +1,44 @@
+(** Deterministic discrete-event simulation engine.
+
+    Events are closures keyed by (time, insertion sequence): two events
+    scheduled for the same instant fire in the order they were
+    scheduled, so runs are exactly reproducible.  Time is
+    {!Mmt_util.Units.Time} (integer nanoseconds). *)
+
+open Mmt_util
+
+type t
+
+type handle
+(** Cancellation token for a scheduled event. *)
+
+val create : unit -> t
+(** A fresh engine at time zero with an empty event queue. *)
+
+val now : t -> Units.Time.t
+
+val schedule : t -> at:Units.Time.t -> (unit -> unit) -> handle
+(** [schedule t ~at fn] runs [fn] when the clock reaches [at].
+    Scheduling in the past (before [now t]) runs at the current time
+    instead — a common idiom for "immediately, but after the current
+    event finishes". *)
+
+val schedule_after : t -> delay:Units.Time.t -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+(** Cancelled events are skipped; cancelling twice is harmless. *)
+
+val pending : t -> int
+(** Live (uncancelled) events still queued. *)
+
+val processed : t -> int
+(** Events executed so far. *)
+
+val run : ?until:Units.Time.t -> t -> unit
+(** Execute events in order until the queue empties, or until the next
+    event lies strictly beyond [until] (clock then advances to [until]).
+    Re-entrant scheduling from inside events is the normal mode of
+    operation. *)
+
+val step : t -> bool
+(** Execute exactly one event; [false] when the queue is empty. *)

@@ -1,0 +1,124 @@
+open Mmt_util
+
+type event =
+  | Sent
+  | Queue_dropped
+  | Transmitted
+  | Loss_dropped
+  | Corrupted
+  | Delivered
+
+type stats = {
+  offered : int;
+  transmitted : int;
+  delivered : int;
+  queue_drops : int;
+  loss_drops : int;
+  corrupted : int;
+  delivered_bytes : int;
+  busy : Units.Time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rate : Units.Rate.t;
+  propagation : Units.Time.t;
+  loss : Loss.t;
+  queue : Queue_model.t;
+  observer : event -> Packet.t -> unit;
+  deliver : Packet.t -> unit;
+  mutable transmitting : bool;
+  mutable offered : int;
+  mutable transmitted : int;
+  mutable delivered : int;
+  mutable loss_drops : int;
+  mutable corrupted : int;
+  mutable delivered_bytes : int;
+  mutable busy : Units.Time.t;
+}
+
+let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
+    ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4))
+    ?(observer = fun _ _ -> ()) ~deliver () =
+  {
+    engine;
+    name;
+    rate;
+    propagation;
+    loss;
+    queue;
+    observer;
+    deliver;
+    transmitting = false;
+    offered = 0;
+    transmitted = 0;
+    delivered = 0;
+    loss_drops = 0;
+    corrupted = 0;
+    delivered_bytes = 0;
+    busy = Units.Time.zero;
+  }
+
+let rec transmit_next t =
+  let now = Engine.now t.engine in
+  match Queue_model.dequeue t.queue ~now with
+  | None -> t.transmitting <- false
+  | Some packet ->
+      t.transmitting <- true;
+      let serialization = Units.Rate.transmission_time t.rate (Packet.wire_size packet) in
+      t.busy <- Units.Time.add t.busy serialization;
+      ignore
+        (Engine.schedule_after t.engine ~delay:serialization (fun () ->
+             t.transmitted <- t.transmitted + 1;
+             t.observer Transmitted packet;
+             (match Loss.decide t.loss with
+             | Loss.Drop ->
+                 t.loss_drops <- t.loss_drops + 1;
+                 t.observer Loss_dropped packet
+             | Loss.Corrupt ->
+                 packet.Packet.corrupted <- true;
+                 t.corrupted <- t.corrupted + 1;
+                 t.observer Corrupted packet;
+                 deliver_after_propagation t packet
+             | Loss.Deliver -> deliver_after_propagation t packet);
+             transmit_next t))
+
+and deliver_after_propagation t packet =
+  ignore
+    (Engine.schedule_after t.engine ~delay:t.propagation (fun () ->
+         t.delivered <- t.delivered + 1;
+         t.delivered_bytes <-
+           t.delivered_bytes + Units.Size.to_bytes (Packet.wire_size packet);
+         packet.Packet.hops <- packet.Packet.hops + 1;
+         t.observer Delivered packet;
+         t.deliver packet))
+
+let send t packet =
+  t.offered <- t.offered + 1;
+  t.observer Sent packet;
+  let now = Engine.now t.engine in
+  match Queue_model.enqueue t.queue ~now packet with
+  | `Dropped -> t.observer Queue_dropped packet
+  | `Accepted -> if not t.transmitting then transmit_next t
+
+let name t = t.name
+let rate t = t.rate
+let propagation t = t.propagation
+let queue t = t.queue
+
+let stats t =
+  {
+    offered = t.offered;
+    transmitted = t.transmitted;
+    delivered = t.delivered;
+    queue_drops = Queue_model.overflow_drops t.queue;
+    loss_drops = t.loss_drops;
+    corrupted = t.corrupted;
+    delivered_bytes = t.delivered_bytes;
+    busy = t.busy;
+  }
+
+let utilization t ~over =
+  let window = Units.Time.to_float_s over in
+  if window <= 0. then 0. else Units.Time.to_float_s t.busy /. window

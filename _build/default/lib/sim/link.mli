@@ -1,0 +1,57 @@
+(** Unidirectional point-to-point links.
+
+    A link owns an output queue, a transmitter that serializes packets
+    at the link rate, an impairment model applied as packets leave the
+    wire, and a fixed propagation delay.  Delivery invokes a callback —
+    the topology layer wires callbacks to node handlers. *)
+
+open Mmt_util
+
+type t
+
+type event =
+  | Sent  (** handed to the link (pre-queue) *)
+  | Queue_dropped
+  | Transmitted  (** finished serialization *)
+  | Loss_dropped
+  | Corrupted  (** delivered with the corrupted flag *)
+  | Delivered
+
+type stats = {
+  offered : int;  (** packets handed to [send] *)
+  transmitted : int;  (** packets that finished serialization *)
+  delivered : int;  (** packets handed to the delivery callback *)
+  queue_drops : int;
+  loss_drops : int;
+  corrupted : int;
+  delivered_bytes : int;
+  busy : Units.Time.t;  (** cumulative serialization time *)
+}
+
+val create :
+  engine:Engine.t ->
+  name:string ->
+  rate:Units.Rate.t ->
+  propagation:Units.Time.t ->
+  ?loss:Loss.t ->
+  ?queue:Queue_model.t ->
+  ?observer:(event -> Packet.t -> unit) ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Default impairment is {!Loss.perfect}; default queue is a 4 MiB
+    drop-tail.  A zero [rate] means an ideal link (no serialization
+    delay).  [observer] sees every per-packet event as it happens —
+    tracing taps into it. *)
+
+val send : t -> Packet.t -> unit
+(** Enqueue for transmission; drops (with accounting) if the queue is
+    full. *)
+
+val name : t -> string
+val rate : t -> Units.Rate.t
+val propagation : t -> Units.Time.t
+val queue : t -> Queue_model.t
+val stats : t -> stats
+val utilization : t -> over:Units.Time.t -> float
+(** Fraction of [over] the transmitter spent serializing. *)

@@ -1,0 +1,54 @@
+open Mmt_util
+
+type decision = Deliver | Corrupt | Drop
+
+type model =
+  | Perfect
+  | Bernoulli of { drop : float; corrupt : float; rng : Rng.t }
+  | Gilbert of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      drop_in_bad : float;
+      rng : Rng.t;
+      mutable bad : bool;
+    }
+
+type t = model
+
+let perfect = Perfect
+
+let bernoulli ~drop ~corrupt ~rng =
+  let bad p = p < 0. || p > 1. in
+  if bad drop || bad corrupt || drop +. corrupt > 1. then
+    invalid_arg "Loss.bernoulli: bad probabilities";
+  Bernoulli { drop; corrupt; rng }
+
+let gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~drop_in_bad ~rng =
+  let bad p = p < 0. || p > 1. in
+  if bad p_good_to_bad || bad p_bad_to_good || bad drop_in_bad then
+    invalid_arg "Loss.gilbert_elliott: bad probabilities";
+  Gilbert { p_good_to_bad; p_bad_to_good; drop_in_bad; rng; bad = false }
+
+let decide t =
+  match t with
+  | Perfect -> Deliver
+  | Bernoulli { drop; corrupt; rng } ->
+      let u = Rng.float rng in
+      if u < drop then Drop
+      else if u < drop +. corrupt then Corrupt
+      else Deliver
+  | Gilbert g ->
+      (* Advance the state chain, then draw within the state. *)
+      if g.bad then begin
+        if Rng.bernoulli g.rng ~p:g.p_bad_to_good then g.bad <- false
+      end
+      else if Rng.bernoulli g.rng ~p:g.p_good_to_bad then g.bad <- true;
+      if g.bad && Rng.bernoulli g.rng ~p:g.drop_in_bad then Drop else Deliver
+
+let describe = function
+  | Perfect -> "perfect"
+  | Bernoulli { drop; corrupt; _ } ->
+      Printf.sprintf "bernoulli(drop=%g, corrupt=%g)" drop corrupt
+  | Gilbert { p_good_to_bad; p_bad_to_good; drop_in_bad; _ } ->
+      Printf.sprintf "gilbert(g->b=%g, b->g=%g, drop|bad=%g)" p_good_to_bad
+        p_bad_to_good drop_in_bad

@@ -1,0 +1,35 @@
+(** Link impairment models.
+
+    The paper's WAN segments are capacity-planned (no congestion loss)
+    but "can occasionally lose packets from corruption" (§ 4); DAQ
+    networks are lossless.  [Gilbert_elliott] adds bursty loss for
+    stress tests beyond the paper's assumptions. *)
+
+open Mmt_util
+
+type decision =
+  | Deliver
+  | Corrupt  (** delivered with the corrupted flag set: receivers discard *)
+  | Drop  (** silently lost *)
+
+type t
+
+val perfect : t
+(** Never impairs. *)
+
+val bernoulli : drop:float -> corrupt:float -> rng:Rng.t -> t
+(** Independent per-packet probabilities.  @raise Invalid_argument if
+    either probability is outside [\[0, 1\]] or they sum above 1. *)
+
+val gilbert_elliott :
+  p_good_to_bad:float ->
+  p_bad_to_good:float ->
+  drop_in_bad:float ->
+  rng:Rng.t ->
+  t
+(** Two-state burst-loss chain; lossless in the good state. *)
+
+val decide : t -> decision
+(** Consume one trial. *)
+
+val describe : t -> string

@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  mutable handler : Packet.t -> unit;
+  mutable received : int;
+}
+
+let create ~name = { name; handler = ignore; received = 0 }
+let name t = t.name
+let set_handler t handler = t.handler <- handler
+
+let handle t packet =
+  t.received <- t.received + 1;
+  t.handler packet
+
+let received t = t.received

@@ -1,0 +1,18 @@
+(** Network nodes: named packet handlers.
+
+    A node is anything that terminates a link — a sensor, a DTN, a
+    switch element, a researcher's workstation.  Behaviour lives in the
+    handler; the transport and in-network layers install theirs. *)
+
+type t
+
+val create : name:string -> t
+(** A fresh node whose initial handler silently counts and discards. *)
+
+val name : t -> string
+val set_handler : t -> (Packet.t -> unit) -> unit
+val handle : t -> Packet.t -> unit
+(** Deliver a packet to the current handler. *)
+
+val received : t -> int
+(** Packets handled so far (including discarded ones). *)

@@ -1,0 +1,33 @@
+(** Simulated packets.
+
+    A packet carries its real on-wire frame as [bytes] (the header
+    stack that in-network elements parse and rewrite) plus an optional
+    [padding] byte count so that jumbo-frame payloads can be modelled
+    without materializing them: the wire size used for serialization
+    delay is [Bytes.length frame + padding]. *)
+
+open Mmt_util
+
+type t = {
+  id : int;
+  mutable frame : bytes;
+  padding : int;
+  born : Units.Time.t;
+  mutable corrupted : bool;
+  mutable hops : int;
+}
+
+val create :
+  ?padding:int -> id:int -> born:Units.Time.t -> bytes -> t
+(** @raise Invalid_argument if [padding < 0]. *)
+
+val wire_size : t -> Units.Size.t
+val frame : t -> bytes
+val set_frame : t -> bytes -> unit
+(** Replace the frame (used when a mode change grows or shrinks the
+    header stack).  Padding is preserved. *)
+
+val copy : t -> id:int -> t
+(** Deep copy with a new identity (in-network duplication). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,159 @@
+open Mmt_util
+
+type entry = {
+  packet : Packet.t;
+  deadline : Units.Time.t option;
+  seq : int;
+}
+
+type edf = {
+  mutable heap : entry array;
+  mutable size : int;
+  drop_expired : bool;
+  deadline_of : Packet.t -> Units.Time.t option;
+}
+
+type discipline = Fifo of Packet.t Queue.t | Edf of edf
+
+type t = {
+  capacity : Units.Size.t;
+  discipline : discipline;
+  mutable bytes : int;
+  mutable next_seq : int;
+  mutable overflow_drops : int;
+  mutable expired_drops : int;
+}
+
+let dummy_entry () =
+  {
+    packet = Packet.create ~id:(-1) ~born:Units.Time.zero (Bytes.create 0);
+    deadline = None;
+    seq = -1;
+  }
+
+let droptail ~capacity =
+  {
+    capacity;
+    discipline = Fifo (Queue.create ());
+    bytes = 0;
+    next_seq = 0;
+    overflow_drops = 0;
+    expired_drops = 0;
+  }
+
+let deadline_aware ~capacity ~drop_expired ~deadline_of =
+  {
+    capacity;
+    discipline =
+      Edf { heap = Array.make 64 (dummy_entry ()); size = 0; drop_expired; deadline_of };
+    bytes = 0;
+    next_seq = 0;
+    overflow_drops = 0;
+    expired_drops = 0;
+  }
+
+(* EDF ordering: deadline-bearing packets first (earliest wins), then
+   deadline-free packets in arrival order. *)
+let entry_before a b =
+  match (a.deadline, b.deadline) with
+  | Some da, Some db ->
+      let c = Units.Time.compare da db in
+      if c <> 0 then c < 0 else a.seq < b.seq
+  | Some _, None -> true
+  | None, Some _ -> false
+  | None, None -> a.seq < b.seq
+
+let heap_push edf entry =
+  if edf.size = Array.length edf.heap then begin
+    let bigger = Array.make (2 * edf.size) (dummy_entry ()) in
+    Array.blit edf.heap 0 bigger 0 edf.size;
+    edf.heap <- bigger
+  end;
+  edf.heap.(edf.size) <- entry;
+  edf.size <- edf.size + 1;
+  let i = ref (edf.size - 1) in
+  while !i > 0 && entry_before edf.heap.(!i) edf.heap.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = edf.heap.(!i) in
+    edf.heap.(!i) <- edf.heap.(parent);
+    edf.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let heap_pop edf =
+  let top = edf.heap.(0) in
+  edf.size <- edf.size - 1;
+  edf.heap.(0) <- edf.heap.(edf.size);
+  edf.heap.(edf.size) <- dummy_entry ();
+  let rec sift i =
+    let left = (2 * i) + 1 in
+    let right = left + 1 in
+    let smallest = ref i in
+    if left < edf.size && entry_before edf.heap.(left) edf.heap.(!smallest) then
+      smallest := left;
+    if right < edf.size && entry_before edf.heap.(right) edf.heap.(!smallest) then
+      smallest := right;
+    if !smallest <> i then begin
+      let tmp = edf.heap.(i) in
+      edf.heap.(i) <- edf.heap.(!smallest);
+      edf.heap.(!smallest) <- tmp;
+      sift !smallest
+    end
+  in
+  if edf.size > 0 then sift 0;
+  top
+
+let enqueue t ~now:_ packet =
+  let size = Units.Size.to_bytes (Packet.wire_size packet) in
+  if t.bytes + size > Units.Size.to_bytes t.capacity then begin
+    t.overflow_drops <- t.overflow_drops + 1;
+    `Dropped
+  end
+  else begin
+    t.bytes <- t.bytes + size;
+    (match t.discipline with
+    | Fifo q -> Queue.push packet q
+    | Edf edf ->
+        let entry =
+          { packet; deadline = edf.deadline_of packet; seq = t.next_seq }
+        in
+        t.next_seq <- t.next_seq + 1;
+        heap_push edf entry);
+    `Accepted
+  end
+
+let rec dequeue t ~now =
+  match t.discipline with
+  | Fifo q ->
+      if Queue.is_empty q then None
+      else begin
+        let packet = Queue.pop q in
+        t.bytes <- t.bytes - Units.Size.to_bytes (Packet.wire_size packet);
+        Some packet
+      end
+  | Edf edf ->
+      if edf.size = 0 then None
+      else begin
+        let entry = heap_pop edf in
+        t.bytes <- t.bytes - Units.Size.to_bytes (Packet.wire_size entry.packet);
+        match entry.deadline with
+        | Some deadline when edf.drop_expired && Units.Time.(deadline < now) ->
+            t.expired_drops <- t.expired_drops + 1;
+            dequeue t ~now
+        | _ -> Some entry.packet
+      end
+
+let length t =
+  match t.discipline with Fifo q -> Queue.length q | Edf edf -> edf.size
+
+let queued_bytes t = Units.Size.bytes t.bytes
+let overflow_drops t = t.overflow_drops
+let expired_drops t = t.expired_drops
+
+let describe t =
+  match t.discipline with
+  | Fifo _ -> Printf.sprintf "droptail(%s)" (Units.Size.to_string t.capacity)
+  | Edf { drop_expired; _ } ->
+      Printf.sprintf "edf(%s%s)"
+        (Units.Size.to_string t.capacity)
+        (if drop_expired then ", drop-expired" else "")

@@ -1,0 +1,32 @@
+(** Output-port queue disciplines.
+
+    [droptail] is the commodity default.  [deadline_aware] implements
+    the paper's § 5.3 idea that explicit transport deadlines are "an
+    input to active queue management": earliest-deadline-first service,
+    with optional dropping of already-expired packets. *)
+
+open Mmt_util
+
+type t
+
+val droptail : capacity:Units.Size.t -> t
+(** FIFO bounded by queued bytes; arrivals that would overflow are
+    dropped. *)
+
+val deadline_aware :
+  capacity:Units.Size.t ->
+  drop_expired:bool ->
+  deadline_of:(Packet.t -> Units.Time.t option) ->
+  t
+(** Earliest-deadline-first; packets without a deadline are served
+    after all deadline-bearing packets, among themselves in FIFO order.
+    When [drop_expired], packets whose deadline already passed are
+    discarded at dequeue time instead of transmitted. *)
+
+val enqueue : t -> now:Units.Time.t -> Packet.t -> [ `Accepted | `Dropped ]
+val dequeue : t -> now:Units.Time.t -> Packet.t option
+val length : t -> int
+val queued_bytes : t -> Units.Size.t
+val overflow_drops : t -> int
+val expired_drops : t -> int
+val describe : t -> string

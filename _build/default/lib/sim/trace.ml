@@ -1,0 +1,82 @@
+open Mmt_util
+
+type entry = {
+  at : Units.Time.t;
+  link : string;
+  event : Link.event;
+  packet_id : int;
+  size : Units.Size.t;
+}
+
+type t = {
+  capacity : int;
+  buffer : entry Queue.t;
+  mutable truncated : int;
+}
+
+let create ?(capacity = 100_000) () =
+  { capacity; buffer = Queue.create (); truncated = 0 }
+
+let record t ~at ~link event packet =
+  if Queue.length t.buffer >= t.capacity then begin
+    ignore (Queue.pop t.buffer);
+    t.truncated <- t.truncated + 1
+  end;
+  Queue.push
+    {
+      at;
+      link;
+      event;
+      packet_id = packet.Packet.id;
+      size = Packet.wire_size packet;
+    }
+    t.buffer
+
+let observer t ~engine ~link event packet =
+  record t ~at:(Engine.now engine) ~link event packet
+
+let entries t = List.of_seq (Queue.to_seq t.buffer)
+
+let count t ?link event =
+  Queue.fold
+    (fun acc entry ->
+      if
+        entry.event = event
+        && match link with None -> true | Some l -> l = entry.link
+      then acc + 1
+      else acc)
+    0 t.buffer
+
+let truncated t = t.truncated
+
+let event_to_string : Link.event -> string = function
+  | Link.Sent -> "sent"
+  | Link.Queue_dropped -> "queue-drop"
+  | Link.Transmitted -> "transmitted"
+  | Link.Loss_dropped -> "loss-drop"
+  | Link.Corrupted -> "corrupted"
+  | Link.Delivered -> "delivered"
+
+let packet_history t ~packet_id =
+  List.filter (fun entry -> entry.packet_id = packet_id) (entries t)
+
+let render ?(limit = 50) t =
+  let buffer = Buffer.create 1024 in
+  let shown = ref 0 in
+  Queue.iter
+    (fun entry ->
+      if !shown < limit then begin
+        incr shown;
+        Buffer.add_string buffer
+          (Printf.sprintf "%-12s %-20s %-12s pkt#%-6d %s\n"
+             (Units.Time.to_string entry.at)
+             entry.link
+             (event_to_string entry.event)
+             entry.packet_id
+             (Units.Size.to_string entry.size))
+      end)
+    t.buffer;
+  if Queue.length t.buffer > limit then
+    Buffer.add_string buffer
+      (Printf.sprintf "... (%d more entries)\n" (Queue.length t.buffer - limit));
+  Buffer.contents buffer

@@ -1,0 +1,47 @@
+(** Packet tracing.
+
+    A trace records per-packet link events (send, transmit, deliver,
+    drops, corruption) with timestamps — the simulator's equivalent of
+    a pcap, used for debugging topologies and auditing experiment
+    behaviour.  {!observer} plugs into {!Link.create}'s [?observer]
+    hook; entries accumulate in time order and can be filtered, counted
+    and rendered. *)
+
+open Mmt_util
+
+type entry = {
+  at : Units.Time.t;
+  link : string;
+  event : Link.event;
+  packet_id : int;
+  size : Units.Size.t;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 100_000) bounds memory: the oldest entries are
+    discarded once full and {!truncated} counts them. *)
+
+val observer :
+  t -> engine:Engine.t -> link:string -> Link.event -> Packet.t -> unit
+(** Partially applied, this is a {!Link.create} observer:
+    [~observer:(Trace.observer trace ~engine ~link:"a->b")]. *)
+
+val record :
+  t -> at:Units.Time.t -> link:string -> Link.event -> Packet.t -> unit
+(** Manual recording, for components that are not links. *)
+
+val entries : t -> entry list
+(** In recording order. *)
+
+val count : t -> ?link:string -> Link.event -> int
+val truncated : t -> int
+val event_to_string : Link.event -> string
+
+val packet_history : t -> packet_id:int -> entry list
+(** Every recorded event for one packet — its journey. *)
+
+val render : ?limit:int -> t -> string
+(** One line per entry, oldest first; [limit] (default 50) bounds the
+    output. *)

@@ -1,0 +1,1 @@
+lib/tcp/congestion.ml: Array Float Mmt_util Printf Units

@@ -1,0 +1,1 @@
+lib/tcp/connection.ml: Bytes Congestion Float Hashtbl Int64 Mmt_sim Mmt_util Option Queue Segment Units

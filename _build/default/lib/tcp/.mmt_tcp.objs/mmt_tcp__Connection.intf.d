@@ -1,0 +1,1 @@
+lib/tcp/connection.mli: Congestion Mmt_sim Mmt_util Units

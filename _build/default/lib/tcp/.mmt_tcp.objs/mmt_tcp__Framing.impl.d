@@ -1,0 +1,1 @@
+lib/tcp/framing.ml: Array Int64 List Mmt_util Queue Units

@@ -1,0 +1,1 @@
+lib/tcp/framing.mli: Mmt_util Units

@@ -1,0 +1,1 @@
+lib/tcp/segment.ml: Bytes Format Mmt_wire

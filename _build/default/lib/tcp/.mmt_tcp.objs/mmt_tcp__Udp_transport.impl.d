@@ -1,0 +1,1 @@
+lib/tcp/udp_transport.ml: Addr Bytes Ipv4 Mmt_frame Mmt_sim Mmt_util Mmt_wire Udp Units

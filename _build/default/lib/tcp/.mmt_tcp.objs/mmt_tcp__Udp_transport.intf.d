@@ -1,0 +1,1 @@
+lib/tcp/udp_transport.mli: Addr Mmt_frame Mmt_sim Mmt_util Units

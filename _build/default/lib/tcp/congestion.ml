@@ -1,0 +1,254 @@
+open Mmt_util
+
+type algorithm = Reno | Cubic | Bbr
+
+type cubic_state = {
+  mutable w_max : float;  (** window before the last reduction, bytes *)
+  mutable epoch_start : Units.Time.t option;
+  mutable k : float;  (** seconds to return to w_max *)
+}
+
+type bbr_mode = Bbr_startup | Bbr_drain | Bbr_probe_bw
+
+type bbr_state = {
+  mutable btlbw : float;  (** bottleneck bandwidth estimate, bytes/s *)
+  mutable btlbw_stamp : Units.Time.t;  (** when the estimate last rose *)
+  mutable rtprop : float;  (** min RTT estimate, seconds *)
+  mutable rtprop_stamp : Units.Time.t;
+  mutable bbr_mode : bbr_mode;
+  mutable full_bw : float;  (** plateau detector *)
+  mutable full_bw_count : int;
+  mutable cycle_index : int;
+  mutable cycle_stamp : Units.Time.t;
+  mutable last_ack_at : Units.Time.t;
+}
+
+type t = {
+  algorithm : algorithm;
+  mss : int;
+  initial_window : int;
+  max_window : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  cubic : cubic_state;
+  bbr : bbr_state;
+}
+
+(* Standard CUBIC constants. *)
+let cubic_c = 0.4
+let cubic_beta = 0.7
+
+(* BBR probe-bandwidth gain cycle. *)
+let bbr_gains = [| 1.25; 0.75; 1.; 1.; 1.; 1.; 1.; 1. |]
+let bbr_cwnd_gain = 2.0
+let bbr_startup_gain = 2.89
+
+let create algorithm ~mss ~initial_window ~max_window =
+  {
+    algorithm;
+    mss;
+    initial_window;
+    max_window;
+    cwnd = initial_window;
+    ssthresh = max_window;
+    cubic = { w_max = 0.; epoch_start = None; k = 0. };
+    bbr =
+      {
+        btlbw = 0.;
+        btlbw_stamp = Units.Time.zero;
+        rtprop = infinity;
+        rtprop_stamp = Units.Time.zero;
+        bbr_mode = Bbr_startup;
+        full_bw = 0.;
+        full_bw_count = 0;
+        cycle_index = 0;
+        cycle_stamp = Units.Time.zero;
+        last_ack_at = Units.Time.zero;
+      };
+  }
+
+let window t = t.cwnd
+let ssthresh t = t.ssthresh
+
+let in_slow_start t =
+  match t.algorithm with
+  | Reno | Cubic -> t.cwnd < t.ssthresh
+  | Bbr -> t.bbr.bbr_mode = Bbr_startup
+
+let clamp t value = max t.mss (min t.max_window value)
+
+let reno_on_ack t ~acked =
+  if t.cwnd < t.ssthresh then t.cwnd <- clamp t (t.cwnd + acked)
+  else begin
+    (* Additive increase: one MSS per window's worth of ACKs. *)
+    let increment = max 1 (t.mss * t.mss / max t.mss t.cwnd) in
+    t.cwnd <- clamp t (t.cwnd + increment)
+  end
+
+let cubic_target t ~now =
+  match t.cubic.epoch_start with
+  | None -> float_of_int t.cwnd
+  | Some epoch ->
+      let elapsed = Units.Time.to_float_s (Units.Time.diff now epoch) in
+      let offset = elapsed -. t.cubic.k in
+      t.cubic.w_max +. (cubic_c *. offset *. offset *. offset *. float_of_int t.mss)
+
+let cubic_on_ack t ~acked ~now =
+  if t.cwnd < t.ssthresh then t.cwnd <- clamp t (t.cwnd + acked)
+  else begin
+    if t.cubic.epoch_start = None then begin
+      t.cubic.epoch_start <- Some now;
+      if t.cubic.w_max < float_of_int t.cwnd then begin
+        t.cubic.w_max <- float_of_int t.cwnd;
+        t.cubic.k <- 0.
+      end
+      else
+        t.cubic.k <-
+          Float.cbrt
+            ((t.cubic.w_max -. float_of_int t.cwnd)
+            /. (cubic_c *. float_of_int t.mss))
+    end;
+    let target = cubic_target t ~now in
+    if target > float_of_int t.cwnd then begin
+      (* Approach the cubic curve over roughly one RTT of ACKs. *)
+      let step =
+        (target -. float_of_int t.cwnd) /. float_of_int (max t.mss t.cwnd)
+        *. float_of_int t.mss
+      in
+      t.cwnd <- clamp t (t.cwnd + max 1 (int_of_float step))
+    end
+    else begin
+      (* TCP-friendly floor: still grow slowly. *)
+      let increment = max 1 (t.mss * t.mss / (100 * max t.mss t.cwnd)) in
+      t.cwnd <- clamp t (t.cwnd + increment)
+    end
+  end
+
+(* BBR ----------------------------------------------------------------- *)
+
+let bbr_bdp t =
+  let b = t.bbr in
+  if b.btlbw <= 0. || b.rtprop = infinity then float_of_int t.initial_window
+  else b.btlbw *. b.rtprop
+
+let bbr_update_model t ~acked ~now ~rtt_sample =
+  let b = t.bbr in
+  (* Delivery-rate sample: bytes acked over the inter-ACK gap. *)
+  let gap = Units.Time.to_float_s (Units.Time.diff now b.last_ack_at) in
+  if gap > 0. then begin
+    let rate = float_of_int acked /. gap in
+    (* Stale estimates (no raise for ~10 estimated RTTs) decay so the
+       filter can track a shrinking bottleneck. *)
+    let stale_after =
+      if b.rtprop = infinity then 1. else Float.max 0.1 (10. *. b.rtprop)
+    in
+    if Units.Time.to_float_s (Units.Time.diff now b.btlbw_stamp) > stale_after
+    then begin
+      b.btlbw <- b.btlbw *. 0.98;
+      b.btlbw_stamp <- now
+    end;
+    if rate > b.btlbw then begin
+      b.btlbw <- rate;
+      b.btlbw_stamp <- now
+    end
+  end;
+  b.last_ack_at <- now;
+  match rtt_sample with
+  | Some sample
+    when sample > 0.
+         && (sample < b.rtprop
+            || Units.Time.to_float_s (Units.Time.diff now b.rtprop_stamp) > 10.) ->
+      b.rtprop <- sample;
+      b.rtprop_stamp <- now
+  | Some _ | None -> ()
+
+let bbr_on_ack t ~acked ~now ~rtt_sample =
+  let b = t.bbr in
+  bbr_update_model t ~acked ~now ~rtt_sample;
+  (match b.bbr_mode with
+  | Bbr_startup ->
+      (* Exponential growth until the bandwidth estimate plateaus for
+         three rounds. *)
+      t.cwnd <- clamp t (t.cwnd + acked);
+      if b.btlbw > b.full_bw *. 1.25 then begin
+        b.full_bw <- b.btlbw;
+        b.full_bw_count <- 0
+      end
+      else begin
+        b.full_bw_count <- b.full_bw_count + 1;
+        if b.full_bw_count >= 3 then begin
+          b.bbr_mode <- Bbr_drain;
+          b.cycle_stamp <- now
+        end
+      end
+  | Bbr_drain ->
+      (* One estimated RTT at bdp to empty the startup queue. *)
+      t.cwnd <- clamp t (int_of_float (bbr_bdp t));
+      if
+        b.rtprop <> infinity
+        && Units.Time.to_float_s (Units.Time.diff now b.cycle_stamp) >= b.rtprop
+      then begin
+        b.bbr_mode <- Bbr_probe_bw;
+        b.cycle_index <- 0;
+        b.cycle_stamp <- now
+      end
+  | Bbr_probe_bw ->
+      if
+        b.rtprop <> infinity
+        && Units.Time.to_float_s (Units.Time.diff now b.cycle_stamp) >= b.rtprop
+      then begin
+        b.cycle_index <- (b.cycle_index + 1) mod Array.length bbr_gains;
+        b.cycle_stamp <- now
+      end;
+      let gain = bbr_gains.(b.cycle_index) in
+      let target = bbr_cwnd_gain *. gain *. bbr_bdp t in
+      t.cwnd <- clamp t (int_of_float target));
+  if b.bbr_mode = Bbr_startup then
+    t.cwnd <- clamp t (max t.cwnd (int_of_float (bbr_startup_gain *. bbr_bdp t)))
+
+let on_ack ?rtt_sample t ~acked ~now =
+  match t.algorithm with
+  | Reno -> reno_on_ack t ~acked
+  | Cubic -> cubic_on_ack t ~acked ~now
+  | Bbr -> bbr_on_ack t ~acked ~now ~rtt_sample
+
+let on_fast_retransmit t ~now:_ =
+  match t.algorithm with
+  | Reno ->
+      t.ssthresh <- max (2 * t.mss) (t.cwnd / 2);
+      t.cwnd <- clamp t t.ssthresh
+  | Cubic ->
+      t.cubic.w_max <- float_of_int t.cwnd;
+      t.cubic.epoch_start <- None;
+      t.ssthresh <- max (2 * t.mss) (int_of_float (float_of_int t.cwnd *. cubic_beta));
+      t.cwnd <- clamp t t.ssthresh
+  | Bbr ->
+      (* Loss is not a model input: the window tracks the estimate. *)
+      ()
+
+let on_timeout t ~now:_ =
+  match t.algorithm with
+  | Reno ->
+      t.ssthresh <- max (2 * t.mss) (t.cwnd / 2);
+      t.cwnd <- clamp t t.initial_window
+  | Cubic ->
+      t.cubic.w_max <- float_of_int t.cwnd;
+      t.cubic.epoch_start <- None;
+      t.ssthresh <- max (2 * t.mss) (t.cwnd / 2);
+      t.cwnd <- clamp t t.initial_window
+  | Bbr ->
+      (* Conservative restart from the model rather than from scratch. *)
+      t.cwnd <- clamp t (max t.initial_window (int_of_float (bbr_bdp t)))
+
+let describe t =
+  Printf.sprintf "%s(cwnd=%d, ssthresh=%d)"
+    (match t.algorithm with
+    | Reno -> "reno"
+    | Cubic -> "cubic"
+    | Bbr ->
+        Printf.sprintf "bbr/%s"
+          (match t.bbr.bbr_mode with
+          | Bbr_startup -> "startup"
+          | Bbr_drain -> "drain"
+          | Bbr_probe_bw -> "probe-bw"))
+    t.cwnd t.ssthresh

@@ -1,0 +1,52 @@
+(** Congestion-control algorithms for the baseline TCP.
+
+    Reno models classic loss-based control; Cubic models the default of
+    today's tuned DTN stacks [22, 43, 73]; Bbr models the
+    model-based algorithm ESnet has evaluated for Data Transfer Nodes
+    (Tierney et al., "Exploring the BBRv2 Congestion Control Algorithm
+    for use on Data Transfer Nodes" [73]) — it estimates the
+    bottleneck bandwidth and path RTT instead of reacting to loss, so
+    corruption loss on a capacity-planned WAN does not collapse its
+    window.  All three operate on a window in bytes.
+
+    The BBR here is a deliberately compact model (startup / drain /
+    probe-bandwidth gain cycling over a max-bandwidth, min-RTT
+    estimate), enough to reproduce the published *shape*: near-Cubic
+    throughput on clean paths and near-immunity to random loss. *)
+
+open Mmt_util
+
+type algorithm = Reno | Cubic | Bbr
+
+type t
+
+val create :
+  algorithm ->
+  mss:int ->
+  initial_window:int ->
+  max_window:int ->
+  t
+(** Windows in bytes; [initial_window] doubles as the post-timeout
+    restart window for the loss-based algorithms. *)
+
+val window : t -> int
+(** Current congestion window, bytes. *)
+
+val ssthresh : t -> int
+
+val on_ack :
+  ?rtt_sample:float -> t -> acked:int -> now:Units.Time.t -> unit
+(** [acked] new bytes were cumulatively acknowledged; [rtt_sample]
+    (seconds), when available from a clean measurement, feeds BBR's
+    min-RTT and bandwidth estimators (ignored by Reno/Cubic). *)
+
+val on_fast_retransmit : t -> now:Units.Time.t -> unit
+(** Triple-duplicate-ACK loss: multiplicative decrease for the
+    loss-based algorithms; BBR does not reduce its window. *)
+
+val on_timeout : t -> now:Units.Time.t -> unit
+(** RTO loss: loss-based algorithms collapse to the initial window;
+    BBR re-enters startup from its model estimate. *)
+
+val in_slow_start : t -> bool
+val describe : t -> string

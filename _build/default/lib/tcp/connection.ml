@@ -1,0 +1,370 @@
+open Mmt_util
+
+type config = {
+  mss : int;
+  initial_window : int;
+  max_window : int;
+  algorithm : Congestion.algorithm;
+  min_rto : Units.Time.t;
+  max_rto : Units.Time.t;
+}
+
+let default_config =
+  {
+    mss = 1448;
+    initial_window = 4 * 1448;
+    max_window = 64 * 1024;
+    algorithm = Congestion.Reno;
+    min_rto = Units.Time.ms 200.;
+    max_rto = Units.Time.seconds 60.;
+  }
+
+let tuned_config ~bdp =
+  let mss = 8948 (* jumbo frames *) in
+  {
+    mss;
+    initial_window = 10 * mss;
+    max_window = max (64 * 1024) (2 * Units.Size.to_bytes bdp);
+    algorithm = Congestion.Cubic;
+    min_rto = Units.Time.ms 20.;
+    max_rto = Units.Time.seconds 10.;
+  }
+
+type stats = {
+  bytes_written : int;
+  bytes_acked : int;
+  bytes_delivered : int;
+  segments_sent : int;
+  retransmits : int;
+  fast_retransmits : int;
+  timeouts : int;
+  duplicate_acks : int;
+  out_of_order_segments : int;
+  srtt : Units.Time.t option;
+  cwnd : int;
+  completed_at : Units.Time.t option;
+}
+
+type unacked = {
+  u_seq : int64;
+  u_len : int;
+  mutable u_sent_at : Units.Time.t;
+  mutable u_retx : int;
+  mutable u_retx_epoch : int;
+      (* value of the connection's retransmit counter when (re)sent;
+         RTT samples are only taken when no retransmission happened in
+         between (extended Karn rule), since cumulative ACKs released
+         by a hole-fill would otherwise yield wildly stale samples *)
+}
+
+type t = {
+  engine : Mmt_sim.Engine.t;
+  fresh_id : unit -> int;
+  config : config;
+  port : int;
+  tx : Mmt_sim.Packet.t -> unit;
+  deliver : int -> unit;
+  cc : Congestion.t;
+  (* sender state *)
+  mutable snd_una : int64;
+  mutable snd_nxt : int64;
+  mutable write_total : int64;  (* bytes the app has written *)
+  mutable finished : bool;
+  unacked : unacked Queue.t;
+  mutable dupacks : int;
+  mutable recover : int64;  (* fast-recovery high-water mark *)
+  mutable in_recovery : bool;
+  mutable peer_window : int;
+  (* RTT estimation (RFC 6298) *)
+  mutable srtt : float option;  (* seconds *)
+  mutable rttvar : float;
+  mutable rto : Units.Time.t;
+  mutable rto_timer : Mmt_sim.Engine.handle option;
+  (* receiver state *)
+  mutable rcv_nxt : int64;
+  ooo : (int64, int) Hashtbl.t;  (* out-of-order: seq -> len *)
+  (* accounting *)
+  mutable bytes_delivered : int;
+  mutable segments_sent : int;
+  mutable retransmits : int;
+  mutable fast_retransmits : int;
+  mutable timeouts : int;
+  mutable duplicate_acks : int;
+  mutable out_of_order_segments : int;
+  mutable completed_at : Units.Time.t option;
+}
+
+let create ~engine ~fresh_id ~config ?(port = 1) ~tx ?(deliver = fun _ -> ()) () =
+  {
+    engine;
+    fresh_id;
+    config;
+    port;
+    tx;
+    deliver;
+    cc =
+      Congestion.create config.algorithm ~mss:config.mss
+        ~initial_window:config.initial_window ~max_window:config.max_window;
+    snd_una = 0L;
+    snd_nxt = 0L;
+    write_total = 0L;
+    finished = false;
+    unacked = Queue.create ();
+    dupacks = 0;
+    recover = 0L;
+    in_recovery = false;
+    peer_window = config.max_window;
+    srtt = None;
+    rttvar = 0.;
+    rto = config.min_rto;
+    rto_timer = None;
+    rcv_nxt = 0L;
+    ooo = Hashtbl.create 64;
+    bytes_delivered = 0;
+    segments_sent = 0;
+    retransmits = 0;
+    fast_retransmits = 0;
+    timeouts = 0;
+    duplicate_acks = 0;
+    out_of_order_segments = 0;
+    completed_at = None;
+  }
+
+let now t = Mmt_sim.Engine.now t.engine
+
+let send_segment t ~seq ~len ~retransmission =
+  let segment =
+    Segment.data ~src_port:t.port ~dst_port:t.port ~seq ~ack:t.rcv_nxt
+      ~window:t.config.max_window (Bytes.create 0)
+  in
+  (* The logical payload length rides exclusively in the packet's
+     padding: segments never materialize content bytes. *)
+  let frame = Segment.encode segment in
+  let packet =
+    Mmt_sim.Packet.create ~padding:len ~id:(t.fresh_id ()) ~born:(now t) frame
+  in
+  t.segments_sent <- t.segments_sent + 1;
+  if retransmission then t.retransmits <- t.retransmits + 1;
+  t.tx packet
+
+let send_pure_ack t =
+  let segment =
+    Segment.pure_ack ~src_port:t.port ~dst_port:t.port ~ack:t.rcv_nxt
+      ~window:t.config.max_window
+  in
+  let packet =
+    Mmt_sim.Packet.create ~id:(t.fresh_id ()) ~born:(now t) (Segment.encode segment)
+  in
+  t.tx packet
+
+(* RTO management ------------------------------------------------------ *)
+
+let cancel_rto t =
+  Option.iter Mmt_sim.Engine.cancel t.rto_timer;
+  t.rto_timer <- None
+
+let update_rto_estimate t ~sample_s =
+  (match t.srtt with
+  | None ->
+      t.srtt <- Some sample_s;
+      t.rttvar <- sample_s /. 2.
+  | Some srtt ->
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (srtt -. sample_s));
+      t.srtt <- Some ((0.875 *. srtt) +. (0.125 *. sample_s)));
+  let srtt = Option.value ~default:sample_s t.srtt in
+  let raw = srtt +. Float.max 0.001 (4. *. t.rttvar) in
+  t.rto <-
+    Units.Time.max t.config.min_rto
+      (Units.Time.min t.config.max_rto (Units.Time.seconds raw))
+
+let rec arm_rto t =
+  cancel_rto t;
+  if not (Queue.is_empty t.unacked) then
+    t.rto_timer <-
+      Some
+        (Mmt_sim.Engine.schedule_after t.engine ~delay:t.rto (fun () ->
+             on_rto t))
+
+and on_rto t =
+  t.rto_timer <- None;
+  match Queue.peek_opt t.unacked with
+  | None -> ()
+  | Some head ->
+      t.timeouts <- t.timeouts + 1;
+      head.u_retx <- head.u_retx + 1;
+      head.u_sent_at <- now t;
+      send_segment t ~seq:head.u_seq ~len:head.u_len ~retransmission:true;
+      head.u_retx_epoch <- t.retransmits;
+      Congestion.on_timeout t.cc ~now:(now t);
+      t.in_recovery <- true;
+      t.recover <- t.snd_nxt;
+      t.rto <- Units.Time.min t.config.max_rto (Units.Time.scale t.rto 2.);
+      t.dupacks <- 0;
+      arm_rto t
+
+(* Sender pump --------------------------------------------------------- *)
+
+let in_flight t = Int64.to_int (Int64.sub t.snd_nxt t.snd_una)
+
+let effective_window t = min (Congestion.window t.cc) t.peer_window
+
+let rec pump t =
+  let available = Int64.to_int (Int64.sub t.write_total t.snd_nxt) in
+  if available > 0 && in_flight t < effective_window t then begin
+    let len = min t.config.mss available in
+    let len = min len (effective_window t - in_flight t) in
+    if len > 0 then begin
+      let seq = t.snd_nxt in
+      send_segment t ~seq ~len ~retransmission:false;
+      Queue.push
+        {
+          u_seq = seq;
+          u_len = len;
+          u_sent_at = now t;
+          u_retx = 0;
+          u_retx_epoch = t.retransmits;
+        }
+        t.unacked;
+      t.snd_nxt <- Int64.add t.snd_nxt (Int64.of_int len);
+      if t.rto_timer = None then arm_rto t;
+      pump t
+    end
+  end
+
+let write t n =
+  if n < 0 then invalid_arg "Connection.write: negative length";
+  t.write_total <- Int64.add t.write_total (Int64.of_int n);
+  pump t
+
+let finish t =
+  t.finished <- true;
+  if t.snd_una = t.write_total && t.completed_at = None then
+    t.completed_at <- Some (now t)
+
+(* ACK processing (sender side) ---------------------------------------- *)
+
+let retransmit_head t =
+  match Queue.peek_opt t.unacked with
+  | None -> ()
+  | Some head ->
+      head.u_retx <- head.u_retx + 1;
+      head.u_sent_at <- now t;
+      send_segment t ~seq:head.u_seq ~len:head.u_len ~retransmission:true;
+      head.u_retx_epoch <- t.retransmits
+
+let fast_retransmit t =
+  t.fast_retransmits <- t.fast_retransmits + 1;
+  retransmit_head t;
+  Congestion.on_fast_retransmit t.cc ~now:(now t);
+  t.in_recovery <- true;
+  t.recover <- t.snd_nxt
+
+let handle_ack t (segment : Segment.t) =
+  t.peer_window <- segment.Segment.window;
+  let ack = segment.Segment.ack in
+  if Int64.compare ack t.snd_una > 0 then begin
+    let acked = Int64.to_int (Int64.sub ack t.snd_una) in
+    t.snd_una <- ack;
+    t.dupacks <- 0;
+    (* Retire covered segments; sample RTT from a never-retransmitted
+       one (Karn's rule). *)
+    let continue = ref true in
+    let rtt_sample = ref None in
+    while !continue do
+      match Queue.peek_opt t.unacked with
+      | Some head
+        when Int64.compare (Int64.add head.u_seq (Int64.of_int head.u_len)) ack <= 0
+        ->
+          if head.u_retx = 0 && head.u_retx_epoch = t.retransmits then begin
+            let sample =
+              Units.Time.to_float_s (Units.Time.diff (now t) head.u_sent_at)
+            in
+            if sample > 0. then begin
+              update_rto_estimate t ~sample_s:sample;
+              rtt_sample := Some sample
+            end
+          end;
+          ignore (Queue.pop t.unacked)
+      | _ -> continue := false
+    done;
+    (* NewReno partial ACK: still inside the recovery window means the
+       next hole starts at the new head — retransmit it immediately
+       rather than waiting out an RTO per hole. *)
+    if t.in_recovery then begin
+      if Int64.compare ack t.recover >= 0 then t.in_recovery <- false
+      else begin
+        retransmit_head t
+      end
+    end;
+    Congestion.on_ack ?rtt_sample:!rtt_sample t.cc ~acked ~now:(now t);
+    if Queue.is_empty t.unacked then cancel_rto t else arm_rto t;
+    if t.finished && t.snd_una = t.write_total && t.completed_at = None then
+      t.completed_at <- Some (now t);
+    pump t
+  end
+  else if Int64.equal ack t.snd_una && Int64.compare t.snd_nxt t.snd_una > 0 then begin
+    t.duplicate_acks <- t.duplicate_acks + 1;
+    t.dupacks <- t.dupacks + 1;
+    (* NewReno-style guard: one fast retransmit per window of data. *)
+    if t.dupacks = 3 && Int64.compare ack t.recover >= 0 then fast_retransmit t
+  end
+
+(* Data processing (receiver side) -------------------------------------- *)
+
+let drain_ooo t =
+  let progressed = ref true in
+  while !progressed do
+    match Hashtbl.find_opt t.ooo t.rcv_nxt with
+    | Some len ->
+        Hashtbl.remove t.ooo t.rcv_nxt;
+        t.rcv_nxt <- Int64.add t.rcv_nxt (Int64.of_int len);
+        t.bytes_delivered <- t.bytes_delivered + len;
+        t.deliver len
+    | None -> progressed := false
+  done
+
+let handle_data t (segment : Segment.t) ~len =
+  if len > 0 then begin
+    let seq = segment.Segment.seq in
+    if Int64.equal seq t.rcv_nxt then begin
+      t.rcv_nxt <- Int64.add t.rcv_nxt (Int64.of_int len);
+      t.bytes_delivered <- t.bytes_delivered + len;
+      t.deliver len;
+      drain_ooo t
+    end
+    else if Int64.compare seq t.rcv_nxt > 0 then begin
+      t.out_of_order_segments <- t.out_of_order_segments + 1;
+      if not (Hashtbl.mem t.ooo seq) then Hashtbl.replace t.ooo seq len
+    end;
+    (* else: duplicate of already-delivered data; just re-ACK. *)
+    send_pure_ack t
+  end
+
+let on_packet t packet =
+  if not packet.Mmt_sim.Packet.corrupted then
+    match Segment.decode (Mmt_sim.Packet.frame packet) with
+    | Error _ -> ()
+    | Ok segment when segment.Segment.dst_port = t.port ->
+        let len = packet.Mmt_sim.Packet.padding in
+        if len > 0 then handle_data t segment ~len
+        else if segment.Segment.flags.Segment.ack then handle_ack t segment
+    | Ok _other_port -> ()
+
+let stats t =
+  {
+    bytes_written = Int64.to_int t.write_total;
+    bytes_acked = Int64.to_int t.snd_una;
+    bytes_delivered = t.bytes_delivered;
+    segments_sent = t.segments_sent;
+    retransmits = t.retransmits;
+    fast_retransmits = t.fast_retransmits;
+    timeouts = t.timeouts;
+    duplicate_acks = t.duplicate_acks;
+    out_of_order_segments = t.out_of_order_segments;
+    srtt = Option.map Units.Time.seconds t.srtt;
+    cwnd = Congestion.window t.cc;
+    completed_at = t.completed_at;
+  }
+
+let config t = t.config
+let rto t = t.rto

@@ -1,0 +1,82 @@
+(** Baseline TCP connection (one-directional data flow).
+
+    A deliberately faithful model of the mechanisms that make TCP a
+    poor fit for DAQ workloads (§ 4.1): an ordered bytestream with
+    cumulative ACKs (head-of-line blocking), retransmission from the
+    source across the whole path RTT, RTO estimation with exponential
+    backoff, fast retransmit on triple duplicate ACKs, and Reno/Cubic
+    congestion control.  "Tuning" (window sizing to the
+    bandwidth-delay product, as DTN operators do [22, 43, 73]) is a
+    configuration profile.
+
+    Payload content is synthetic: segments carry their logical length
+    (as wire padding) but no materialized bytes, so multi-gigabyte
+    streams simulate in O(1) memory.  All measurements made on the
+    baseline are timing and ordering measurements, which are
+    unaffected. *)
+
+open Mmt_util
+
+type config = {
+  mss : int;  (** payload bytes per segment *)
+  initial_window : int;  (** bytes; also the post-RTO restart window *)
+  max_window : int;  (** bytes; socket buffer = advertised window cap *)
+  algorithm : Congestion.algorithm;
+  min_rto : Units.Time.t;
+  max_rto : Units.Time.t;
+}
+
+val default_config : config
+(** Untuned endpoint: 64 KiB windows, Reno — the out-of-the-box
+    behaviour the paper contrasts with tuned DTNs. *)
+
+val tuned_config : bdp:Units.Size.t -> config
+(** DTN-style tuning: Cubic, windows sized to the path
+    bandwidth-delay product, 10 MSS initial window. *)
+
+type stats = {
+  bytes_written : int;
+  bytes_acked : int;
+  bytes_delivered : int;  (** in-order bytes handed to the receiver app *)
+  segments_sent : int;
+  retransmits : int;
+  fast_retransmits : int;
+  timeouts : int;
+  duplicate_acks : int;
+  out_of_order_segments : int;
+  srtt : Units.Time.t option;
+  cwnd : int;
+  completed_at : Units.Time.t option;
+      (** when every written byte was acknowledged (after [finish]) *)
+}
+
+type t
+
+val create :
+  engine:Mmt_sim.Engine.t ->
+  fresh_id:(unit -> int) ->
+  config:config ->
+  ?port:int ->
+  tx:(Mmt_sim.Packet.t -> unit) ->
+  ?deliver:(int -> unit) ->
+  unit ->
+  t
+(** [tx] transmits a packet toward the peer; [deliver n] reports [n]
+    new in-order bytes to the receiving application.  [port] (default
+    1) tags this connection's segments; arriving segments for other
+    ports are ignored, so several connections can share one link for
+    multi-stream experiments. *)
+
+val on_packet : t -> Mmt_sim.Packet.t -> unit
+(** Feed a packet from the peer; corrupted packets are dropped as a
+    checksum failure would. *)
+
+val write : t -> int -> unit
+(** Append [n] synthetic bytes to the send stream. *)
+
+val finish : t -> unit
+(** No more writes; [stats.completed_at] is set once fully acked. *)
+
+val stats : t -> stats
+val config : t -> config
+val rto : t -> Units.Time.t

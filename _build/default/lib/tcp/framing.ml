@@ -1,0 +1,45 @@
+open Mmt_util
+
+type t = {
+  boundaries : int64 Queue.t; (* cumulative end offset of each message *)
+  mutable marked_total : int64;
+  mutable delivered : int64;
+  mutable messages_marked : int;
+  mutable messages_completed : int;
+  mutable completions : Units.Time.t list; (* reversed *)
+}
+
+let create () =
+  {
+    boundaries = Queue.create ();
+    marked_total = 0L;
+    delivered = 0L;
+    messages_marked = 0;
+    messages_completed = 0;
+    completions = [];
+  }
+
+let mark_message t ~size =
+  if size <= 0 then invalid_arg "Framing.mark_message: non-positive size";
+  t.marked_total <- Int64.add t.marked_total (Int64.of_int size);
+  Queue.push t.marked_total t.boundaries;
+  t.messages_marked <- t.messages_marked + 1
+
+let on_delivered t ~now n =
+  t.delivered <- Int64.add t.delivered (Int64.of_int n);
+  let completed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.boundaries with
+    | Some boundary when Int64.compare boundary t.delivered <= 0 ->
+        ignore (Queue.pop t.boundaries);
+        t.messages_completed <- t.messages_completed + 1;
+        t.completions <- now :: t.completions;
+        incr completed
+    | _ -> continue := false
+  done;
+  !completed
+
+let messages_marked t = t.messages_marked
+let messages_completed t = t.messages_completed
+let completion_times t = Array.of_list (List.rev t.completions)

@@ -1,0 +1,29 @@
+(** Message delineation over the baseline bytestream.
+
+    DAQ peers using TCP must delineate messages inside the ordered
+    bytestream, and a lost segment head-of-line blocks every later
+    message until retransmission completes (§ 4.1 point 1).  This
+    module measures exactly that: the sender marks message boundaries
+    as it writes; the receiver side reports a message complete only
+    when the in-order delivered byte count passes its boundary.
+    Message latency under loss is the HoL-blocking observable that the
+    multi-modal transport's datagram delivery avoids. *)
+
+open Mmt_util
+
+type t
+
+val create : unit -> t
+
+val mark_message : t -> size:int -> unit
+(** Sender side: the next [size] written bytes form one message. *)
+
+val on_delivered : t -> now:Units.Time.t -> int -> int
+(** Receiver side: [n] more in-order bytes arrived; returns how many
+    messages completed at this instant. *)
+
+val messages_marked : t -> int
+val messages_completed : t -> int
+
+val completion_times : t -> Units.Time.t array
+(** Completion instant of each finished message, in message order. *)

@@ -1,0 +1,99 @@
+module Cursor = Mmt_wire.Cursor
+
+type flags = { syn : bool; ack : bool; fin : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int64;
+  ack : int64;
+  window : int;
+  flags : flags;
+  payload : bytes;
+}
+
+let magic = 0x54
+let header_size = 28
+
+let data ~src_port ~dst_port ~seq ~ack ~window payload =
+  {
+    src_port;
+    dst_port;
+    seq;
+    ack;
+    window;
+    flags = { syn = false; ack = true; fin = false };
+    payload;
+  }
+
+let pure_ack ~src_port ~dst_port ~ack ~window =
+  {
+    src_port;
+    dst_port;
+    seq = 0L;
+    ack;
+    window;
+    flags = { syn = false; ack = true; fin = false };
+    payload = Bytes.create 0;
+  }
+
+let flags_byte f =
+  (if f.syn then 1 else 0) lor (if f.ack then 2 else 0) lor (if f.fin then 4 else 0)
+
+let encode t =
+  let w = Cursor.Writer.create (header_size + Bytes.length t.payload) in
+  Cursor.Writer.u8 w magic;
+  Cursor.Writer.u8 w (flags_byte t.flags);
+  Cursor.Writer.u16 w t.src_port;
+  Cursor.Writer.u16 w t.dst_port;
+  Cursor.Writer.u64 w t.seq;
+  Cursor.Writer.u64 w t.ack;
+  Cursor.Writer.u32_int w t.window;
+  Cursor.Writer.u16 w (Bytes.length t.payload);
+  Cursor.Writer.bytes w t.payload;
+  Cursor.Writer.contents w
+
+let decode buf =
+  match
+    let r = Cursor.Reader.of_bytes buf in
+    let seen = Cursor.Reader.u8 r in
+    if seen <> magic then Error "not a baseline TCP segment"
+    else begin
+      let fb = Cursor.Reader.u8 r in
+      let src_port = Cursor.Reader.u16 r in
+      let dst_port = Cursor.Reader.u16 r in
+      let seq = Cursor.Reader.u64 r in
+      let ack = Cursor.Reader.u64 r in
+      let window = Cursor.Reader.u32_int r in
+      let length = Cursor.Reader.u16 r in
+      if Cursor.Reader.remaining r < length then Error "segment payload truncated"
+      else
+        let payload = Cursor.Reader.take r length in
+        Ok
+          {
+            src_port;
+            dst_port;
+            seq;
+            ack;
+            window;
+            flags =
+              { syn = fb land 1 <> 0; ack = fb land 2 <> 0; fin = fb land 4 <> 0 };
+            payload;
+          }
+    end
+  with
+  | result -> result
+  | exception Cursor.Out_of_bounds _ -> Error "truncated segment"
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port && a.seq = b.seq
+  && a.ack = b.ack && a.window = b.window && a.flags = b.flags
+  && Bytes.equal a.payload b.payload
+
+let pp fmt t =
+  Format.fprintf fmt "tcp{%d->%d seq=%Ld ack=%Ld win=%d%s%s%s %dB}" t.src_port
+    t.dst_port t.seq t.ack t.window
+    (if t.flags.syn then " SYN" else "")
+    (if t.flags.fin then " FIN" else "")
+    (if t.flags.ack then " ACK" else "")
+    (Bytes.length t.payload)

@@ -1,0 +1,30 @@
+(** Baseline TCP segment codec.
+
+    A compact TCP-like header for the baseline transport — not
+    bit-compatible with RFC 793 (64-bit sequence space avoids wrap
+    handling; no options), but carrying exactly the machinery the
+    baseline models: cumulative ACKs, flags, and a receive window.
+    The first byte is 0x54 ('T'), distinguishing baseline frames from
+    multi-modal transport (0x01), IPv4 (0x45) and Ethernet frames. *)
+
+type flags = { syn : bool; ack : bool; fin : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int64;  (** first payload byte's offset in the stream *)
+  ack : int64;  (** next expected byte (valid when [flags.ack]) *)
+  window : int;  (** receive window, bytes *)
+  flags : flags;
+  payload : bytes;
+}
+
+val header_size : int
+(** 28 bytes. *)
+
+val data : src_port:int -> dst_port:int -> seq:int64 -> ack:int64 -> window:int -> bytes -> t
+val pure_ack : src_port:int -> dst_port:int -> ack:int64 -> window:int -> t
+val encode : t -> bytes
+val decode : bytes -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

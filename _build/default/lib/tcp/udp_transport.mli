@@ -1,0 +1,46 @@
+(** Baseline UDP datagram transport.
+
+    "When a transport is used in a DAQ network, it is usually UDP (as
+    done in DUNE)" (§ 4).  Fire-and-forget datagrams over an
+    Ethernet+IPv4+UDP stack: no sequencing, no recovery, no
+    timeliness — loss upstream of the first buffering stage is simply
+    gone, which is the baseline the multi-modal mode-0/mode-1 split
+    improves on. *)
+
+open Mmt_util
+open Mmt_frame
+
+type sender
+
+type sender_stats = { datagrams_sent : int; bytes_sent : int }
+
+val create_sender :
+  engine:Mmt_sim.Engine.t ->
+  fresh_id:(unit -> int) ->
+  src:Addr.Ip.t ->
+  dst:Addr.Ip.t ->
+  src_port:int ->
+  dst_port:int ->
+  tx:(Mmt_sim.Packet.t -> unit) ->
+  ?padding:int ->
+  unit ->
+  sender
+
+val send : sender -> bytes -> unit
+val sender_stats : sender -> sender_stats
+
+type receiver
+
+type receiver_stats = {
+  datagrams_received : int;
+  bytes_received : int;
+  corrupted : int;
+  decode_failures : int;
+}
+
+val create_receiver :
+  deliver:(src:Addr.Ip.t -> src_port:int -> bytes -> unit) -> unit -> receiver
+
+val on_packet : receiver -> Mmt_sim.Packet.t -> unit
+val receiver_stats : receiver -> receiver_stats
+val receiver_goodput : receiver -> over:Units.Time.t -> Units.Rate.t

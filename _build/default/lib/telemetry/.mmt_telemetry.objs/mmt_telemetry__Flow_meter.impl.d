@@ -1,0 +1,1 @@
+lib/telemetry/flow_meter.ml: Hashtbl Int64 List Mmt_util Option Units

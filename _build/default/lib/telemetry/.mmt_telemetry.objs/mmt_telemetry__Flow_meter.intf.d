@@ -1,0 +1,1 @@
+lib/telemetry/flow_meter.mli: Mmt_util Units

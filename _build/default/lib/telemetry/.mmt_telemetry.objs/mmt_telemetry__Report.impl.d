@@ -1,0 +1,1 @@
+lib/telemetry/report.ml: List Mmt_util Printf Table

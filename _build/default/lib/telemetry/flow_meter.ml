@@ -1,0 +1,38 @@
+open Mmt_util
+
+type t = {
+  bin : Units.Time.t;
+  bins : (int, int) Hashtbl.t; (* bin index -> bytes *)
+  mutable total : int;
+  mutable max_bin : int;
+}
+
+let create ~bin =
+  if Units.Time.is_zero bin then invalid_arg "Flow_meter.create: zero bin";
+  { bin; bins = Hashtbl.create 256; total = 0; max_bin = -1 }
+
+let index t now = Int64.to_int (Int64.div (Units.Time.to_ns now) (Units.Time.to_ns t.bin))
+
+let record t ~now ~bytes =
+  let i = index t now in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.bins i) in
+  Hashtbl.replace t.bins i (current + bytes);
+  t.total <- t.total + bytes;
+  if i > t.max_bin then t.max_bin <- i
+
+let total_bytes t = t.total
+
+let bin_rate t bytes = Units.Rate.of_size_per_time (Units.Size.bytes bytes) t.bin
+
+let series t =
+  if t.max_bin < 0 then []
+  else
+    List.init (t.max_bin + 1) (fun i ->
+        let bytes = Option.value ~default:0 (Hashtbl.find_opt t.bins i) in
+        ( Units.Time.ns (Int64.mul (Int64.of_int i) (Units.Time.to_ns t.bin)),
+          bin_rate t bytes ))
+
+let peak t =
+  Hashtbl.fold (fun _i bytes best -> max bytes best) t.bins 0 |> bin_rate t
+
+let average t ~over = Units.Rate.of_size_per_time (Units.Size.bytes t.total) over

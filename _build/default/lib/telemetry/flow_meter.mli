@@ -1,0 +1,21 @@
+(** Time-binned throughput measurement.
+
+    Record byte arrivals as they happen; read back a rate time-series
+    (for ramp-up curves, burst visibility) and aggregates. *)
+
+open Mmt_util
+
+type t
+
+val create : bin:Units.Time.t -> t
+(** @raise Invalid_argument on a zero bin. *)
+
+val record : t -> now:Units.Time.t -> bytes:int -> unit
+val total_bytes : t -> int
+
+val series : t -> (Units.Time.t * Units.Rate.t) list
+(** [(bin_start, average_rate_in_bin)] in time order; empty bins
+    between activity are included as zero. *)
+
+val peak : t -> Units.Rate.t
+val average : t -> over:Units.Time.t -> Units.Rate.t

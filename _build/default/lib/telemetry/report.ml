@@ -1,0 +1,51 @@
+open Mmt_util
+
+type row = {
+  metric : string;
+  expected : string;
+  measured : string;
+  ok : bool option;
+}
+
+type t = {
+  id : string;
+  title : string;
+  note : string option;
+  rows : row list;
+}
+
+let info ~metric ~measured = { metric; expected = "-"; measured; ok = None }
+
+let check ~metric ~expected ~measured ok = { metric; expected; measured; ok = Some ok }
+
+let render t =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "%s: %s" t.id t.title)
+      ~columns:
+        [
+          ("metric", Table.Left);
+          ("paper", Table.Left);
+          ("measured", Table.Left);
+          ("shape", Table.Left);
+        ]
+      ()
+  in
+  List.iter
+    (fun row ->
+      let verdict =
+        match row.ok with None -> "" | Some true -> "OK" | Some false -> "MISMATCH"
+      in
+      Table.add_row table [ row.metric; row.expected; row.measured; verdict ])
+    t.rows;
+  let body = Table.render table in
+  match t.note with
+  | Some note -> body ^ "note: " ^ note ^ "\n"
+  | None -> body
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let all_ok t =
+  List.for_all (fun row -> match row.ok with Some false -> false | _ -> true) t.rows

@@ -1,0 +1,28 @@
+(** Experiment reports: paper-expectation vs measured value.
+
+    Every table/figure reproduction emits one of these; the rendered
+    form is what lands in bench output and EXPERIMENTS.md.  A row's
+    [ok] records whether the measured value matches the paper's
+    {e shape} claim (who wins, rough factor, crossover side) — absolute
+    numbers are not expected to match a hardware testbed. *)
+
+type row = {
+  metric : string;
+  expected : string;  (** the paper's claim, with its § reference *)
+  measured : string;
+  ok : bool option;  (** [None] for informational rows *)
+}
+
+type t = {
+  id : string;  (** experiment id from DESIGN.md, e.g. "E-F3" *)
+  title : string;
+  note : string option;  (** e.g. the rate scale used *)
+  rows : row list;
+}
+
+val info : metric:string -> measured:string -> row
+val check : metric:string -> expected:string -> measured:string -> bool -> row
+val render : t -> string
+val print : t -> unit
+val all_ok : t -> bool
+(** True when every checked row passed. *)

@@ -1,0 +1,1 @@
+lib/util/stats.ml: Array Buffer Float Hashtbl List Option Printf Stdlib String

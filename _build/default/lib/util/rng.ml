@@ -1,0 +1,101 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: mix the raw counter into an output word. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  (* Derive a well-separated seed by double-mixing the next raw word. *)
+  let derived = mix (Int64.logxor (int64 t) 0xD1B54A32D192ED03L) in
+  { state = derived }
+
+let bits32 t = Int64.to_int32 (Int64.shift_right_logical (int64 t) 32)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let raw = Int64.shift_right_logical (int64 t) 1 in
+    let candidate = Int64.rem raw bound64 in
+    (* Reject the final, partial copy of [0, bound) at the top of the
+       63-bit range; the sum overflows to negative exactly there. *)
+    if Int64.add (Int64.sub raw candidate) (Int64.sub bound64 1L) < 0L
+    then loop ()
+    else Int64.to_int candidate
+  in
+  loop ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  if lo = hi then lo else lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  (* 53 random bits into [0,1). *)
+  let raw = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float raw *. 0x1.0p-53
+
+let float_in_range t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t ~p =
+  if p <= 0. then false else if p >= 1. then true else float t < p
+
+let gaussian t ~mu ~sigma =
+  let rec polar () =
+    let u = float_in_range t ~lo:(-1.) ~hi:1. in
+    let v = float_in_range t ~lo:(-1.) ~hi:1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then polar ()
+    else u *. sqrt (-2. *. log s /. s)
+  in
+  mu +. (sigma *. polar ())
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.float t) /. rate
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Rng.pareto: shape and scale must be positive";
+  scale /. ((1. -. float t) ** (1. /. shape))
+
+let poisson t ~mean =
+  if mean < 0. then invalid_arg "Rng.poisson: mean must be non-negative";
+  if mean = 0. then 0
+  else if mean > 500. then
+    (* Normal approximation keeps the loop bounded for huge means. *)
+    let x = gaussian t ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+  else
+    let limit = exp (-.mean) in
+    let rec loop k product =
+      let product = product *. float t in
+      if product <= limit then k else loop (k + 1) product
+    in
+    loop 0 1.
+
+let pick t values =
+  if Array.length values = 0 then invalid_arg "Rng.pick: empty array";
+  values.(int t ~bound:(Array.length values))
+
+let shuffle t values =
+  for i = Array.length values - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = values.(i) in
+    values.(i) <- values.(j);
+    values.(j) <- tmp
+  done

@@ -1,0 +1,73 @@
+type alignment = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  alignments : alignment list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  if columns = [] then invalid_arg "Table.create: no columns";
+  {
+    title;
+    headers = List.map fst columns;
+    alignments = List.map snd columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad alignment width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match alignment with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        match row with
+        | Separator -> widths
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buffer = Buffer.create 1024 in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buffer ("== " ^ title ^ " ==\n")
+  | None -> ());
+  let render_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine widths t.alignments)
+        cells
+    in
+    Buffer.add_string buffer ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let rule () =
+    let dashes = List.map (fun w -> String.make w '-') widths in
+    Buffer.add_string buffer ("|-" ^ String.concat "-|-" dashes ^ "-|\n")
+  in
+  render_cells t.headers;
+  rule ();
+  List.iter
+    (fun row -> match row with Cells cells -> render_cells cells | Separator -> rule ())
+    rows;
+  Buffer.contents buffer
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,25 @@
+(** Aligned plain-text tables for experiment reports.
+
+    Every table and figure reproduction in [bench/] and the telemetry
+    reports print through this module so output is uniform and easy to
+    diff against EXPERIMENTS.md. *)
+
+type alignment = Left | Right
+
+type t
+
+val create : ?title:string -> columns:(string * alignment) list -> unit -> t
+(** [create ~columns ()] starts a table with the given header cells.
+    @raise Invalid_argument on an empty column list. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing-free ASCII, column-aligned. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a newline. *)

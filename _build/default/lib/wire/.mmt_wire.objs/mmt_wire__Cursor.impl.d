@@ -1,0 +1,1 @@
+lib/wire/cursor.ml: Bytes Char Int32 Printf

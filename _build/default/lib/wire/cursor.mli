@@ -1,0 +1,62 @@
+(** Bounds-checked big-endian cursors over [bytes].
+
+    All protocol headers (Ethernet, IPv4, UDP and the multi-modal
+    transport header) serialize and parse through these cursors, so
+    every field access is network byte order and bounds-checked in one
+    place. *)
+
+exception Out_of_bounds of string
+(** Raised on any read or write past the cursor's window. *)
+
+module Reader : sig
+  type t
+
+  val of_bytes : ?off:int -> ?len:int -> bytes -> t
+  (** View over [bytes.(off .. off+len-1)]; defaults to the whole
+      buffer.  @raise Invalid_argument on a bad window. *)
+
+  val remaining : t -> int
+  val position : t -> int
+  (** Offset consumed so far, relative to the window start. *)
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u24 : t -> int
+  val u32 : t -> int32
+  val u32_int : t -> int
+  (** [u32] as a non-negative [int] (always fits on 64-bit OCaml). *)
+
+  val u64 : t -> int64
+  val take : t -> int -> bytes
+  (** Copy out the next [n] bytes. *)
+
+  val skip : t -> int -> unit
+  val rest : t -> bytes
+  (** Copy out everything remaining. *)
+end
+
+module Writer : sig
+  type t
+
+  val create : int -> t
+  (** Fixed-capacity writer; writes beyond capacity raise
+      {!Out_of_bounds} rather than grow, because on-wire headers have
+      known sizes. *)
+
+  val length : t -> int
+  val u8 : t -> int -> unit
+  (** Low 8 bits of the argument. *)
+
+  val u16 : t -> int -> unit
+  val u24 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u32_int : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val bytes : t -> bytes -> unit
+  val contents : t -> bytes
+  (** Copy of the written prefix. *)
+end
+
+val checksum : bytes -> off:int -> len:int -> int
+(** RFC 1071 Internet checksum of the given window (16-bit one's
+    complement of the one's-complement sum). *)

@@ -1,0 +1,1 @@
+test/suite_control.ml: Addr Alcotest Bytes Ethernet Gen Ipv4 List Mmt Mmt_frame Mmt_util Mmt_wire QCheck QCheck_alcotest Units

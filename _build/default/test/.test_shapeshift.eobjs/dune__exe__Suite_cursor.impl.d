@@ -1,0 +1,1 @@
+test/suite_cursor.ml: Alcotest Bytes Char Gen List Mmt_wire QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_daq.ml: Alcotest Array Bytes Float Int64 List Mmt Mmt_daq Mmt_sim Mmt_util Option Rng Stats Units

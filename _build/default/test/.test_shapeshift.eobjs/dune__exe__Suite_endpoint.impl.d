@@ -1,0 +1,1 @@
+test/suite_endpoint.ml: Addr Alcotest Bytes Float List Mmt Mmt_frame Mmt_runtime Mmt_sim Mmt_util Printf Queue Units

@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Gen List Mmt_sim Mmt_util QCheck QCheck_alcotest Rng Units

@@ -1,0 +1,1 @@
+test/suite_experiments.ml: Alcotest List Mmt_experiments String

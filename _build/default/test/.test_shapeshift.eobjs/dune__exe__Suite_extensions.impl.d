@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Addr Alcotest Bytes Char Gen Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_pilot Mmt_runtime Mmt_sim Mmt_util QCheck QCheck_alcotest Queue Result Units

@@ -1,0 +1,1 @@
+test/suite_frame.ml: Addr Alcotest Bytes Char Ethernet Int32 Ipv4 List Mmt_frame Mmt_wire QCheck QCheck_alcotest Udp

@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Bytes Char List Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_runtime Mmt_sim Mmt_tcp Mmt_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_header.ml: Addr Alcotest Bytes Kind List Mmt Mmt_frame Mmt_util Option QCheck QCheck_alcotest Set Units

@@ -1,0 +1,1 @@
+test/suite_innet.ml: Addr Alcotest Bytes List Mmt Mmt_frame Mmt_innet Mmt_runtime Mmt_sim Mmt_util Option Queue Units

@@ -1,0 +1,1 @@
+test/suite_mode.ml: Addr Alcotest Bytes Gen List Mmt Mmt_frame Mmt_util QCheck QCheck_alcotest Set Units

@@ -1,0 +1,1 @@
+test/suite_pilot.ml: Alcotest Astring_replacement Float List Mmt Mmt_daq Mmt_innet Mmt_pilot Mmt_sim Mmt_tcp Mmt_telemetry Mmt_util Option String Units

@@ -1,0 +1,1 @@
+test/suite_rng.ml: Alcotest Array Float Fun List Mmt_util QCheck QCheck_alcotest Rng Stats

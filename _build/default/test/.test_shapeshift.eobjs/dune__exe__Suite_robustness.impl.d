@@ -1,0 +1,1 @@
+test/suite_robustness.ml: Addr Alcotest Bytes Int64 List Mmt Mmt_daq Mmt_frame Mmt_innet Mmt_pilot Mmt_sim Mmt_util Option Printf QCheck QCheck_alcotest Rng String Units

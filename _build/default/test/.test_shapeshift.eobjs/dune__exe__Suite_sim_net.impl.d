@@ -1,0 +1,1 @@
+test/suite_sim_net.ml: Alcotest Bytes Float Fun List Mmt_sim Mmt_util Rng Units

@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Float Gen List Mmt_util QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/suite_tcp.ml: Alcotest Array Bytes List Mmt Mmt_frame Mmt_sim Mmt_tcp Mmt_util Rng Units

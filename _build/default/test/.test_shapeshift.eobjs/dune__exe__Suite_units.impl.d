@@ -1,0 +1,1 @@
+test/suite_units.ml: Alcotest Float Mmt_util QCheck QCheck_alcotest Units

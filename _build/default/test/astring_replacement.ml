@@ -1,0 +1,5 @@
+(* Tiny substring helper so tests avoid external string libraries. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0

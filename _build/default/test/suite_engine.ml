@@ -1,0 +1,144 @@
+open Mmt_util
+module Engine = Mmt_sim.Engine
+
+let time = Alcotest.testable Units.Time.pp Units.Time.equal
+
+let test_runs_in_time_order () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  ignore (Engine.schedule engine ~at:(Units.Time.us 30.) (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule engine ~at:(Units.Time.us 10.) (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule engine ~at:(Units.Time.us 20.) (fun () -> order := 2 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_fifo_for_equal_times () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 50 do
+    ignore (Engine.schedule engine ~at:(Units.Time.us 5.) (fun () -> order := i :: !order))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "insertion order" (List.init 50 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_clock_advances () =
+  let engine = Engine.create () in
+  let seen = ref Units.Time.zero in
+  ignore (Engine.schedule engine ~at:(Units.Time.ms 2.) (fun () -> seen := Engine.now engine));
+  Engine.run engine;
+  Alcotest.check time "clock at event time" (Units.Time.ms 2.) !seen;
+  Alcotest.check time "clock stays" (Units.Time.ms 2.) (Engine.now engine)
+
+let test_past_events_run_now () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:(Units.Time.ms 1.) (fun () -> ()));
+  Engine.run engine;
+  let fired_at = ref Units.Time.zero in
+  ignore
+    (Engine.schedule engine ~at:Units.Time.zero (fun () -> fired_at := Engine.now engine));
+  Engine.run engine;
+  Alcotest.check time "not in the past" (Units.Time.ms 1.) !fired_at
+
+let test_reentrant_scheduling () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then begin
+      incr count;
+      ignore (Engine.schedule_after engine ~delay:(Units.Time.us 1.) (fun () -> chain (n - 1)))
+    end
+  in
+  chain 100;
+  Engine.run engine;
+  Alcotest.(check int) "all chained events ran" 100 !count;
+  Alcotest.check time "clock" (Units.Time.us 100.) (Engine.now engine)
+
+let test_cancellation () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let handle = Engine.schedule engine ~at:(Units.Time.ms 1.) (fun () -> fired := true) in
+  Engine.cancel handle;
+  Engine.cancel handle;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled event skipped" false !fired
+
+let test_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule engine ~at:(Units.Time.ms 1.) (fun () -> fired := 1 :: !fired));
+  ignore (Engine.schedule engine ~at:(Units.Time.ms 5.) (fun () -> fired := 5 :: !fired));
+  Engine.run ~until:(Units.Time.ms 2.) engine;
+  Alcotest.(check (list int)) "only first fired" [ 1 ] !fired;
+  Alcotest.check time "clock advanced to until" (Units.Time.ms 2.) (Engine.now engine);
+  Engine.run engine;
+  Alcotest.(check (list int)) "rest fired later" [ 5; 1 ] !fired
+
+let test_pending_and_processed () =
+  let engine = Engine.create () in
+  let h1 = Engine.schedule engine ~at:(Units.Time.ms 1.) ignore in
+  ignore (Engine.schedule engine ~at:(Units.Time.ms 2.) ignore);
+  Alcotest.(check int) "pending" 2 (Engine.pending engine);
+  Engine.cancel h1;
+  Alcotest.(check int) "pending after cancel" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "processed" 1 (Engine.processed engine);
+  Alcotest.(check int) "pending drained" 0 (Engine.pending engine)
+
+let test_step () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:(Units.Time.us 1.) ignore);
+  ignore (Engine.schedule engine ~at:(Units.Time.us 2.) ignore);
+  Alcotest.(check bool) "step 1" true (Engine.step engine);
+  Alcotest.(check bool) "step 2" true (Engine.step engine);
+  Alcotest.(check bool) "step empty" false (Engine.step engine)
+
+let test_heap_stress () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:77L in
+  let last = ref Units.Time.zero in
+  let monotone = ref true in
+  for _ = 1 to 10_000 do
+    let at = Units.Time.of_int_ns (Rng.int rng ~bound:1_000_000) in
+    ignore
+      (Engine.schedule engine ~at (fun () ->
+           if Units.Time.(Engine.now engine < !last) then monotone := false;
+           last := Engine.now engine))
+  done;
+  Engine.run engine;
+  Alcotest.(check bool) "clock monotone over 10k random events" true !monotone;
+  Alcotest.(check int) "all processed" 10_000 (Engine.processed engine)
+
+let qcheck_event_order =
+  QCheck.Test.make ~name:"events always fire in schedule order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 1_000))
+    (fun delays ->
+      let engine = Engine.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Engine.schedule engine ~at:(Units.Time.of_int_ns d) (fun () ->
+                 fired := (d, i) :: !fired)))
+        delays;
+      Engine.run engine;
+      let result = List.rev !fired in
+      let sorted = List.stable_sort (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i d -> (d, i)) delays)
+      in
+      result = sorted)
+
+let suite =
+  [
+    Alcotest.test_case "time order" `Quick test_runs_in_time_order;
+    Alcotest.test_case "fifo for ties" `Quick test_fifo_for_equal_times;
+    Alcotest.test_case "clock advances" `Quick test_clock_advances;
+    Alcotest.test_case "past events run now" `Quick test_past_events_run_now;
+    Alcotest.test_case "re-entrant scheduling" `Quick test_reentrant_scheduling;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "run until" `Quick test_run_until;
+    Alcotest.test_case "pending/processed" `Quick test_pending_and_processed;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "heap stress" `Quick test_heap_stress;
+    QCheck_alcotest.to_alcotest qcheck_event_order;
+  ]

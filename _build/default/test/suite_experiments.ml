@@ -1,0 +1,43 @@
+(* The experiment registry and the fast reproductions. *)
+
+let test_registry_ids_unique () =
+  let ids =
+    List.map
+      (fun (e : Mmt_experiments.Registry.entry) -> e.Mmt_experiments.Registry.id)
+      Mmt_experiments.Registry.all
+  in
+  Alcotest.(check int) "unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_registry_find_variants () =
+  List.iter
+    (fun query ->
+      match Mmt_experiments.Registry.find query with
+      | Some entry ->
+          Alcotest.(check string) ("found " ^ query) "E-F3"
+            entry.Mmt_experiments.Registry.id
+      | None -> Alcotest.fail ("lookup failed for " ^ query))
+    [ "E-F3"; "e-f3"; "F3"; "f3" ];
+  Alcotest.(check bool) "unknown id" true
+    (Mmt_experiments.Registry.find "E-Z9" = None)
+
+let test_registry_covers_paper () =
+  (* Every table/figure of the paper has an entry: T1, F1-F4. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " registered") true
+        (Mmt_experiments.Registry.find id <> None))
+    [ "E-T1"; "E-F1"; "E-F2"; "E-F3"; "E-F4" ]
+
+let test_table1_passes () =
+  let output, ok = Mmt_experiments.Table1.run () in
+  Alcotest.(check bool) "non-empty output" true (String.length output > 100);
+  Alcotest.(check bool) "all shape checks pass" true ok
+
+let suite =
+  [
+    Alcotest.test_case "registry ids unique" `Quick test_registry_ids_unique;
+    Alcotest.test_case "registry find variants" `Quick test_registry_find_variants;
+    Alcotest.test_case "registry covers the paper" `Quick test_registry_covers_paper;
+    Alcotest.test_case "table1 reproduction passes" `Slow test_table1_passes;
+  ]

@@ -1,0 +1,169 @@
+open Mmt_util
+
+let test_determinism () =
+  let a = Rng.create ~seed:99L in
+  let b = Rng.create ~seed:99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_copy_independence () =
+  let a = Rng.create ~seed:5L in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "copy tracks original's state" (Rng.int64 a)
+      (Rng.int64 b)
+  done
+
+let test_split_diverges () =
+  let a = Rng.create ~seed:5L in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int64 a) in
+  let ys = List.init 20 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:1L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng ~bound:7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng ~bound:0))
+
+let test_int_in_range () =
+  let rng = Rng.create ~seed:2L in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range rng ~lo:(-3) ~hi:3 in
+    Alcotest.(check bool) "in [-3,3]" true (v >= -3 && v <= 3)
+  done;
+  Alcotest.(check int) "degenerate range" 5 (Rng.int_in_range rng ~lo:5 ~hi:5)
+
+let test_float_unit_interval () =
+  let rng = Rng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0. && v < 1.)
+  done
+
+let test_uniformity_rough () =
+  let rng = Rng.create ~seed:4L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng ~bound:10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "within 5% of uniform" true
+        (abs (count - expected) < expected / 20))
+    buckets
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:6L in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to 50_000 do
+    Stats.Welford.add acc (Rng.gaussian rng ~mu:10. ~sigma:2.)
+  done;
+  Alcotest.(check bool) "mean near 10" true
+    (Float.abs (Stats.Welford.mean acc -. 10.) < 0.1);
+  Alcotest.(check bool) "stddev near 2" true
+    (Float.abs (Stats.Welford.stddev acc -. 2.) < 0.1)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:7L in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to 50_000 do
+    Stats.Welford.add acc (Rng.exponential rng ~rate:4.)
+  done;
+  Alcotest.(check bool) "mean near 1/4" true
+    (Float.abs (Stats.Welford.mean acc -. 0.25) < 0.01)
+
+let test_exponential_rejects_bad_rate () =
+  let rng = Rng.create ~seed:7L in
+  Alcotest.check_raises "non-positive rate"
+    (Invalid_argument "Rng.exponential: rate must be positive") (fun () ->
+      ignore (Rng.exponential rng ~rate:0.))
+
+let test_poisson_mean () =
+  let rng = Rng.create ~seed:8L in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to 20_000 do
+    Stats.Welford.add acc (float_of_int (Rng.poisson rng ~mean:3.5))
+  done;
+  Alcotest.(check bool) "mean near 3.5" true
+    (Float.abs (Stats.Welford.mean acc -. 3.5) < 0.1)
+
+let test_poisson_large_mean () =
+  let rng = Rng.create ~seed:8L in
+  let acc = Stats.Welford.create () in
+  for _ = 1 to 5_000 do
+    Stats.Welford.add acc (float_of_int (Rng.poisson rng ~mean:1000.))
+  done;
+  Alcotest.(check bool) "normal-approx mean near 1000" true
+    (Float.abs (Stats.Welford.mean acc -. 1000.) < 10.)
+
+let test_poisson_zero () =
+  let rng = Rng.create ~seed:8L in
+  Alcotest.(check int) "zero mean" 0 (Rng.poisson rng ~mean:0.)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:9L in
+  Alcotest.(check bool) "p=0 never" false (Rng.bernoulli rng ~p:0.);
+  Alcotest.(check bool) "p=1 always" true (Rng.bernoulli rng ~p:1.)
+
+let test_pick_and_shuffle () =
+  let rng = Rng.create ~seed:10L in
+  let values = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "pick member" true
+      (Array.mem (Rng.pick rng values) values)
+  done;
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_pareto_bounds () =
+  let rng = Rng.create ~seed:11L in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true
+      (Rng.pareto rng ~shape:1.5 ~scale:2. >= 2.)
+  done
+
+let qcheck_int_in_range =
+  QCheck.Test.make ~name:"int_in_range stays in range" ~count:500
+    QCheck.(triple int64 (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, width) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int_in_range rng ~lo ~hi:(lo + width) in
+      v >= lo && v <= lo + width)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy independence" `Quick test_copy_independence;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+    Alcotest.test_case "float unit interval" `Quick test_float_unit_interval;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential bad rate" `Quick test_exponential_rejects_bad_rate;
+    Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+    Alcotest.test_case "poisson large mean" `Quick test_poisson_large_mean;
+    Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "pick and shuffle" `Quick test_pick_and_shuffle;
+    Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds;
+    QCheck_alcotest.to_alcotest qcheck_int_in_range;
+  ]

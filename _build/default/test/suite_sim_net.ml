@@ -1,0 +1,326 @@
+(* Queue disciplines, loss models, links and topology. *)
+open Mmt_util
+module Sim = Mmt_sim
+
+let mk_packet ?(padding = 0) ?(id = 0) size =
+  Sim.Packet.create ~padding ~id ~born:Units.Time.zero (Bytes.create size)
+
+(* Queue models ---------------------------------------------------------- *)
+
+let test_droptail_fifo_order () =
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.kib 64) in
+  let now = Units.Time.zero in
+  for i = 0 to 9 do
+    Alcotest.(check bool) "accepted" true
+      (Sim.Queue_model.enqueue q ~now (mk_packet ~id:i 100) = `Accepted)
+  done;
+  let order = List.init 10 (fun _ ->
+      match Sim.Queue_model.dequeue q ~now with
+      | Some p -> p.Sim.Packet.id
+      | None -> -1)
+  in
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
+
+let test_droptail_overflow () =
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 250) in
+  let now = Units.Time.zero in
+  Alcotest.(check bool) "fits" true (Sim.Queue_model.enqueue q ~now (mk_packet 100) = `Accepted);
+  Alcotest.(check bool) "fits" true (Sim.Queue_model.enqueue q ~now (mk_packet 100) = `Accepted);
+  Alcotest.(check bool) "overflow" true (Sim.Queue_model.enqueue q ~now (mk_packet 100) = `Dropped);
+  Alcotest.(check int) "drop counted" 1 (Sim.Queue_model.overflow_drops q);
+  Alcotest.(check int) "bytes" 200 (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q))
+
+let test_droptail_padding_counts () =
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 150) in
+  let now = Units.Time.zero in
+  Alcotest.(check bool) "padding included in occupancy" true
+    (Sim.Queue_model.enqueue q ~now (mk_packet ~padding:100 10) = `Accepted);
+  Alcotest.(check bool) "overflow from padding" true
+    (Sim.Queue_model.enqueue q ~now (mk_packet ~padding:100 10) = `Dropped)
+
+(* EDF queue: deadlines via a side table keyed by packet id. *)
+let edf_queue deadlines =
+  Sim.Queue_model.deadline_aware ~capacity:(Units.Size.kib 64) ~drop_expired:false
+    ~deadline_of:(fun p -> List.assoc_opt p.Sim.Packet.id deadlines)
+
+let test_edf_orders_by_deadline () =
+  let deadlines = [ (0, Units.Time.ms 3.); (1, Units.Time.ms 1.); (2, Units.Time.ms 2.) ] in
+  let q = edf_queue deadlines in
+  let now = Units.Time.zero in
+  List.iter (fun i -> ignore (Sim.Queue_model.enqueue q ~now (mk_packet ~id:i 10))) [ 0; 1; 2 ];
+  let order = List.init 3 (fun _ ->
+      match Sim.Queue_model.dequeue q ~now with Some p -> p.Sim.Packet.id | None -> -1)
+  in
+  Alcotest.(check (list int)) "earliest deadline first" [ 1; 2; 0 ] order
+
+let test_edf_deadline_free_after_deadlines () =
+  let deadlines = [ (1, Units.Time.ms 9.) ] in
+  let q = edf_queue deadlines in
+  let now = Units.Time.zero in
+  List.iter (fun i -> ignore (Sim.Queue_model.enqueue q ~now (mk_packet ~id:i 10))) [ 0; 1; 2 ];
+  let order = List.init 3 (fun _ ->
+      match Sim.Queue_model.dequeue q ~now with Some p -> p.Sim.Packet.id | None -> -1)
+  in
+  Alcotest.(check (list int)) "deadline-bearing first, then fifo" [ 1; 0; 2 ] order
+
+let test_edf_drop_expired () =
+  let deadlines = [ (0, Units.Time.ms 1.); (1, Units.Time.ms 10.) ] in
+  let q =
+    Sim.Queue_model.deadline_aware ~capacity:(Units.Size.kib 64) ~drop_expired:true
+      ~deadline_of:(fun p -> List.assoc_opt p.Sim.Packet.id deadlines)
+  in
+  List.iter
+    (fun i -> ignore (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 10)))
+    [ 0; 1 ];
+  (match Sim.Queue_model.dequeue q ~now:(Units.Time.ms 5.) with
+  | Some p -> Alcotest.(check int) "expired dropped, live served" 1 p.Sim.Packet.id
+  | None -> Alcotest.fail "expected a packet");
+  Alcotest.(check int) "expired counted" 1 (Sim.Queue_model.expired_drops q)
+
+let test_edf_heap_stress () =
+  let rng = Rng.create ~seed:123L in
+  let deadline_of (p : Sim.Packet.t) =
+    Some (Units.Time.of_int_ns ((p.Sim.Packet.id * 7919) mod 104729))
+  in
+  let q =
+    Sim.Queue_model.deadline_aware ~capacity:(Units.Size.mib 16) ~drop_expired:false
+      ~deadline_of
+  in
+  for i = 0 to 999 do
+    ignore (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 10));
+    if Rng.bool rng then ignore (Sim.Queue_model.dequeue q ~now:Units.Time.zero)
+  done;
+  let rec drain last =
+    match Sim.Queue_model.dequeue q ~now:Units.Time.zero with
+    | None -> ()
+    | Some p ->
+        let d = (p.Sim.Packet.id * 7919) mod 104729 in
+        Alcotest.(check bool) "non-decreasing deadlines" true (d >= last);
+        drain d
+  in
+  drain (-1)
+
+(* Loss models ------------------------------------------------------------ *)
+
+let test_loss_perfect () =
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "always delivers" true
+      (Sim.Loss.decide Sim.Loss.perfect = Sim.Loss.Deliver)
+  done
+
+let test_loss_bernoulli_rates () =
+  let rng = Rng.create ~seed:42L in
+  let model = Sim.Loss.bernoulli ~drop:0.1 ~corrupt:0.05 ~rng in
+  let drops = ref 0 and corrupts = ref 0 and n = 100_000 in
+  for _ = 1 to n do
+    match Sim.Loss.decide model with
+    | Sim.Loss.Drop -> incr drops
+    | Sim.Loss.Corrupt -> incr corrupts
+    | Sim.Loss.Deliver -> ()
+  done;
+  Alcotest.(check bool) "drop rate ~10%" true (abs (!drops - 10_000) < 500);
+  Alcotest.(check bool) "corrupt rate ~5%" true (abs (!corrupts - 5_000) < 400)
+
+let test_loss_bernoulli_validation () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.(check bool) "sum > 1 rejected" true
+    (match Sim.Loss.bernoulli ~drop:0.7 ~corrupt:0.7 ~rng with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_loss_gilbert_burstiness () =
+  let rng = Rng.create ~seed:9L in
+  let model =
+    Sim.Loss.gilbert_elliott ~p_good_to_bad:0.01 ~p_bad_to_good:0.2 ~drop_in_bad:0.8 ~rng
+  in
+  (* Count runs of consecutive drops: burst loss should produce longer
+     runs than independent loss at the same average rate. *)
+  let drops = ref 0 and runs = ref 0 and in_run = ref false and n = 200_000 in
+  for _ = 1 to n do
+    match Sim.Loss.decide model with
+    | Sim.Loss.Drop ->
+        incr drops;
+        if not !in_run then begin incr runs; in_run := true end
+    | _ -> in_run := false
+  done;
+  Alcotest.(check bool) "some loss" true (!drops > 0);
+  let mean_run = float_of_int !drops /. float_of_int (max 1 !runs) in
+  Alcotest.(check bool) "bursty (mean run > 1.5)" true (mean_run > 1.5)
+
+(* Links ------------------------------------------------------------------ *)
+
+let test_link_delivers_with_latency () =
+  let engine = Sim.Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Sim.Link.create ~engine ~name:"l" ~rate:(Units.Rate.gbps 1.)
+      ~propagation:(Units.Time.us 100.)
+      ~deliver:(fun p -> arrivals := (Sim.Engine.now engine, p) :: !arrivals)
+      ()
+  in
+  (* 1250 bytes at 1 Gbps = 10 us serialization + 100 us propagation. *)
+  Sim.Link.send link (mk_packet 1250);
+  Sim.Engine.run engine;
+  match !arrivals with
+  | [ (at, p) ] ->
+      Alcotest.(check bool) "arrival time" true
+        (Units.Time.equal at (Units.Time.us 110.));
+      Alcotest.(check int) "hop counted" 1 p.Sim.Packet.hops
+  | _ -> Alcotest.fail "expected one arrival"
+
+let test_link_serializes_back_to_back () =
+  let engine = Sim.Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Sim.Link.create ~engine ~name:"l" ~rate:(Units.Rate.gbps 1.)
+      ~propagation:Units.Time.zero
+      ~deliver:(fun _ -> arrivals := Sim.Engine.now engine :: !arrivals)
+      ()
+  in
+  Sim.Link.send link (mk_packet 1250);
+  Sim.Link.send link (mk_packet 1250);
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "second waits for first"
+    [ "10us"; "20us" ]
+    (List.rev_map Units.Time.to_string !arrivals)
+
+let test_link_zero_rate_is_ideal () =
+  let engine = Sim.Engine.create () in
+  let arrived = ref Units.Time.zero in
+  let link =
+    Sim.Link.create ~engine ~name:"ideal" ~rate:Units.Rate.zero
+      ~propagation:(Units.Time.ms 1.)
+      ~deliver:(fun _ -> arrived := Sim.Engine.now engine)
+      ()
+  in
+  Sim.Link.send link (mk_packet 1_000_000);
+  Sim.Engine.run engine;
+  Alcotest.(check string) "propagation only" "1ms" (Units.Time.to_string !arrived)
+
+let test_link_loss_accounting () =
+  let engine = Sim.Engine.create () in
+  let delivered = ref 0 and corrupted_seen = ref 0 in
+  let rng = Rng.create ~seed:5L in
+  let link =
+    Sim.Link.create ~engine ~name:"lossy" ~rate:(Units.Rate.gbps 10.)
+      ~propagation:Units.Time.zero
+      ~loss:(Sim.Loss.bernoulli ~drop:0.2 ~corrupt:0.1 ~rng)
+      ~deliver:(fun p ->
+        incr delivered;
+        if p.Sim.Packet.corrupted then incr corrupted_seen)
+      ()
+  in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    ignore
+      (Sim.Engine.schedule engine ~at:(Units.Time.of_int_ns (i * 2_000)) (fun () ->
+           Sim.Link.send link (mk_packet 100)))
+  done;
+  Sim.Engine.run engine;
+  let stats = Sim.Link.stats link in
+  Alcotest.(check int) "offered" n stats.Sim.Link.offered;
+  Alcotest.(check int) "conservation: delivered + dropped = transmitted"
+    stats.Sim.Link.transmitted
+    (stats.Sim.Link.delivered + stats.Sim.Link.loss_drops);
+  Alcotest.(check int) "delivered matches callback" !delivered stats.Sim.Link.delivered;
+  Alcotest.(check int) "corrupted flagged" !corrupted_seen stats.Sim.Link.corrupted;
+  Alcotest.(check bool) "roughly 20% dropped" true
+    (abs (stats.Sim.Link.loss_drops - 2_000) < 300)
+
+let test_link_queue_overflow_accounting () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Sim.Link.create ~engine ~name:"tiny" ~rate:(Units.Rate.mbps 1.)
+      ~propagation:Units.Time.zero
+      ~queue:(Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 500))
+      ~deliver:ignore ()
+  in
+  for _ = 1 to 20 do
+    Sim.Link.send link (mk_packet 100)
+  done;
+  Sim.Engine.run engine;
+  let stats = Sim.Link.stats link in
+  Alcotest.(check int) "offered" 20 stats.Sim.Link.offered;
+  Alcotest.(check bool) "some queue drops" true (stats.Sim.Link.queue_drops > 0);
+  Alcotest.(check int) "conservation" 20
+    (stats.Sim.Link.transmitted + stats.Sim.Link.queue_drops)
+
+let test_link_utilization () =
+  let engine = Sim.Engine.create () in
+  let link =
+    Sim.Link.create ~engine ~name:"u" ~rate:(Units.Rate.gbps 1.)
+      ~propagation:Units.Time.zero ~deliver:ignore ()
+  in
+  (* 10 packets x 10 us = 100 us busy. *)
+  for _ = 1 to 10 do
+    Sim.Link.send link (mk_packet 1250)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "50% busy over 200us" true
+    (Float.abs (Sim.Link.utilization link ~over:(Units.Time.us 200.) -. 0.5) < 1e-9)
+
+(* Topology ---------------------------------------------------------------- *)
+
+let test_topology_nodes_and_links () =
+  let engine = Sim.Engine.create () in
+  let topo = Sim.Topology.create ~engine () in
+  let a = Sim.Topology.add_node topo ~name:"a" in
+  let b = Sim.Topology.add_node topo ~name:"b" in
+  let ab, ba =
+    Sim.Topology.duplex topo ~a ~b ~rate:(Units.Rate.gbps 1.)
+      ~propagation:(Units.Time.us 1.) ()
+  in
+  Alcotest.(check string) "link name" "a->b" (Sim.Link.name ab);
+  Alcotest.(check string) "reverse name" "b->a" (Sim.Link.name ba);
+  Alcotest.(check int) "two links" 2 (List.length (Sim.Topology.links topo));
+  Alcotest.(check bool) "find node" true (Sim.Topology.find_node topo "a" == a);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Sim.Topology.add_node topo ~name:"a" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_topology_delivery_to_handler () =
+  let engine = Sim.Engine.create () in
+  let topo = Sim.Topology.create ~engine () in
+  let a = Sim.Topology.add_node topo ~name:"a" in
+  let b = Sim.Topology.add_node topo ~name:"b" in
+  let link =
+    Sim.Topology.connect topo ~src:a ~dst:b ~rate:(Units.Rate.gbps 1.)
+      ~propagation:(Units.Time.us 1.) ()
+  in
+  let got = ref 0 in
+  Sim.Node.set_handler b (fun _ -> incr got);
+  Sim.Link.send link (mk_packet 100);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "handler invoked" 1 !got;
+  Alcotest.(check int) "received counted" 1 (Sim.Node.received b)
+
+let test_topology_fresh_ids () =
+  let engine = Sim.Engine.create () in
+  let topo = Sim.Topology.create ~engine () in
+  let ids = List.init 100 (fun _ -> Sim.Topology.fresh_packet_id topo) in
+  Alcotest.(check int) "unique ids" 100 (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [
+    Alcotest.test_case "droptail fifo" `Quick test_droptail_fifo_order;
+    Alcotest.test_case "droptail overflow" `Quick test_droptail_overflow;
+    Alcotest.test_case "droptail counts padding" `Quick test_droptail_padding_counts;
+    Alcotest.test_case "edf deadline order" `Quick test_edf_orders_by_deadline;
+    Alcotest.test_case "edf deadline-free last" `Quick test_edf_deadline_free_after_deadlines;
+    Alcotest.test_case "edf drop expired" `Quick test_edf_drop_expired;
+    Alcotest.test_case "edf heap stress" `Quick test_edf_heap_stress;
+    Alcotest.test_case "loss perfect" `Quick test_loss_perfect;
+    Alcotest.test_case "loss bernoulli rates" `Quick test_loss_bernoulli_rates;
+    Alcotest.test_case "loss validation" `Quick test_loss_bernoulli_validation;
+    Alcotest.test_case "loss gilbert bursty" `Quick test_loss_gilbert_burstiness;
+    Alcotest.test_case "link latency" `Quick test_link_delivers_with_latency;
+    Alcotest.test_case "link serialization queueing" `Quick test_link_serializes_back_to_back;
+    Alcotest.test_case "link ideal rate" `Quick test_link_zero_rate_is_ideal;
+    Alcotest.test_case "link loss accounting" `Quick test_link_loss_accounting;
+    Alcotest.test_case "link queue overflow" `Quick test_link_queue_overflow_accounting;
+    Alcotest.test_case "link utilization" `Quick test_link_utilization;
+    Alcotest.test_case "topology nodes/links" `Quick test_topology_nodes_and_links;
+    Alcotest.test_case "topology delivery" `Quick test_topology_delivery_to_handler;
+    Alcotest.test_case "topology fresh ids" `Quick test_topology_fresh_ids;
+  ]

@@ -1,0 +1,176 @@
+open Mmt_util
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_welford_basic () =
+  let acc = Stats.Welford.create () in
+  List.iter (Stats.Welford.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Welford.count acc);
+  Alcotest.(check bool) "mean" true (feq (Stats.Welford.mean acc) 5.);
+  (* sample variance of that classic set is 32/7 *)
+  Alcotest.(check bool) "variance" true
+    (feq (Stats.Welford.variance acc) (32. /. 7.));
+  Alcotest.(check bool) "min" true (feq (Stats.Welford.min acc) 2.);
+  Alcotest.(check bool) "max" true (feq (Stats.Welford.max acc) 9.);
+  Alcotest.(check bool) "sum" true (feq (Stats.Welford.sum acc) 40.)
+
+let test_welford_empty () =
+  let acc = Stats.Welford.create () in
+  Alcotest.(check int) "count" 0 (Stats.Welford.count acc);
+  Alcotest.(check bool) "mean 0" true (feq (Stats.Welford.mean acc) 0.);
+  Alcotest.(check bool) "variance 0" true (feq (Stats.Welford.variance acc) 0.)
+
+let test_welford_single () =
+  let acc = Stats.Welford.create () in
+  Stats.Welford.add acc 42.;
+  Alcotest.(check bool) "variance of 1 sample" true
+    (feq (Stats.Welford.variance acc) 0.)
+
+let test_welford_merge () =
+  let a = Stats.Welford.create () in
+  let b = Stats.Welford.create () in
+  let whole = Stats.Welford.create () in
+  let values = List.init 100 (fun i -> float_of_int (i * i) /. 7.) in
+  List.iteri
+    (fun i v ->
+      Stats.Welford.add whole v;
+      if i mod 2 = 0 then Stats.Welford.add a v else Stats.Welford.add b v)
+    values;
+  let merged = Stats.Welford.merge a b in
+  Alcotest.(check int) "count" (Stats.Welford.count whole) (Stats.Welford.count merged);
+  Alcotest.(check bool) "mean" true
+    (feq ~eps:1e-6 (Stats.Welford.mean whole) (Stats.Welford.mean merged));
+  Alcotest.(check bool) "variance" true
+    (feq ~eps:1e-4 (Stats.Welford.variance whole) (Stats.Welford.variance merged))
+
+let test_welford_merge_empty () =
+  let a = Stats.Welford.create () in
+  Stats.Welford.add a 3.;
+  let empty = Stats.Welford.create () in
+  Alcotest.(check bool) "merge with empty keeps mean" true
+    (feq (Stats.Welford.mean (Stats.Welford.merge a empty)) 3.);
+  Alcotest.(check bool) "merge from empty keeps mean" true
+    (feq (Stats.Welford.mean (Stats.Welford.merge empty a)) 3.)
+
+let test_summary_quantiles () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check bool) "min" true (feq (Stats.Summary.min s) 1.);
+  Alcotest.(check bool) "max" true (feq (Stats.Summary.max s) 5.);
+  Alcotest.(check bool) "median" true (feq (Stats.Summary.median s) 3.);
+  Alcotest.(check bool) "q0" true (feq (Stats.Summary.quantile s 0.) 1.);
+  Alcotest.(check bool) "q1" true (feq (Stats.Summary.quantile s 1.) 5.);
+  Alcotest.(check bool) "interpolated q" true
+    (feq (Stats.Summary.quantile s 0.25) 2.)
+
+let test_summary_interleaved_add_and_query () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 10.;
+  Alcotest.(check bool) "median of one" true (feq (Stats.Summary.median s) 10.);
+  Stats.Summary.add s 0.;
+  Alcotest.(check bool) "median of two" true (feq (Stats.Summary.median s) 5.);
+  Stats.Summary.add s 20.;
+  Alcotest.(check bool) "median of three" true (feq (Stats.Summary.median s) 10.)
+
+let test_summary_empty_nan () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check bool) "median of empty is nan" true
+    (Float.is_nan (Stats.Summary.median s))
+
+let test_summary_rejects_bad_q () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 1.;
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.Summary.quantile") (fun () ->
+      ignore (Stats.Summary.quantile s 1.5))
+
+let test_summary_growth () =
+  let s = Stats.Summary.create () in
+  for i = 1 to 10_000 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 10_000 (Stats.Summary.count s);
+  Alcotest.(check bool) "mean" true (feq (Stats.Summary.mean s) 5000.5);
+  Alcotest.(check bool) "p99" true
+    (Float.abs (Stats.Summary.quantile s 0.99 -. 9900.) < 2.)
+
+let test_histogram_buckets () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.9; 9.99; -1.; 10.; 100. ];
+  Alcotest.(check int) "count includes outliers" 7 (Stats.Histogram.count h);
+  Alcotest.(check int) "bucket 0" 1 (Stats.Histogram.bucket_value h 0);
+  Alcotest.(check int) "bucket 1" 2 (Stats.Histogram.bucket_value h 1);
+  Alcotest.(check int) "bucket 9" 1 (Stats.Histogram.bucket_value h 9);
+  Alcotest.(check int) "underflow" 1 (Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Stats.Histogram.overflow h);
+  let lo, hi = Stats.Histogram.bucket_bounds h 3 in
+  Alcotest.(check bool) "bounds" true (feq lo 3. && feq hi 4.)
+
+let test_histogram_render () =
+  let h = Stats.Histogram.create ~lo:0. ~hi:2. ~buckets:2 in
+  Stats.Histogram.add h 0.5;
+  Stats.Histogram.add h 1.5;
+  Stats.Histogram.add h 1.6;
+  let rendered = Stats.Histogram.render h ~width:10 in
+  Alcotest.(check bool) "has bars" true (String.contains rendered '#')
+
+let test_histogram_rejects_bad_shape () =
+  Alcotest.check_raises "hi <= lo"
+    (Invalid_argument "Stats.Histogram.create: hi <= lo") (fun () ->
+      ignore (Stats.Histogram.create ~lo:1. ~hi:1. ~buckets:4))
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "drops";
+  Stats.Counter.incr c "drops";
+  Stats.Counter.incr ~by:5 c "sends";
+  Alcotest.(check int) "drops" 2 (Stats.Counter.get c "drops");
+  Alcotest.(check int) "sends" 5 (Stats.Counter.get c "sends");
+  Alcotest.(check int) "unknown" 0 (Stats.Counter.get c "nothing");
+  Alcotest.(check (list (pair string int)))
+    "sorted list"
+    [ ("drops", 2); ("sends", 5) ]
+    (Stats.Counter.to_list c)
+
+let qcheck_summary_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles are monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun values ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) values;
+      let qs = [ 0.; 0.25; 0.5; 0.75; 1. ] in
+      let results = List.map (Stats.Summary.quantile s) qs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone results)
+
+let qcheck_welford_mean_matches =
+  QCheck.Test.make ~name:"welford mean matches naive mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_range (-1e6) 1e6))
+    (fun values ->
+      let acc = Stats.Welford.create () in
+      List.iter (Stats.Welford.add acc) values;
+      let naive = List.fold_left ( +. ) 0. values /. float_of_int (List.length values) in
+      Float.abs (Stats.Welford.mean acc -. naive) < 1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "welford basic" `Quick test_welford_basic;
+    Alcotest.test_case "welford empty" `Quick test_welford_empty;
+    Alcotest.test_case "welford single" `Quick test_welford_single;
+    Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "welford merge empty" `Quick test_welford_merge_empty;
+    Alcotest.test_case "summary quantiles" `Quick test_summary_quantiles;
+    Alcotest.test_case "summary interleaved" `Quick test_summary_interleaved_add_and_query;
+    Alcotest.test_case "summary empty nan" `Quick test_summary_empty_nan;
+    Alcotest.test_case "summary bad q" `Quick test_summary_rejects_bad_q;
+    Alcotest.test_case "summary growth" `Quick test_summary_growth;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    Alcotest.test_case "histogram bad shape" `Quick test_histogram_rejects_bad_shape;
+    Alcotest.test_case "counter" `Quick test_counter;
+    QCheck_alcotest.to_alcotest qcheck_summary_quantile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_welford_mean_matches;
+  ]

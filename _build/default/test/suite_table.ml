@@ -1,0 +1,73 @@
+open Mmt_util
+
+let test_render_alignment () =
+  let t =
+    Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] ()
+  in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "23456" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check bool) "header contains name" true
+        (String.length header > 0)
+  | [] -> Alcotest.fail "no output");
+  (* all data lines are the same width *)
+  let widths =
+    List.filter_map
+      (fun line -> if line = "" then None else Some (String.length line))
+      lines
+  in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned" w w') rest
+  | [] -> Alcotest.fail "no lines")
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_right_alignment_pads_left () =
+  let t = Table.create ~columns:[ ("v", Table.Right) ] () in
+  Table.add_row t [ "7" ];
+  Table.add_row t [ "1234" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "right aligned" true
+    (contains_substring rendered "|    7 |")
+
+let test_title () =
+  let t = Table.create ~title:"My Table" ~columns:[ ("a", Table.Left) ] () in
+  Table.add_row t [ "x" ];
+  Alcotest.(check bool) "title present" true
+    (String.length (Table.render t) > String.length "My Table")
+
+let test_separator () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] () in
+  Table.add_row t [ "x" ];
+  Table.add_separator t;
+  Table.add_row t [ "y" ];
+  let dashes =
+    String.split_on_char '\n' (Table.render t)
+    |> List.filter (fun line -> String.contains line '-')
+  in
+  Alcotest.(check int) "two rules (header + separator)" 2 (List.length dashes)
+
+let test_arity_check () =
+  let t = Table.create ~columns:[ ("a", Table.Left); ("b", Table.Left) ] () in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_empty_columns_rejected () =
+  Alcotest.check_raises "no columns" (Invalid_argument "Table.create: no columns")
+    (fun () -> ignore (Table.create ~columns:[] ()))
+
+let suite =
+  [
+    Alcotest.test_case "render alignment" `Quick test_render_alignment;
+    Alcotest.test_case "right alignment" `Quick test_right_alignment_pads_left;
+    Alcotest.test_case "title" `Quick test_title;
+    Alcotest.test_case "separator" `Quick test_separator;
+    Alcotest.test_case "arity check" `Quick test_arity_check;
+    Alcotest.test_case "empty columns rejected" `Quick test_empty_columns_rejected;
+  ]

@@ -1,0 +1,91 @@
+open Mmt_util
+
+let time = Alcotest.testable Units.Time.pp Units.Time.equal
+
+let test_time_constructors () =
+  Alcotest.check time "us" (Units.Time.ns 1_500L) (Units.Time.us 1.5);
+  Alcotest.check time "ms" (Units.Time.ns 2_000_000L) (Units.Time.ms 2.);
+  Alcotest.check time "s" (Units.Time.ns 3_000_000_000L) (Units.Time.seconds 3.)
+
+let test_time_saturating_sub () =
+  let a = Units.Time.ms 1. in
+  let b = Units.Time.ms 5. in
+  Alcotest.check time "sub saturates at zero" Units.Time.zero (Units.Time.sub a b);
+  Alcotest.check time "diff saturates" Units.Time.zero (Units.Time.diff a b);
+  Alcotest.check time "normal diff" (Units.Time.ms 4.) (Units.Time.diff b a)
+
+let test_time_ordering () =
+  let open Units.Time in
+  Alcotest.(check bool) "<" true (ms 1. < ms 2.);
+  Alcotest.(check bool) "<=" true (ms 2. <= ms 2.);
+  Alcotest.(check bool) ">" true (ms 3. > ms 2.);
+  Alcotest.check time "min" (ms 1.) (min (ms 1.) (ms 2.));
+  Alcotest.check time "max" (ms 2.) (max (ms 1.) (ms 2.))
+
+let test_time_scale () =
+  Alcotest.check time "scale" (Units.Time.ms 5.)
+    (Units.Time.scale (Units.Time.ms 10.) 0.5);
+  Alcotest.check time "scale to negative clamps" Units.Time.zero
+    (Units.Time.scale (Units.Time.ms 10.) (-1.))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "250ns" (Units.Time.to_string (Units.Time.ns 250L));
+  Alcotest.(check string) "us" "1.5us" (Units.Time.to_string (Units.Time.us 1.5));
+  Alcotest.(check string) "ms" "13ms" (Units.Time.to_string (Units.Time.ms 13.))
+
+let test_size () =
+  Alcotest.(check int) "kib" 2048 (Units.Size.to_bytes (Units.Size.kib 2));
+  Alcotest.(check int) "mib" (1024 * 1024) (Units.Size.to_bytes (Units.Size.mib 1));
+  Alcotest.(check int) "bits" 80 (Units.Size.to_bits (Units.Size.bytes 10));
+  Alcotest.(check int) "sub saturates" 0
+    (Units.Size.to_bytes (Units.Size.sub (Units.Size.bytes 1) (Units.Size.bytes 5)))
+
+let test_rate_transmission_time () =
+  (* 1250 bytes = 10^4 bits at 10^9 bps -> 10 us. *)
+  Alcotest.check time "serialization delay" (Units.Time.us 10.)
+    (Units.Rate.transmission_time (Units.Rate.gbps 1.) (Units.Size.bytes 1250));
+  Alcotest.check time "zero rate is instantaneous" Units.Time.zero
+    (Units.Rate.transmission_time Units.Rate.zero (Units.Size.mib 1))
+
+let test_rate_bytes_in () =
+  Alcotest.(check int) "bytes in window" 1250
+    (Units.Size.to_bytes (Units.Rate.bytes_in (Units.Rate.gbps 1.) (Units.Time.us 10.)))
+
+let test_rate_measured () =
+  let rate =
+    Units.Rate.of_size_per_time (Units.Size.bytes 1_250_000) (Units.Time.ms 10.)
+  in
+  Alcotest.(check bool) "1 Gbps measured" true
+    (Float.abs (Units.Rate.to_gbps rate -. 1.) < 1e-9);
+  Alcotest.(check bool) "zero window" true
+    (Units.Rate.is_zero (Units.Rate.of_size_per_time (Units.Size.mib 1) Units.Time.zero))
+
+let test_rate_pp () =
+  Alcotest.(check string) "gbps" "100Gbps" (Units.Rate.to_string (Units.Rate.gbps 100.));
+  Alcotest.(check string) "tbps" "120Tbps" (Units.Rate.to_string (Units.Rate.tbps 120.))
+
+let qcheck_transmission_roundtrip =
+  QCheck.Test.make ~name:"bytes_in inverts transmission_time" ~count:300
+    QCheck.(pair (int_range 1_000 1_000_000) (float_range 1e6 1e11))
+    (fun (bytes, bps) ->
+      let rate = Units.Rate.bps bps in
+      let size = Units.Size.bytes bytes in
+      let window = Units.Rate.transmission_time rate size in
+      let recovered = Units.Size.to_bytes (Units.Rate.bytes_in rate window) in
+      (* rounding to whole nanoseconds bounds the error *)
+      abs (recovered - bytes) <= 1 + int_of_float (bps /. 8. *. 1e-9 +. 1.))
+
+let suite =
+  [
+    Alcotest.test_case "time constructors" `Quick test_time_constructors;
+    Alcotest.test_case "time saturating sub" `Quick test_time_saturating_sub;
+    Alcotest.test_case "time ordering" `Quick test_time_ordering;
+    Alcotest.test_case "time scale" `Quick test_time_scale;
+    Alcotest.test_case "time pretty printing" `Quick test_time_pp;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "rate transmission time" `Quick test_rate_transmission_time;
+    Alcotest.test_case "rate bytes_in" `Quick test_rate_bytes_in;
+    Alcotest.test_case "rate measured" `Quick test_rate_measured;
+    Alcotest.test_case "rate pretty printing" `Quick test_rate_pp;
+    QCheck_alcotest.to_alcotest qcheck_transmission_roundtrip;
+  ]
