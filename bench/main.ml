@@ -59,6 +59,39 @@ let encoded_fragment = Mmt_daq.Fragment.encode fragment
 let lartpc_config =
   { Mmt_daq.Lartpc.iceberg with Mmt_daq.Lartpc.channels = 8; samples_per_channel = 64 }
 
+let int_header =
+  Mmt.Header.create ~sequence:123456 ~experiment
+    ~int_stack:
+      {
+        Mmt.Header.records =
+          List.init Mmt.Header.max_int_hops (fun i ->
+              {
+                Mmt.Header.node_id = i + 1;
+                mode_id = 1;
+                hop_index = i;
+                queue_depth = 4096;
+                ingress_ns = Units.Time.us 10.;
+                egress_ns = Units.Time.us 12.;
+              });
+        overflowed = false;
+      }
+    ()
+
+let encoded_int = Mmt.Header.encode int_header
+
+let int_stamp_frame =
+  Mmt.Header.encode
+    (Mmt.Header.create ~experiment ~int_stack:Mmt.Header.empty_int_stack ())
+
+let int_offset =
+  Option.get
+    (Mmt.Header.offset_of_int
+       (Mmt.Header.create ~experiment ~int_stack:Mmt.Header.empty_int_stack ()))
+
+let stamper = Mmt_int.Stamper.create ~node_id:2 ~mode_id:1 ()
+let stamper_element = Mmt_int.Stamper.element stamper
+let int_packet_frame = Bytes.cat int_stamp_frame (Bytes.make 1024 'p')
+
 let bench_tests =
   Test.make_grouped ~name:"E-A3"
     [
@@ -79,6 +112,26 @@ let bench_tests =
              Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero (Bytes.copy mode0_frame)
            in
            ignore (rewriter_element.Mmt_innet.Element.process ~now:Units.Time.zero packet)));
+      Test.make ~name:"INT header encode (4-hop stack)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.encode int_header)));
+      Test.make ~name:"INT header decode (4-hop stack)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.decode_bytes encoded_int)));
+      Test.make ~name:"INT stamp append (in-place ALU path)" (Staged.stage (fun () ->
+           (* reset the hop count so every iteration measures a real append *)
+           Bytes.set int_stamp_frame int_offset '\000';
+           ignore
+             (Mmt.Header.push_int_record_in_place int_stamp_frame
+                ~ext_off:int_offset ~node_id:2 ~mode_id:1 ~queue_depth:4096
+                ~ingress:(Units.Time.us 10.) ~egress:(Units.Time.us 12.))));
+      Test.make ~name:"INT stamper element (per packet, 1 KiB frame)"
+        (Staged.stage (fun () ->
+             Bytes.set int_packet_frame int_offset '\000';
+             let packet =
+               Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero int_packet_frame
+             in
+             ignore
+               (stamper_element.Mmt_innet.Element.process ~now:(Units.Time.us 100.)
+                  packet)));
       Test.make ~name:"fragment encode (7200 B payload)" (Staged.stage (fun () ->
            ignore (Mmt_daq.Fragment.encode fragment)));
       Test.make ~name:"fragment decode" (Staged.stage (fun () ->

@@ -92,7 +92,13 @@ let pilot_cmd =
       & info [ "deadline-ms" ] ~doc:"Activate the Timely feature with this budget.")
   in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.") in
-  let run profile fragments loss corrupt researchers deadline_ms seed =
+  let int_flag =
+    Arg.(
+      value & flag
+      & info [ "int" ]
+          ~doc:"Stamp in-band telemetry along the path and print the per-hop breakdown.")
+  in
+  let run profile fragments loss corrupt researchers deadline_ms seed int_flag =
     let config =
       {
         Mmt_pilot.Pilot.default_config with
@@ -102,6 +108,7 @@ let pilot_cmd =
         wan_corrupt = corrupt;
         researchers;
         deadline_budget = Option.map Units.Time.ms deadline_ms;
+        int_telemetry = int_flag;
         seed;
       }
     in
@@ -139,13 +146,81 @@ let pilot_cmd =
           (string_of_int stats.Mmt.Receiver.delivered))
       r.Mmt_pilot.Pilot.researcher_stats;
     Table.print table;
+    Option.iter
+      (fun collector ->
+        print_newline ();
+        print_string (Mmt_int.Collector.render collector))
+      (Mmt_pilot.Pilot.int_collector pilot);
     if receiver.Mmt.Receiver.delivered = r.Mmt_pilot.Pilot.emitted then 0 else 1
   in
   Cmd.v
     (Cmd.info "pilot" ~doc:"Run the Fig. 4 pilot topology with custom parameters.")
     Term.(
       const run $ profile_arg $ fragments $ loss $ corrupt $ researchers
-      $ deadline_ms $ seed)
+      $ deadline_ms $ seed $ int_flag)
+
+(* `shapeshift telemetry` ---------------------------------------------------- *)
+
+let telemetry_cmd =
+  let profile =
+    let parse = function
+      | "physical" -> Ok Mmt_pilot.Profile.physical_100gbe
+      | "fabric" -> Ok Mmt_pilot.Profile.fabric_virtual
+      | other -> Error (`Msg (Printf.sprintf "unknown profile %S" other))
+    in
+    let print fmt (p : Mmt_pilot.Profile.t) =
+      Format.pp_print_string fmt p.Mmt_pilot.Profile.name
+    in
+    Arg.conv (parse, print)
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt profile Mmt_pilot.Profile.physical_100gbe
+      & info [ "profile" ] ~docv:"PROFILE" ~doc:"Hardware variant: physical or fabric.")
+  in
+  let fragments =
+    Arg.(value & opt int 500 & info [ "fragments" ] ~doc:"Fragments to stream.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~doc:"WAN drop probability.")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run profile fragments loss seed =
+    let config =
+      {
+        Mmt_pilot.Pilot.default_config with
+        Mmt_pilot.Pilot.profile;
+        fragment_count = fragments;
+        wan_loss = loss;
+        wan_corrupt = 0.;
+        int_telemetry = true;
+        seed;
+      }
+    in
+    let pilot = Mmt_pilot.Pilot.build config in
+    Mmt_pilot.Pilot.run pilot;
+    match Mmt_pilot.Pilot.int_collector pilot with
+    | None -> 1
+    | Some collector ->
+        print_string (Mmt_int.Collector.render collector);
+        print_newline ();
+        let report =
+          Mmt_int.Collector.report
+            ~title:
+              (Printf.sprintf "in-band telemetry, %s profile"
+                 profile.Mmt_pilot.Profile.name)
+            collector
+        in
+        Mmt_telemetry.Report.print report;
+        if Mmt_telemetry.Report.all_ok report then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+        "Run the pilot with in-band telemetry on and print where each \
+         nanosecond of latency is spent.")
+    Term.(const run $ profile_arg $ fragments $ loss $ seed)
 
 (* `shapeshift catalog` ------------------------------------------------------ *)
 
@@ -346,7 +421,15 @@ let main_cmd =
   let doc = "Multi-modal transport for DAQ workloads (HotNets '24 reproduction)" in
   Cmd.group
     (Cmd.info "shapeshift" ~version:"1.0.0" ~doc)
-    [ list_cmd; experiments_cmd; pilot_cmd; catalog_cmd; failover_cmd; trace_cmd ]
+    [
+      list_cmd;
+      experiments_cmd;
+      pilot_cmd;
+      telemetry_cmd;
+      catalog_cmd;
+      failover_cmd;
+      trace_cmd;
+    ]
 
 let () =
   match Cmd.eval_value main_cmd with

@@ -7,10 +7,11 @@ type t =
   | Backpressured
   | Duplicated
   | Encrypted
+  | Int_telemetry
 
 let all =
   [ Sequenced; Reliable; Timely; Age_tracked; Paced; Backpressured; Duplicated;
-    Encrypted ]
+    Encrypted; Int_telemetry ]
 
 let to_string = function
   | Sequenced -> "sequenced"
@@ -21,6 +22,7 @@ let to_string = function
   | Backpressured -> "backpressured"
   | Duplicated -> "duplicated"
   | Encrypted -> "encrypted"
+  | Int_telemetry -> "int-telemetry"
 
 let bit = function
   | Sequenced -> 0
@@ -31,6 +33,7 @@ let bit = function
   | Backpressured -> 5
   | Duplicated -> 6
   | Encrypted -> 7
+  | Int_telemetry -> 8
 
 module Set = struct
   type feature = t

@@ -31,6 +31,10 @@ type t =
   | Duplicated
       (** the stream is duplicated in-network to extra consumers *)
   | Encrypted  (** payload is encrypted (Req 5) *)
+  | Int_telemetry
+      (** the header carries a bounded in-band-telemetry stack that
+          each programmable hop stamps with its identity, timestamps
+          and queue depth (§ 6: per-hop observability) *)
 
 val all : t list
 val to_string : t -> string

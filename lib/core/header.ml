@@ -12,6 +12,19 @@ type age = {
 
 type timely = { deadline : Units.Time.t; notify : Addr.Ip.t }
 
+type int_record = {
+  node_id : int;
+  mode_id : int;
+  hop_index : int;
+  queue_depth : int;
+  ingress_ns : Units.Time.t;
+  egress_ns : Units.Time.t;
+}
+
+type int_stack = { records : int_record list; overflowed : bool }
+
+let empty_int_stack = { records = []; overflowed = false }
+
 type t = {
   config_id : int;
   kind : Feature.Kind.t;
@@ -23,6 +36,7 @@ type t = {
   age : age option;
   pace_mbps : int option;
   backpressure_to : Addr.Ip.t option;
+  int_stack : int_stack option;
 }
 
 let core_size = 8
@@ -32,6 +46,9 @@ let timely_size = 12
 let age_size = 20
 let pace_size = 4
 let backpressure_size = 4
+let max_int_hops = 4
+let int_record_size = 24
+let int_ext_size = 4 + (max_int_hops * int_record_size)
 
 let check_u32 what v =
   if v < 0 || v > 0xFFFFFFFF then
@@ -41,8 +58,28 @@ let check_u24 what v =
   if v < 0 || v > 0xFFFFFF then
     invalid_arg (Printf.sprintf "Header: %s out of u24 range" what)
 
+let check_u16 what v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Header: %s out of u16 range" what)
+
+let check_u8 what v =
+  if v < 0 || v > 0xFF then
+    invalid_arg (Printf.sprintf "Header: %s out of u8 range" what)
+
+let check_int_stack stack =
+  if List.length stack.records > max_int_hops then
+    invalid_arg
+      (Printf.sprintf "Header: INT stack deeper than %d hops" max_int_hops);
+  List.iter
+    (fun r ->
+      check_u16 "int.node_id" r.node_id;
+      check_u8 "int.mode_id" r.mode_id;
+      check_u8 "int.hop_index" r.hop_index;
+      check_u32 "int.queue_depth" r.queue_depth)
+    stack.records
+
 let features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
-    ~backpressure_to ~extra =
+    ~backpressure_to ~int_stack ~extra =
   let maybe feature opt set =
     match opt with Some _ -> Feature.Set.add feature set | None -> set
   in
@@ -54,13 +91,15 @@ let features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
     |> maybe Feature.Age_tracked age
     |> maybe Feature.Paced pace_mbps
     |> maybe Feature.Backpressured backpressure_to
+    |> maybe Feature.Int_telemetry int_stack
   in
   List.fold_left
     (fun set feature ->
       match feature with
       | Feature.Duplicated | Feature.Encrypted -> Feature.Set.add feature set
       | Feature.Sequenced | Feature.Reliable | Feature.Timely
-      | Feature.Age_tracked | Feature.Paced | Feature.Backpressured ->
+      | Feature.Age_tracked | Feature.Paced | Feature.Backpressured
+      | Feature.Int_telemetry ->
           invalid_arg
             (Printf.sprintf
                "Header.create: feature %s carries a field; pass its value"
@@ -68,7 +107,7 @@ let features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
     base extra
 
 let create ?(kind = Feature.Kind.Data) ?sequence ?retransmit_from ?timely ?age
-    ?pace_mbps ?backpressure_to ?(extra_features = []) ~experiment () =
+    ?pace_mbps ?backpressure_to ?int_stack ?(extra_features = []) ~experiment () =
   Option.iter (check_u32 "sequence") sequence;
   Option.iter (fun a ->
       check_u32 "age_us" a.age_us;
@@ -76,9 +115,10 @@ let create ?(kind = Feature.Kind.Data) ?sequence ?retransmit_from ?timely ?age
       check_u24 "hop_count" a.hop_count)
     age;
   Option.iter (check_u32 "pace_mbps") pace_mbps;
+  Option.iter check_int_stack int_stack;
   let features =
     features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
-      ~backpressure_to ~extra:extra_features
+      ~backpressure_to ~int_stack ~extra:extra_features
   in
   {
     config_id = Feature.config_id_v1;
@@ -91,6 +131,7 @@ let create ?(kind = Feature.Kind.Data) ?sequence ?retransmit_from ?timely ?age
     age;
     pace_mbps;
     backpressure_to;
+    int_stack;
   }
 
 let mode0 ~experiment = create ~experiment ()
@@ -104,6 +145,23 @@ let size t =
   + ext Feature.Age_tracked age_size
   + ext Feature.Paced pace_size
   + ext Feature.Backpressured backpressure_size
+  + ext Feature.Int_telemetry int_ext_size
+
+let encode_int_stack w stack =
+  Cursor.Writer.u8 w (List.length stack.records);
+  Cursor.Writer.u8 w (if stack.overflowed then 1 else 0);
+  Cursor.Writer.u16 w 0;
+  List.iter
+    (fun r ->
+      Cursor.Writer.u16 w r.node_id;
+      Cursor.Writer.u8 w r.mode_id;
+      Cursor.Writer.u8 w r.hop_index;
+      Cursor.Writer.u32_int w r.queue_depth;
+      Cursor.Writer.u64 w (Units.Time.to_ns r.ingress_ns);
+      Cursor.Writer.u64 w (Units.Time.to_ns r.egress_ns))
+    stack.records;
+  let unused = max_int_hops - List.length stack.records in
+  if unused > 0 then Cursor.Writer.bytes w (Bytes.make (unused * int_record_size) '\000')
 
 let encode_into w t =
   Cursor.Writer.u8 w t.config_id;
@@ -125,7 +183,8 @@ let encode_into w t =
       Cursor.Writer.u64 w (Units.Time.to_ns a.last_touch_ns))
     t.age;
   Option.iter (fun p -> Cursor.Writer.u32_int w p) t.pace_mbps;
-  Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.backpressure_to
+  Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.backpressure_to;
+  Option.iter (encode_int_stack w) t.int_stack
 
 let encode t =
   let w = Cursor.Writer.create (size t) in
@@ -170,19 +229,47 @@ let decode r =
             if_feature Feature.Backpressured (fun () ->
                 Addr.Ip.of_int32 (Cursor.Reader.u32 r))
           in
-          Ok
-            {
-              config_id;
-              kind;
-              features;
-              experiment;
-              sequence;
-              retransmit_from;
-              timely;
-              age;
-              pace_mbps;
-              backpressure_to;
-            }
+          let int_stack =
+            if not (Feature.Set.mem Feature.Int_telemetry features) then Ok None
+            else begin
+              let count = Cursor.Reader.u8 r in
+              let flags = Cursor.Reader.u8 r in
+              let _reserved = Cursor.Reader.u16 r in
+              if count > max_int_hops then
+                Error (Printf.sprintf "INT stack count %d exceeds %d" count max_int_hops)
+              else begin
+                let records =
+                  List.init count (fun _ ->
+                      let node_id = Cursor.Reader.u16 r in
+                      let mode_id = Cursor.Reader.u8 r in
+                      let hop_index = Cursor.Reader.u8 r in
+                      let queue_depth = Cursor.Reader.u32_int r in
+                      let ingress_ns = Units.Time.ns (Cursor.Reader.u64 r) in
+                      let egress_ns = Units.Time.ns (Cursor.Reader.u64 r) in
+                      { node_id; mode_id; hop_index; queue_depth; ingress_ns; egress_ns })
+                in
+                Cursor.Reader.skip r ((max_int_hops - count) * int_record_size);
+                Ok (Some { records; overflowed = flags land 1 = 1 })
+              end
+            end
+          in
+          match int_stack with
+          | Error e -> Error e
+          | Ok int_stack ->
+              Ok
+                {
+                  config_id;
+                  kind;
+                  features;
+                  experiment;
+                  sequence;
+                  retransmit_from;
+                  timely;
+                  age;
+                  pace_mbps;
+                  backpressure_to;
+                  int_stack;
+                }
   with
   | result -> result
   | exception Cursor.Out_of_bounds what -> Error ("truncated header: " ^ what)
@@ -217,6 +304,10 @@ let with_pace t pace =
 let with_backpressure_to t ip =
   { (with_feature t Feature.Backpressured) with backpressure_to = Some ip }
 
+let with_int_stack t stack =
+  check_int_stack stack;
+  { (with_feature t Feature.Int_telemetry) with int_stack = Some stack }
+
 let with_kind t kind = { t with kind }
 
 let strip t feature =
@@ -228,6 +319,7 @@ let strip t feature =
   | Feature.Age_tracked -> { t with features; age = None }
   | Feature.Paced -> { t with features; pace_mbps = None }
   | Feature.Backpressured -> { t with features; backpressure_to = None }
+  | Feature.Int_telemetry -> { t with features; int_stack = None }
   | Feature.Duplicated | Feature.Encrypted -> { t with features }
 
 let offset_of_age t =
@@ -241,6 +333,45 @@ let offset_of_age t =
       + skip Feature.Sequenced sequence_size
       + skip Feature.Reliable retransmit_size
       + skip Feature.Timely timely_size)
+  end
+
+let offset_of_int t =
+  if not (Feature.Set.mem Feature.Int_telemetry t.features) then None
+  else begin
+    let skip feature width =
+      if Feature.Set.mem feature t.features then width else 0
+    in
+    Some
+      (core_size
+      + skip Feature.Sequenced sequence_size
+      + skip Feature.Reliable retransmit_size
+      + skip Feature.Timely timely_size
+      + skip Feature.Age_tracked age_size
+      + skip Feature.Paced pace_size
+      + skip Feature.Backpressured backpressure_size)
+  end
+
+let push_int_record_in_place frame ~ext_off ~node_id ~mode_id ~queue_depth
+    ~ingress ~egress =
+  (* Layout: u8 count | u8 flags | u16 reserved | max_int_hops x
+     (u16 node | u8 mode | u8 hop | u32 queue | u64 ingress | u64 egress) *)
+  let count = Char.code (Bytes.get frame ext_off) in
+  if count >= max_int_hops then begin
+    let flags = Char.code (Bytes.get frame (ext_off + 1)) in
+    Bytes.set frame (ext_off + 1) (Char.chr (flags lor 1));
+    None
+  end
+  else begin
+    let slot = ext_off + 4 + (count * int_record_size) in
+    Bytes.set_uint16_be frame slot (node_id land 0xFFFF);
+    Bytes.set frame (slot + 2) (Char.chr (mode_id land 0xFF));
+    Bytes.set frame (slot + 3) (Char.chr (count land 0xFF));
+    Bytes.set_int32_be frame (slot + 4)
+      (Int32.of_int (min queue_depth 0xFFFFFFFF));
+    Bytes.set_int64_be frame (slot + 8) (Units.Time.to_ns ingress);
+    Bytes.set_int64_be frame (slot + 16) (Units.Time.to_ns egress);
+    Bytes.set frame ext_off (Char.chr (count + 1));
+    Some count
   end
 
 let touch_age_in_place frame ~ext_off ~now =
@@ -287,6 +418,18 @@ let equal a b =
        a.age b.age
   && a.pace_mbps = b.pace_mbps
   && Option.equal Addr.Ip.equal a.backpressure_to b.backpressure_to
+  && Option.equal
+       (fun (x : int_stack) y ->
+         x.overflowed = y.overflowed
+         && List.equal
+              (fun (p : int_record) q ->
+                p.node_id = q.node_id && p.mode_id = q.mode_id
+                && p.hop_index = q.hop_index
+                && p.queue_depth = q.queue_depth
+                && Units.Time.equal p.ingress_ns q.ingress_ns
+                && Units.Time.equal p.egress_ns q.egress_ns)
+              x.records y.records)
+       a.int_stack b.int_stack
 
 let pp fmt t =
   Format.fprintf fmt "@[mmt{%s %a %a" (Feature.Kind.to_string t.kind)
@@ -308,4 +451,11 @@ let pp fmt t =
   Option.iter
     (fun ip -> Format.fprintf fmt " bp=%a" Addr.Ip.pp ip)
     t.backpressure_to;
+  Option.iter
+    (fun stack ->
+      Format.fprintf fmt " int=%d/%d%s"
+        (List.length stack.records)
+        max_int_hops
+        (if stack.overflowed then "(OVERFLOW)" else ""))
+    t.int_stack;
   Format.fprintf fmt "}@]"

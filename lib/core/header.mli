@@ -20,6 +20,11 @@
                         u24 hop count, u64 last-touch ns   (Age_tracked)
       pace              u32 Mbps                 (Paced)
       backpressure_to   u32 IPv4                 (Backpressured)
+      int stack         u8 count, u8 flags (bit0 = overflow),
+                        u16 reserved, then {!max_int_hops} fixed
+                        24-byte slots: u16 node id, u8 mode id,
+                        u8 hop index, u32 queue depth (bytes),
+                        u64 ingress ns, u64 egress ns   (Int_telemetry)
     v}
 
     The header is designed for conservative, header-only rewriting in
@@ -44,6 +49,24 @@ type timely = {
   notify : Addr.Ip.t;  (** where deadline-exceeded messages go *)
 }
 
+type int_record = {
+  node_id : int;  (** stable identity of the stamping device, u16 *)
+  mode_id : int;  (** which mode segment the hop serves, u8 *)
+  hop_index : int;  (** position in the stack at stamping time *)
+  queue_depth : int;  (** egress queue occupancy in bytes, u32 saturating *)
+  ingress_ns : Units.Time.t;  (** when the packet entered the device *)
+  egress_ns : Units.Time.t;  (** when it left the pipeline *)
+}
+(** One hop's in-band telemetry stamp (INT "embedded stack" style). *)
+
+type int_stack = {
+  records : int_record list;  (** oldest hop first; at most {!max_int_hops} *)
+  overflowed : bool;
+      (** a hop wanted to stamp but the stack was full (INT E-bit) *)
+}
+
+val empty_int_stack : int_stack
+
 type t = private {
   config_id : int;
   kind : Feature.Kind.t;
@@ -55,6 +78,7 @@ type t = private {
   age : age option;
   pace_mbps : int option;
   backpressure_to : Addr.Ip.t option;
+  int_stack : int_stack option;
 }
 
 val create :
@@ -65,6 +89,7 @@ val create :
   ?age:age ->
   ?pace_mbps:int ->
   ?backpressure_to:Addr.Ip.t ->
+  ?int_stack:int_stack ->
   ?extra_features:Feature.t list ->
   experiment:Experiment_id.t ->
   unit ->
@@ -85,6 +110,18 @@ val size : t -> int
 val core_size : int
 (** 8. *)
 
+val max_int_hops : int
+(** 4 — the bounded depth of the in-band telemetry stack.  A fixed
+    bound keeps the extension a constant-size header field, as a P4
+    parser requires. *)
+
+val int_record_size : int
+(** 24 — encoded bytes per telemetry record. *)
+
+val int_ext_size : int
+(** Encoded size of the whole INT extension (count/flags word plus
+    {!max_int_hops} slots), feature-independent. *)
+
 val encode : t -> bytes
 val encode_into : Mmt_wire.Cursor.Writer.t -> t -> unit
 
@@ -101,6 +138,7 @@ val with_timely : t -> timely -> t
 val with_age : t -> age -> t
 val with_pace : t -> int -> t
 val with_backpressure_to : t -> Addr.Ip.t -> t
+val with_int_stack : t -> int_stack -> t
 val with_kind : t -> Feature.Kind.t -> t
 val strip : t -> Feature.t -> t
 (** Remove a feature and its field; no-op if absent. *)
@@ -118,6 +156,26 @@ val touch_age_in_place :
     all by in-place byte surgery, the way a switch pipeline would.
     Returns [(age_us, aged)].  The caller supplies [ext_off] as the
     header start offset within [frame] plus {!offset_of_age}. *)
+
+val offset_of_int : t -> int option
+(** Byte offset of the INT extension from the header start, when
+    present — computable from the feature bits alone. *)
+
+val push_int_record_in_place :
+  bytes ->
+  ext_off:int ->
+  node_id:int ->
+  mode_id:int ->
+  queue_depth:int ->
+  ingress:Units.Time.t ->
+  egress:Units.Time.t ->
+  int option
+(** Append one telemetry record to the stack by in-place byte surgery
+    (the INT transit-hop fast path).  Returns [Some hop_index] when
+    stamped; when the stack is already {!max_int_hops} deep it sets the
+    overflow flag instead and returns [None].  Out-of-range node/mode
+    ids are masked to field width and [queue_depth] saturates, as
+    fixed-width ALU writes would. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

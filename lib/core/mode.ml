@@ -25,7 +25,8 @@ let identification =
   }
 
 let make ~name ?reliable ?deadline_budget ?age_budget_us ?pace_mbps
-    ?backpressure_to ?(duplicated = false) ?(encrypted = false) () =
+    ?backpressure_to ?(duplicated = false) ?(encrypted = false)
+    ?(int_telemetry = false) () =
   let features = ref Feature.Set.empty in
   let activate feature = features := Feature.Set.add feature !features in
   Option.iter (fun _ -> activate Feature.Sequenced; activate Feature.Reliable) reliable;
@@ -35,6 +36,7 @@ let make ~name ?reliable ?deadline_budget ?age_budget_us ?pace_mbps
   Option.iter (fun _ -> activate Feature.Backpressured) backpressure_to;
   if duplicated then activate Feature.Duplicated;
   if encrypted then activate Feature.Encrypted;
+  if int_telemetry then activate Feature.Int_telemetry;
   {
     name;
     features = !features;

@@ -36,10 +36,14 @@ val make :
   ?backpressure_to:Addr.Ip.t ->
   ?duplicated:bool ->
   ?encrypted:bool ->
+  ?int_telemetry:bool ->
   unit ->
   t
 (** Derives the feature set from the supplied configuration.
-    [reliable] implies [Sequenced]. *)
+    [reliable] implies [Sequenced].  [int_telemetry] activates the
+    in-band telemetry stack: the element entering the segment inserts
+    an empty stack, every programmable hop stamps it, a sink strips
+    it. *)
 
 val check : t -> (unit, string) result
 (** Well-formedness: [Reliable] requires [Sequenced] and a buffer

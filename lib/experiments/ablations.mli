@@ -21,3 +21,11 @@ val priority_queue : unit -> string * bool
     (§ 5.3: deadlines are "an input to active queue management").
     Expected shape: with EDF service the deadline-bearing alert stream
     stops being late while bulk throughput is unharmed. *)
+
+val int_localization : unit -> string * bool
+(** E-A6: in-band telemetry latency localization, Fabric_virtual vs
+    Physical_100gbe.  Expected shape: the per-hop INT decomposition
+    telescopes exactly to the covered span on both profiles; device
+    residency carries the hardware-class difference (software switch
+    slower than Tofino2 by more than an order of magnitude) while the
+    propagation-dominated path segments stay profile-invariant. *)

@@ -12,6 +12,11 @@ let all =
     { id = "E-A4"; title = "ablation: deadline budget"; run = Ablations.deadline_sweep };
     { id = "E-A5"; title = "ablation: deadline-aware AQM"; run = Ablations.priority_queue };
     {
+      id = "E-A6";
+      title = "ablation: INT latency localization";
+      run = Ablations.int_localization;
+    };
+    {
       id = "E-X1";
       title = "§ 6.1: resource discovery + failover";
       run = Challenge6.discovery_failover;

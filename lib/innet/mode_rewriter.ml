@@ -38,6 +38,7 @@ let program =
         Op.Set_field "age.last_touch";
         Op.Set_field "pace";
         Op.Set_field "backpressure_to";
+        Op.Set_field "int.init";
         Op.Set_field "config_data";
         Op.Emit_digest "rewritten-frame";
       ];
@@ -112,6 +113,13 @@ let apply_mode t ~now (header : Mmt.Header.t) =
       | None, Some control -> Mmt.Header.with_backpressure_to header control
       | None, None -> header
     else Mmt.Header.strip header Mmt.Feature.Backpressured
+  in
+  let header =
+    if has Mmt.Feature.Int_telemetry then
+      match header.Mmt.Header.int_stack with
+      | Some _ -> header (* keep stamps accumulated upstream *)
+      | None -> Mmt.Header.with_int_stack header Mmt.Header.empty_int_stack
+    else Mmt.Header.strip header Mmt.Feature.Int_telemetry
   in
   (header, assigned_seq)
 

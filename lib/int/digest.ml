@@ -1,0 +1,54 @@
+open Mmt_util
+
+type t = {
+  experiment : Mmt.Experiment_id.t;
+  sequence : int option;
+  records : Mmt.Header.int_record list;
+  overflowed : bool;
+  sink_node : int;
+  sink_at : Units.Time.t;
+}
+
+let hops t = List.length t.records
+
+let covered_span t =
+  match t.records with
+  | [] -> None
+  | first :: _ -> Some (Units.Time.diff t.sink_at first.Mmt.Header.ingress_ns)
+
+let segment_sum t =
+  match t.records with
+  | [] -> None
+  | _ :: _ ->
+      let ns time = Units.Time.to_ns time in
+      let residency (r : Mmt.Header.int_record) =
+        Int64.sub (ns r.Mmt.Header.egress_ns) (ns r.Mmt.Header.ingress_ns)
+      in
+      let rec pieces acc = function
+        | [] -> acc
+        | [ (last : Mmt.Header.int_record) ] ->
+            Int64.add acc
+              (Int64.add (residency last)
+                 (Int64.sub (ns t.sink_at) (ns last.Mmt.Header.egress_ns)))
+        | (a : Mmt.Header.int_record) :: (b :: _ as rest) ->
+            let gap =
+              Int64.sub (ns b.Mmt.Header.ingress_ns) (ns a.Mmt.Header.egress_ns)
+            in
+            pieces (Int64.add acc (Int64.add (residency a) gap)) rest
+      in
+      Some (Units.Time.ns (Int64.max 0L (pieces 0L t.records)))
+
+let pp fmt t =
+  Format.fprintf fmt "@[int-digest{%a" Mmt.Experiment_id.pp t.experiment;
+  Option.iter (fun s -> Format.fprintf fmt " seq=%d" s) t.sequence;
+  Format.fprintf fmt " hops=%d%s sink=%d @@%a"
+    (hops t)
+    (if t.overflowed then "(OVERFLOW)" else "")
+    t.sink_node Units.Time.pp t.sink_at;
+  List.iter
+    (fun (r : Mmt.Header.int_record) ->
+      Format.fprintf fmt "@ [%d] node=%d mode=%d q=%dB %a->%a" r.Mmt.Header.hop_index
+        r.Mmt.Header.node_id r.Mmt.Header.mode_id r.Mmt.Header.queue_depth
+        Units.Time.pp r.Mmt.Header.ingress_ns Units.Time.pp r.Mmt.Header.egress_ns)
+    t.records;
+  Format.fprintf fmt "}@]"

@@ -1,0 +1,32 @@
+(** INT digests ("postcards").
+
+    When a flow leaves the telemetry domain, the {!Sink} strips the
+    per-hop stack from the header and condenses it into one of these
+    control-plane messages.  The digest is the unit the {!Collector}
+    aggregates; it also carries the arithmetic used by the consistency
+    checks: the per-segment pieces of a packet's journey must add up to
+    the end-to-end span the stack covers. *)
+
+open Mmt_util
+
+type t = {
+  experiment : Mmt.Experiment_id.t;
+  sequence : int option;  (** in-network-assigned sequence, when present *)
+  records : Mmt.Header.int_record list;  (** oldest hop first *)
+  overflowed : bool;  (** some hop could not stamp (stack full) *)
+  sink_node : int;  (** node id of the stripping sink *)
+  sink_at : Units.Time.t;  (** when the sink processed the packet *)
+}
+
+val covered_span : t -> Units.Time.t option
+(** [sink_at - first stamp's ingress]: the end-to-end latency of the
+    INT-covered part of the path.  [None] for an empty stack. *)
+
+val segment_sum : t -> Units.Time.t option
+(** Sum of every per-hop piece: device residencies (egress - ingress),
+    inter-hop gaps (next ingress - previous egress) and the final leg
+    (sink_at - last egress).  Equals {!covered_span} up to integer
+    rounding — the invariant the collector audits. *)
+
+val hops : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module Op = Mmt_innet.Op
+module Element = Mmt_innet.Element
+
+type stats = { stripped : int; passed : int }
+
+type t = {
+  node_id : int;
+  emit : Digest.t -> unit;
+  mutable stripped : int;
+  mutable passed : int;
+  element : Element.t Lazy.t;
+}
+
+let program =
+  {
+    Op.name = "int-sink";
+    ops =
+      [
+        Op.Extract "config_data";
+        Op.Compare "features.int_telemetry";
+        Op.Extract "int.stack";
+        Op.Emit_digest "int-postcard";
+        Op.Set_field "config_data";
+      ];
+  }
+
+let process_clean t ~now packet =
+  let frame = Mmt_sim.Packet.frame packet in
+  match Mmt.Encap.locate frame with
+  | Error _ ->
+      t.passed <- t.passed + 1;
+      Element.Forward packet
+  | Ok (_encap, mmt_offset) -> (
+      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      | Error _ ->
+          t.passed <- t.passed + 1;
+          Element.Forward packet
+      | Ok header -> (
+          match (header.Mmt.Header.kind, header.Mmt.Header.int_stack) with
+          | Mmt.Feature.Kind.Data, Some stack ->
+              t.emit
+                {
+                  Digest.experiment = header.Mmt.Header.experiment;
+                  sequence = header.Mmt.Header.sequence;
+                  records = stack.Mmt.Header.records;
+                  overflowed = stack.Mmt.Header.overflowed;
+                  sink_node = t.node_id;
+                  sink_at = now;
+                };
+              let old_header_size = Mmt.Header.size header in
+              let stripped = Mmt.Header.strip header Mmt.Feature.Int_telemetry in
+              let payload_offset = mmt_offset + old_header_size in
+              let payload =
+                Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
+              in
+              let new_mmt = Bytes.cat (Mmt.Header.encode stripped) payload in
+              Mmt_sim.Packet.set_frame packet
+                (Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt);
+              t.stripped <- t.stripped + 1;
+              Element.Forward packet
+          | _ ->
+              t.passed <- t.passed + 1;
+              Element.Forward packet))
+
+let process t ~now packet =
+  if packet.Mmt_sim.Packet.corrupted then begin
+    (* A corrupted frame fails its integrity check downstream; do not
+       let its stack pollute the telemetry. *)
+    t.passed <- t.passed + 1;
+    Element.Forward packet
+  end
+  else process_clean t ~now packet
+
+let create ~node_id ~emit () =
+  let rec t =
+    {
+      node_id;
+      emit;
+      stripped = 0;
+      passed = 0;
+      element =
+        lazy
+          {
+            Element.name = Printf.sprintf "int-sink(node %d)" node_id;
+            program;
+            process = (fun ~now packet -> process t ~now packet);
+          };
+    }
+  in
+  t
+
+let element t = Lazy.force t.element
+let stats t = { stripped = t.stripped; passed = t.passed }

@@ -1,0 +1,42 @@
+(** The INT transit hop: stamp the telemetry stack in place.
+
+    An [Int_stamper] is an in-network element hosted on a programmable
+    device.  For every data packet whose header activates
+    [Int_telemetry] it appends one {!Mmt.Header.int_record} — node id,
+    mode id, ingress/egress timestamps, egress queue depth, hop index —
+    by fixed-offset byte surgery ({!Mmt.Header.push_int_record_in_place}),
+    never growing the packet.  The stack itself is inserted by the mode
+    rewriter at the telemetry domain's edge, exactly as a P4 INT source
+    inserts the INT header.
+
+    Its per-packet program stays within {!Mmt_innet.Op.realizable}:
+    integer-only, header-only, bounded work. *)
+
+open Mmt_util
+
+type stats = {
+  stamped : int;  (** records appended *)
+  overflowed : int;  (** packets whose stack was already full *)
+  untracked : int;  (** packets without the Int_telemetry feature *)
+}
+
+type t
+
+val create :
+  node_id:int ->
+  mode_id:int ->
+  ?residency:Units.Time.t ->
+  ?queue_depth:(unit -> int) ->
+  unit ->
+  t
+(** [residency] (default zero) is the device's pipeline latency.  The
+    hosting {!Mmt_innet.Switch} runs its element chain {e after} the
+    pipeline delay, so the stamper records [egress = now] and backdates
+    [ingress = now - residency] to the packet's arrival at the device.
+    [queue_depth] (default constant 0) samples the egress queue
+    occupancy in bytes at stamping time, the way switch hardware
+    exposes queue depth as intrinsic metadata. *)
+
+val element : t -> Mmt_innet.Element.t
+val program : Mmt_innet.Op.program
+val stats : t -> stats

@@ -20,6 +20,7 @@ type config = {
   timeliness_policy : Mmt_innet.Timeliness_checker.policy;
   backpressure : bool;
   wan_bottleneck : float;
+  int_telemetry : bool;
   seed : int64;
 }
 
@@ -44,8 +45,20 @@ let default_config =
     timeliness_policy = Mmt_innet.Timeliness_checker.Mark;
     backpressure = false;
     wan_bottleneck = 1.0;
+    int_telemetry = false;
     seed = 42L;
   }
+
+(* INT node identities: stable ids for the stamping devices and the
+   sink, matching Fig. 4's path order. *)
+let int_nodes = [ (1, "dtn1"); (2, "tofino2"); (3, "dtn2") ]
+
+type int_state = {
+  collector : Mmt_int.Collector.t;
+  dtn1_stamper : Mmt_int.Stamper.t;
+  tofino_stamper : Mmt_int.Stamper.t;
+  sink : Mmt_int.Sink.t;
+}
 
 type t = {
   config : config;
@@ -65,6 +78,7 @@ type t = {
   wan_a : Mmt_sim.Link.t;
   wan_b : Mmt_sim.Link.t;
   researcher_receivers : Mmt.Receiver.t list;
+  int_state : int_state option;
 }
 
 (* Frame inspection used by switch routing: the encapsulation's IP
@@ -156,6 +170,43 @@ let build config =
       researchers
   in
 
+  (* In-band telemetry (off by default): a collector fed by the DTN 2
+     sink, with transit stampers on the two programmable devices.  The
+     stampers sample the egress queue of the link they feed, the way
+     switch hardware exposes queue depth as intrinsic metadata. *)
+  let int_state =
+    if not config.int_telemetry then None
+    else
+      let collector = Mmt_int.Collector.create ~nodes:int_nodes () in
+      let dtn1_stamper =
+        Mmt_int.Stamper.create ~node_id:1 ~mode_id:1
+          ~residency:p.Profile.nic.Mmt_innet.Switch.pipeline_latency
+          ~queue_depth:(fun () ->
+            Units.Size.to_bytes
+              (Mmt_sim.Queue_model.queued_bytes (Mmt_sim.Link.queue d1_to_sw)))
+          ()
+      in
+      let tofino_stamper =
+        Mmt_int.Stamper.create ~node_id:2 ~mode_id:1
+          ~residency:p.Profile.switch.Mmt_innet.Switch.pipeline_latency
+          ~queue_depth:(fun () ->
+            Units.Size.to_bytes
+              (Mmt_sim.Queue_model.queued_bytes (Mmt_sim.Link.queue sw_to_d2)))
+          ()
+      in
+      let sink =
+        Mmt_int.Sink.create ~node_id:3
+          ~emit:(Mmt_int.Collector.add collector)
+          ()
+      in
+      Some { collector; dtn1_stamper; tofino_stamper; sink }
+  in
+  let int_element stamper =
+    match int_state with
+    | Some state -> [ Mmt_int.Stamper.element (stamper state) ]
+    | None -> []
+  in
+
   (* DTN 1: buffer host + mode-0 -> mode-1 rewriter. *)
   let router_d1 = Router.create () in
   Router.add router_d1 Address.dtn2_ip (Mmt_sim.Link.send d1_to_sw);
@@ -174,7 +225,7 @@ let build config =
         (Option.map (fun budget -> (budget, Address.sensor_ip)) config.deadline_budget)
       ~age_budget_us:config.age_budget_us
       ?backpressure_to:(if config.backpressure then Some Address.sensor_ip else None)
-      ()
+      ~int_telemetry:config.int_telemetry ()
   in
   let rewriter =
     Mmt_innet.Mode_rewriter.create ~mode:wan_mode
@@ -201,7 +252,9 @@ let build config =
   in
   let dtn1_switch =
     Mmt_innet.Switch.attach ~engine ~node:dtn1 ~profile:p.Profile.nic
-      ~elements:[ Mmt_innet.Mode_rewriter.element rewriter ]
+      ~elements:
+        (Mmt_innet.Mode_rewriter.element rewriter
+        :: int_element (fun state -> state.dtn1_stamper))
       ~route:dtn1_route ()
   in
 
@@ -256,10 +309,10 @@ let build config =
       | Some monitor -> [ Mmt_innet.Backpressure_monitor.element monitor ]
       | None -> [])
     @ [ Mmt_innet.Timeliness_checker.element timeliness ]
-    @
-    match duplicator with
-    | Some dup -> [ Mmt_innet.Duplicator.element dup ]
-    | None -> []
+    @ (match duplicator with
+      | Some dup -> [ Mmt_innet.Duplicator.element dup ]
+      | None -> [])
+    @ int_element (fun state -> state.tofino_stamper)
   in
   let tofino_route packet =
     let frame = Mmt_sim.Packet.frame packet in
@@ -312,10 +365,21 @@ let build config =
                  ~now:(Mmt_sim.Engine.now engine) fragment)
         | Error _ -> ())
   in
-  Mmt_sim.Node.set_handler dtn2 (fun packet ->
+  let to_receiver packet =
+    ignore
+      (Mmt_sim.Engine.schedule_after engine ~delay:p.Profile.host_overhead
+         (fun () -> Mmt.Receiver.on_packet receiver packet))
+  in
+  (match int_state with
+  | Some state ->
+      (* The smartNIC hosts the INT sink: strip the stack and digest it
+         before the packet crosses into the host. *)
       ignore
-        (Mmt_sim.Engine.schedule_after engine ~delay:p.Profile.host_overhead
-           (fun () -> Mmt.Receiver.on_packet receiver packet)));
+        (Mmt_innet.Switch.attach ~engine ~node:dtn2 ~profile:p.Profile.nic
+           ~elements:[ Mmt_int.Sink.element state.sink ]
+           ~route:(fun _packet -> Some to_receiver)
+           ())
+  | None -> Mmt_sim.Node.set_handler dtn2 to_receiver);
 
   (* Researchers: plain receivers on the duplicated stream. *)
   let researcher_receivers =
@@ -408,6 +472,7 @@ let build config =
     wan_a = d1_to_sw;
     wan_b = sw_to_d2;
     researcher_receivers;
+    int_state;
   }
 
 let run t = Mmt_sim.Engine.run t.engine
@@ -461,3 +526,18 @@ let receiver (t : t) = t.receiver
 let researcher_receivers (t : t) = t.researcher_receivers
 let config (t : t) = t.config
 let engine (t : t) = t.engine
+
+let int_collector (t : t) =
+  Option.map (fun state -> state.collector) t.int_state
+
+let int_stamper_stats (t : t) =
+  match t.int_state with
+  | None -> []
+  | Some state ->
+      [
+        ("dtn1", Mmt_int.Stamper.stats state.dtn1_stamper);
+        ("tofino2", Mmt_int.Stamper.stats state.tofino_stamper);
+      ]
+
+let int_sink_stats (t : t) =
+  Option.map (fun state -> Mmt_int.Sink.stats state.sink) t.int_state

@@ -45,6 +45,10 @@ type config = {
   wan_bottleneck : float;
       (** rate multiplier for the switch -> DTN 2 hop; below 1.0 it
           creates a congestion point for back-pressure experiments *)
+  int_telemetry : bool;
+      (** activate in-band telemetry: DTN 1's rewriter inserts the INT
+          stack, DTN 1 and the Tofino2 stamp it, and a sink on DTN 2's
+          smartNIC strips it into a {!Mmt_int.Collector} *)
   seed : int64;
 }
 
@@ -83,3 +87,13 @@ val receiver : t -> Mmt.Receiver.t
 val researcher_receivers : t -> Mmt.Receiver.t list
 val config : t -> config
 val engine : t -> Mmt_sim.Engine.t
+
+val int_nodes : (int * string) list
+(** INT node ids used by the topology: dtn1 = 1, tofino2 = 2,
+    dtn2 (sink) = 3, in path order. *)
+
+val int_collector : t -> Mmt_int.Collector.t option
+(** The digest aggregate, when [int_telemetry] was set. *)
+
+val int_stamper_stats : t -> (string * Mmt_int.Stamper.stats) list
+val int_sink_stats : t -> Mmt_int.Sink.stats option

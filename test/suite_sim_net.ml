@@ -301,6 +301,53 @@ let test_topology_fresh_ids () =
   let ids = List.init 100 (fun _ -> Sim.Topology.fresh_packet_id topo) in
   Alcotest.(check int) "unique ids" 100 (List.length (List.sort_uniq compare ids))
 
+
+(* Trace ----------------------------------------------------------------- *)
+
+let test_trace_capacity_evicts_oldest () =
+  let trace = Sim.Trace.create ~capacity:5 () in
+  for i = 0 to 7 do
+    Sim.Trace.record trace
+      ~at:(Units.Time.us (float_of_int i))
+      ~link:"a->b" Sim.Link.Sent (mk_packet ~id:i 100)
+  done;
+  let entries = Sim.Trace.entries trace in
+  Alcotest.(check int) "bounded to capacity" 5 (List.length entries);
+  Alcotest.(check int) "truncated counts the discarded" 3
+    (Sim.Trace.truncated trace);
+  Alcotest.(check (list int)) "oldest entries were evicted" [ 3; 4; 5; 6; 7 ]
+    (List.map (fun (e : Sim.Trace.entry) -> e.Sim.Trace.packet_id) entries)
+
+let test_trace_under_capacity_keeps_everything () =
+  let trace = Sim.Trace.create ~capacity:10 () in
+  for i = 0 to 3 do
+    Sim.Trace.record trace
+      ~at:(Units.Time.us (float_of_int i))
+      ~link:"a->b" Sim.Link.Delivered (mk_packet ~id:i 100)
+  done;
+  Alcotest.(check int) "all kept" 4 (List.length (Sim.Trace.entries trace));
+  Alcotest.(check int) "nothing truncated" 0 (Sim.Trace.truncated trace);
+  Alcotest.(check int) "count sees them" 4 (Sim.Trace.count trace Sim.Link.Delivered)
+
+let test_trace_truncation_keeps_counting () =
+  (* Eviction must not corrupt per-event counts of surviving entries,
+     and packet_history reflects only what is still retained. *)
+  let trace = Sim.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    let event = if i mod 2 = 0 then Sim.Link.Sent else Sim.Link.Delivered in
+    Sim.Trace.record trace
+      ~at:(Units.Time.us (float_of_int i))
+      ~link:"a->b" event (mk_packet ~id:i 100)
+  done;
+  Alcotest.(check int) "six truncated" 6 (Sim.Trace.truncated trace);
+  Alcotest.(check int) "surviving sent" 2 (Sim.Trace.count trace Sim.Link.Sent);
+  Alcotest.(check int) "surviving delivered" 2
+    (Sim.Trace.count trace Sim.Link.Delivered);
+  Alcotest.(check int) "evicted packet has no history" 0
+    (List.length (Sim.Trace.packet_history trace ~packet_id:0));
+  Alcotest.(check int) "retained packet has history" 1
+    (List.length (Sim.Trace.packet_history trace ~packet_id:9))
+
 let suite =
   [
     Alcotest.test_case "droptail fifo" `Quick test_droptail_fifo_order;
@@ -323,4 +370,10 @@ let suite =
     Alcotest.test_case "topology nodes/links" `Quick test_topology_nodes_and_links;
     Alcotest.test_case "topology delivery" `Quick test_topology_delivery_to_handler;
     Alcotest.test_case "topology fresh ids" `Quick test_topology_fresh_ids;
+    Alcotest.test_case "trace capacity eviction" `Quick
+      test_trace_capacity_evicts_oldest;
+    Alcotest.test_case "trace under capacity" `Quick
+      test_trace_under_capacity_keeps_everything;
+    Alcotest.test_case "trace counts after truncation" `Quick
+      test_trace_truncation_keeps_counting;
   ]

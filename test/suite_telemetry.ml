@@ -1,0 +1,45 @@
+(* Telemetry primitives: the flow meter's binning edge cases. *)
+open Mmt_util
+
+let test_flow_meter_rejects_zero_bin () =
+  Alcotest.check_raises "zero bin"
+    (Invalid_argument "Flow_meter.create: zero bin") (fun () ->
+      ignore (Mmt_telemetry.Flow_meter.create ~bin:Units.Time.zero))
+
+let test_flow_meter_fills_empty_bins_with_zero () =
+  let bin = Units.Time.ms 1. in
+  let meter = Mmt_telemetry.Flow_meter.create ~bin in
+  Mmt_telemetry.Flow_meter.record meter ~now:Units.Time.zero ~bytes:1000;
+  (* Skip two whole bins, then record again in the fourth. *)
+  Mmt_telemetry.Flow_meter.record meter ~now:(Units.Time.ms 3.2) ~bytes:2000;
+  let series = Mmt_telemetry.Flow_meter.series meter in
+  Alcotest.(check int) "four bins, gaps included" 4 (List.length series);
+  let rates = List.map (fun (_, rate) -> Units.Rate.to_bps rate) series in
+  Alcotest.(check bool) "first bin active" true (List.nth rates 0 > 0.);
+  Alcotest.(check (float 0.)) "second bin zero" 0. (List.nth rates 1);
+  Alcotest.(check (float 0.)) "third bin zero" 0. (List.nth rates 2);
+  Alcotest.(check bool) "fourth bin active" true (List.nth rates 3 > 0.);
+  Alcotest.(check int) "total bytes" 3000 (Mmt_telemetry.Flow_meter.total_bytes meter);
+  (* Bin starts line up on the bin grid. *)
+  List.iteri
+    (fun i (start, _) ->
+      Alcotest.(check int64)
+        (Printf.sprintf "bin %d start" i)
+        (Int64.mul (Int64.of_int i) (Units.Time.to_ns bin))
+        (Units.Time.to_ns start))
+    series
+
+let test_flow_meter_empty_series () =
+  let meter = Mmt_telemetry.Flow_meter.create ~bin:(Units.Time.ms 1.) in
+  Alcotest.(check int) "no bins before any record" 0
+    (List.length (Mmt_telemetry.Flow_meter.series meter));
+  Alcotest.(check int) "no bytes" 0 (Mmt_telemetry.Flow_meter.total_bytes meter)
+
+let suite =
+  [
+    Alcotest.test_case "flow meter rejects zero bin" `Quick
+      test_flow_meter_rejects_zero_bin;
+    Alcotest.test_case "flow meter zero-fills empty bins" `Quick
+      test_flow_meter_fills_empty_bins_with_zero;
+    Alcotest.test_case "flow meter empty series" `Quick test_flow_meter_empty_series;
+  ]

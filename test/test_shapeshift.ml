@@ -14,6 +14,8 @@ let () =
       ("mode", Suite_mode.suite);
       ("endpoint", Suite_endpoint.suite);
       ("innet", Suite_innet.suite);
+      ("int", Suite_int.suite);
+      ("telemetry", Suite_telemetry.suite);
       ("daq", Suite_daq.suite);
       ("tcp", Suite_tcp.suite);
       ("pilot", Suite_pilot.suite);
