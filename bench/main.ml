@@ -1,7 +1,12 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (sections E-T1, E-F1..E-F4, E-A1/A2/A4 via Mmt_experiments.Registry)
    and then runs the E-A3 micro-benchmarks: per-packet header and
-   pipeline costs, the P4-realizability proxy. *)
+   pipeline costs, the P4-realizability proxy.
+
+   `--json FILE` additionally writes the per-op estimates and sweep
+   wall-clocks as machine-readable JSON (the committed BENCH_pr3.json
+   baseline).  `--jobs N` times the experiment sweep on N domains and
+   checks the parallel reports against the sequential ones. *)
 
 open Mmt_util
 open Bechamel
@@ -42,6 +47,23 @@ let rewriter_element = Mmt_innet.Mode_rewriter.element rewriter
 
 let mode0_frame = Bytes.cat encoded_mode0 (Bytes.make 1024 'p')
 
+(* A frame already in the rewriter's target shape: the fast path. *)
+let wan_header =
+  Mmt.Header.create ~sequence:123456
+    ~retransmit_from:buffer_ip
+    ~timely:{ Mmt.Header.deadline = Units.Time.ms 20.; notify = notify_ip }
+    ~age:
+      {
+        Mmt.Header.age_us = 10;
+        budget_us = 20_000;
+        aged = false;
+        hop_count = 1;
+        last_touch_ns = Units.Time.us 3.;
+      }
+    ~experiment ()
+
+let wan_frame = Bytes.cat (Mmt.Header.encode wan_header) (Bytes.make 1024 'p')
+
 let fragment =
   {
     Mmt_daq.Fragment.run = 1;
@@ -78,6 +100,7 @@ let int_header =
     ()
 
 let encoded_int = Mmt.Header.encode int_header
+let int_strip_frame = Bytes.cat encoded_int (Bytes.make 1024 'p')
 
 let int_stamp_frame =
   Mmt.Header.encode
@@ -92,6 +115,11 @@ let stamper = Mmt_int.Stamper.create ~node_id:2 ~mode_id:1 ()
 let stamper_element = Mmt_int.Stamper.element stamper
 let int_packet_frame = Bytes.cat int_stamp_frame (Bytes.make 1024 'p')
 
+let view_of_frame frame =
+  match Mmt.Header.View.of_frame frame with
+  | Ok view -> view
+  | Error reason -> failwith ("bench: view failed: " ^ reason)
+
 let bench_tests =
   Test.make_grouped ~name:"E-A3"
     [
@@ -103,19 +131,80 @@ let bench_tests =
            ignore (Mmt.Header.decode_bytes encoded_mode0)));
       Test.make ~name:"header decode (full)" (Staged.stage (fun () ->
            ignore (Mmt.Header.decode_bytes encoded_full)));
+      Test.make ~name:"header view (mode 0)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.View.of_frame encoded_mode0)));
+      Test.make ~name:"header view (full)" (Staged.stage (fun () ->
+           ignore (Mmt.Header.View.of_frame encoded_full)));
+      Test.make ~name:"deadline read via decode (legacy)" (Staged.stage (fun () ->
+           match Mmt.Header.decode_bytes encoded_full with
+           | Ok { Mmt.Header.timely = Some { Mmt.Header.deadline; _ }; _ } ->
+               ignore deadline
+           | Ok _ | Error _ -> ()));
+      Test.make ~name:"deadline read via view" (Staged.stage (fun () ->
+           match Mmt.Header.View.of_frame encoded_full with
+           | Ok view when Mmt.Header.View.has view Mmt.Feature.Timely ->
+               ignore (Mmt.Header.View.deadline_ns view)
+           | Ok _ | Error _ -> ()));
       Test.make ~name:"age touch in place (ALU path)" (Staged.stage (fun () ->
            ignore
              (Mmt.Header.touch_age_in_place age_frame ~ext_off:age_offset
                 ~now:(Units.Time.us 100.))));
-      Test.make ~name:"mode rewrite (mode 0 -> 1, 1 KiB frame)" (Staged.stage (fun () ->
-           let packet =
-             Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero (Bytes.copy mode0_frame)
-           in
-           ignore (rewriter_element.Mmt_innet.Element.process ~now:Units.Time.zero packet)));
+      Test.make ~name:"age touch via view" (Staged.stage (fun () ->
+           let view = view_of_frame age_frame in
+           ignore (Mmt.Header.View.touch_age view ~now:(Units.Time.us 100.))));
+      Test.make ~name:"age touch via decode/re-encode (legacy)"
+        (Staged.stage (fun () ->
+             match Mmt.Header.decode_bytes age_frame with
+             | Ok ({ Mmt.Header.age = Some age; _ } as header) ->
+                 let header =
+                   Mmt.Header.with_age header
+                     {
+                       age with
+                       Mmt.Header.age_us = age.Mmt.Header.age_us + 97;
+                       last_touch_ns = Units.Time.us 100.;
+                       hop_count = age.Mmt.Header.hop_count + 1;
+                     }
+                 in
+                 ignore (Mmt.Header.encode header)
+             | Ok _ | Error _ -> ()));
+      Test.make ~name:"mode rewrite slow path (mode 0 -> 1, 1 KiB frame)"
+        (Staged.stage (fun () ->
+             let packet =
+               Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero
+                 (Bytes.copy mode0_frame)
+             in
+             ignore
+               (rewriter_element.Mmt_innet.Element.process ~now:Units.Time.zero
+                  packet)));
+      Test.make ~name:"mode rewrite fast path (already in mode, 1 KiB frame)"
+        (Staged.stage (fun () ->
+             let packet =
+               Mmt_sim.Packet.create ~id:0 ~born:Units.Time.zero wan_frame
+             in
+             ignore
+               (rewriter_element.Mmt_innet.Element.process ~now:Units.Time.zero
+                  packet)));
       Test.make ~name:"INT header encode (4-hop stack)" (Staged.stage (fun () ->
            ignore (Mmt.Header.encode int_header)));
       Test.make ~name:"INT header decode (4-hop stack)" (Staged.stage (fun () ->
            ignore (Mmt.Header.decode_bytes encoded_int)));
+      Test.make ~name:"INT strip via decode/re-encode (legacy)"
+        (Staged.stage (fun () ->
+             match Mmt.Header.decode_bytes int_strip_frame with
+             | Ok header ->
+                 let stripped =
+                   Mmt.Header.strip header Mmt.Feature.Int_telemetry
+                 in
+                 let payload_offset = Mmt.Header.size header in
+                 let payload =
+                   Bytes.sub int_strip_frame payload_offset
+                     (Bytes.length int_strip_frame - payload_offset)
+                 in
+                 ignore (Bytes.cat (Mmt.Header.encode stripped) payload)
+             | Error _ -> ()));
+      Test.make ~name:"INT strip via view" (Staged.stage (fun () ->
+           let view = view_of_frame int_strip_frame in
+           ignore (Mmt.Header.View.strip_int view)));
       Test.make ~name:"INT stamp append (in-place ALU path)" (Staged.stage (fun () ->
            (* reset the hop count so every iteration measures a real append *)
            Bytes.set int_stamp_frame int_offset '\000';
@@ -123,6 +212,27 @@ let bench_tests =
              (Mmt.Header.push_int_record_in_place int_stamp_frame
                 ~ext_off:int_offset ~node_id:2 ~mode_id:1 ~queue_depth:4096
                 ~ingress:(Units.Time.us 10.) ~egress:(Units.Time.us 12.))));
+      Test.make ~name:"INT stamp via decode + offset (legacy)"
+        (Staged.stage (fun () ->
+             Bytes.set int_stamp_frame int_offset '\000';
+             match Mmt.Header.decode_bytes int_stamp_frame with
+             | Ok header -> (
+                 match Mmt.Header.offset_of_int header with
+                 | Some off ->
+                     ignore
+                       (Mmt.Header.push_int_record_in_place int_stamp_frame
+                          ~ext_off:off ~node_id:2 ~mode_id:1 ~queue_depth:4096
+                          ~ingress:(Units.Time.us 10.)
+                          ~egress:(Units.Time.us 12.))
+                 | None -> ())
+             | Error _ -> ()));
+      Test.make ~name:"INT stamp via view" (Staged.stage (fun () ->
+           Bytes.set int_stamp_frame int_offset '\000';
+           let view = view_of_frame int_stamp_frame in
+           ignore
+             (Mmt.Header.View.push_int_record view ~node_id:2 ~mode_id:1
+                ~queue_depth:4096 ~ingress:(Units.Time.us 10.)
+                ~egress:(Units.Time.us 12.))));
       Test.make ~name:"INT stamper element (per packet, 1 KiB frame)"
         (Staged.stage (fun () ->
              Bytes.set int_packet_frame int_offset '\000';
@@ -148,14 +258,12 @@ let bench_tests =
            Mmt_sim.Engine.run engine));
     ]
 
-let run_micro_benchmarks () =
+let run_micro_benchmarks ~quota ~limit () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
-  in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) ~stabilize:true () in
   let raw = Benchmark.all cfg instances bench_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let table =
@@ -169,28 +277,194 @@ let run_micro_benchmarks () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let per_run =
+      let estimate =
         match Analyze.OLS.estimates ols_result with
-        | Some (value :: _) -> Printf.sprintf "%.0f ns" value
-        | Some [] | None -> "n/a"
+        | Some (value :: _) -> Some value
+        | Some [] | None -> None
       in
-      rows := (name, per_run) :: !rows)
+      rows := (name, estimate) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, per_run) -> Table.add_row table [ name; per_run ])
-    (List.sort compare !rows);
-  Table.print table
+    (fun (name, estimate) ->
+      let per_run =
+        match estimate with
+        | Some value -> Printf.sprintf "%.0f ns" value
+        | None -> "n/a"
+      in
+      Table.add_row table [ name; per_run ])
+    rows;
+  Table.print table;
+  List.filter_map
+    (fun (name, estimate) -> Option.map (fun ns -> (name, ns)) estimate)
+    rows
 
-let () =
+(* --- sweep ------------------------------------------------------------- *)
+
+let render_sweep results =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ((entry : Mmt_experiments.Registry.entry), (output, ok), _wall_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "### %s — %s\n\n" entry.Mmt_experiments.Registry.id
+           entry.Mmt_experiments.Registry.title);
+      Buffer.add_string buf output;
+      if not ok then
+        Buffer.add_string buf
+          (Printf.sprintf "!! %s: some shape checks FAILED\n"
+             entry.Mmt_experiments.Registry.id);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let run_sweep ~jobs () =
+  let started = Unix.gettimeofday () in
+  let sequential = Mmt_experiments.Registry.run_collect ~jobs:1 () in
+  let sequential_wall = Unix.gettimeofday () -. started in
+  print_string (render_sweep sequential);
+  let parallel =
+    if jobs <= 1 then None
+    else begin
+      let started = Unix.gettimeofday () in
+      let results = Mmt_experiments.Registry.run_collect ~jobs () in
+      let wall = Unix.gettimeofday () -. started in
+      let identical =
+        String.equal (render_sweep sequential) (render_sweep results)
+      in
+      Printf.printf
+        "sweep: sequential %.2f s, %d domains %.2f s, reports %s\n\n"
+        sequential_wall jobs wall
+        (if identical then "byte-identical" else "DIFFER");
+      Some (wall, identical)
+    end
+  in
+  let all_ok =
+    List.for_all (fun (_, (_, ok), _) -> ok) sequential
+    && match parallel with Some (_, identical) -> identical | None -> true
+  in
+  (sequential, sequential_wall, parallel, all_ok)
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~quota ~limit ~jobs ~micro ~sweep =
+  let results, sequential_wall, parallel, _ = sweep in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"config\": { \"quota_s\": %g, \"limit\": %d, \"jobs\": %d },\n"
+       quota limit jobs);
+  Buffer.add_string buf "  \"micro_ns\": {\n";
+  let n = List.length micro in
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %.1f%s\n" (json_escape name) ns
+           (if i = n - 1 then "" else ",")))
+    micro;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"sweep\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"sequential_wall_s\": %.3f,\n" sequential_wall);
+  (match parallel with
+  | Some (wall, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"parallel_jobs\": %d,\n" jobs);
+      Buffer.add_string buf
+        (Printf.sprintf "    \"parallel_wall_s\": %.3f,\n" wall);
+      Buffer.add_string buf
+        (Printf.sprintf "    \"reports_identical\": %b,\n" identical)
+  | None -> ());
+  Buffer.add_string buf "    \"experiments\": [\n";
+  let n = List.length results in
+  List.iteri
+    (fun i ((entry : Mmt_experiments.Registry.entry), (_, ok), wall_s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"id\": \"%s\", \"title\": \"%s\", \"ok\": %b, \"wall_s\": %.3f }%s\n"
+           (json_escape entry.Mmt_experiments.Registry.id)
+           (json_escape entry.Mmt_experiments.Registry.title)
+           ok wall_s
+           (if i = n - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "    ]\n";
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* --- CLI --------------------------------------------------------------- *)
+
+let run json jobs quota limit =
   print_endline "=== Shape-shifting Elephants: experiment reproductions ===";
   print_newline ();
-  let all_ok = Mmt_experiments.Registry.run_all () in
+  let sweep = run_sweep ~jobs () in
   print_endline "### E-A3 — micro-benchmarks";
   print_newline ();
-  run_micro_benchmarks ();
+  let micro = run_micro_benchmarks ~quota ~limit () in
   print_newline ();
-  if all_ok then print_endline "ALL SHAPE CHECKS PASSED"
+  Option.iter
+    (fun path -> write_json ~path ~quota ~limit ~jobs ~micro ~sweep)
+    json;
+  let _, _, _, all_ok = sweep in
+  if all_ok then begin
+    print_endline "ALL SHAPE CHECKS PASSED";
+    0
+  end
   else begin
     print_endline "SOME SHAPE CHECKS FAILED";
-    exit 1
+    1
   end
+
+let () =
+  let open Cmdliner in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write per-op estimates and sweep wall-clocks as JSON.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Also time the experiment sweep on $(docv) domains and check \
+             the reports against the sequential sweep.")
+  in
+  let quota =
+    Arg.(
+      value & opt float 0.25
+      & info [ "quota" ] ~docv:"SECONDS"
+          ~doc:"Bechamel time budget per micro-benchmark.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 2000
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Bechamel iteration limit per micro-benchmark.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:"Reproduce the paper's tables/figures and micro-benchmarks.")
+      Term.(const run $ json $ jobs $ quota $ limit)
+  in
+  exit (Cmd.eval' cmd)

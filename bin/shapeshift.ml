@@ -53,6 +53,32 @@ let experiments_cmd =
        ~doc:"Regenerate the paper's tables and figures (all, or by id).")
     Term.(const run $ ids)
 
+(* `shapeshift all [--jobs N]` --------------------------------------------- *)
+
+let all_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the experiment sweep on $(docv) domains.  Every \
+             experiment is a self-contained deterministic simulation, so \
+             the reports (printed in registry order) are byte-identical \
+             to a sequential sweep.")
+  in
+  let run jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "shapeshift all: --jobs must be at least 1\n";
+      2
+    end
+    else if Mmt_experiments.Registry.run_all ~jobs () then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "all"
+       ~doc:"Run the full experiment sweep, optionally across domains.")
+    Term.(const run $ jobs)
+
 (* `shapeshift pilot ...` -------------------------------------------------- *)
 
 let pilot_cmd =
@@ -360,8 +386,8 @@ let trace_cmd =
           match Mmt.Encap.locate (Mmt_sim.Packet.frame packet) with
           | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, off)
             when Mmt_frame.Addr.Ip.equal dst buf_ip -> (
-              match Mmt.Header.decode_bytes ~off (Mmt_sim.Packet.frame packet) with
-              | Ok { Mmt.Header.kind = Mmt.Feature.Kind.Nak; _ } ->
+              match Mmt.Header.View.of_frame ~off (Mmt_sim.Packet.frame packet) with
+              | Ok view when Mmt.Header.View.kind view = Mmt.Feature.Kind.Nak ->
                   Some (Mmt.Buffer_host.on_packet buffer)
               | _ -> Some (Mmt_sim.Link.send b_to_d))
           | _ -> Some (Mmt_sim.Link.send b_to_d))
@@ -424,6 +450,7 @@ let main_cmd =
     [
       list_cmd;
       experiments_cmd;
+      all_cmd;
       pilot_cmd;
       telemetry_cmd;
       catalog_cmd;

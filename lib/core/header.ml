@@ -399,6 +399,234 @@ let touch_age_in_place frame ~ext_off ~now =
   Bytes.set_int64_be frame (ext_off + 12) now_ns;
   (age_us, aged)
 
+(* Zero-copy header views ------------------------------------------------ *)
+
+module View = struct
+  type t = {
+    frame : bytes;
+    base : int;
+    kind : Feature.Kind.t;
+    features : Feature.Set.t;
+    size : int;
+    (* Absolute byte offsets of each extension within [frame]; -1 when
+       the feature bit is clear.  Computed once from the feature bits,
+       exactly as a P4 parser state machine would. *)
+    off_sequence : int;
+    off_retransmit : int;
+    off_timely : int;
+    off_age : int;
+    off_pace : int;
+    off_backpressure : int;
+    off_int : int;
+  }
+
+  let of_frame ?(off = 0) frame =
+    if off < 0 || Bytes.length frame - off < core_size then
+      Error
+        (Printf.sprintf "truncated header: need %d bytes, have %d" core_size
+           (Bytes.length frame - off))
+    else begin
+      let config_id = Char.code (Bytes.get frame off) in
+      if config_id <> Feature.config_id_v1 then
+        Error (Printf.sprintf "unknown configuration identifier %d" config_id)
+      else
+        let data =
+          (Char.code (Bytes.get frame (off + 1)) lsl 16)
+          lor Bytes.get_uint16_be frame (off + 2)
+        in
+        match Feature.decode_config_data data with
+        | Error e -> Error e
+        | Ok (kind, features) ->
+            let cursor = ref (off + core_size) in
+            let place feature width =
+              if Feature.Set.mem feature features then begin
+                let at = !cursor in
+                cursor := at + width;
+                at
+              end
+              else -1
+            in
+            let off_sequence = place Feature.Sequenced sequence_size in
+            let off_retransmit = place Feature.Reliable retransmit_size in
+            let off_timely = place Feature.Timely timely_size in
+            let off_age = place Feature.Age_tracked age_size in
+            let off_pace = place Feature.Paced pace_size in
+            let off_backpressure = place Feature.Backpressured backpressure_size in
+            let off_int = place Feature.Int_telemetry int_ext_size in
+            let size = !cursor - off in
+            if Bytes.length frame - off < size then
+              Error
+                (Printf.sprintf "truncated header: need %d bytes, have %d" size
+                   (Bytes.length frame - off))
+            else if
+              off_int >= 0 && Char.code (Bytes.get frame off_int) > max_int_hops
+            then
+              Error
+                (Printf.sprintf "INT stack count %d exceeds %d"
+                   (Char.code (Bytes.get frame off_int))
+                   max_int_hops)
+            else
+              Ok
+                {
+                  frame;
+                  base = off;
+                  kind;
+                  features;
+                  size;
+                  off_sequence;
+                  off_retransmit;
+                  off_timely;
+                  off_age;
+                  off_pace;
+                  off_backpressure;
+                  off_int;
+                }
+    end
+
+  let kind v = v.kind
+  let features v = v.features
+  let size v = v.size
+  let has v feature = Feature.Set.mem feature v.features
+
+  let missing what = invalid_arg ("Header.View." ^ what ^ ": feature not present")
+  let need at what = if at < 0 then missing what
+
+  let u32_at frame at = Int32.to_int (Bytes.get_int32_be frame at) land 0xFFFFFFFF
+  let set_u32_at frame at v = Bytes.set_int32_be frame at (Int32.of_int v)
+
+  let experiment v = Experiment_id.of_int32 (Bytes.get_int32_be v.frame (v.base + 4))
+
+  let sequence v =
+    need v.off_sequence "sequence";
+    u32_at v.frame v.off_sequence
+
+  let set_sequence v s =
+    need v.off_sequence "set_sequence";
+    check_u32 "sequence" s;
+    set_u32_at v.frame v.off_sequence s
+
+  let retransmit_from v =
+    need v.off_retransmit "retransmit_from";
+    Addr.Ip.of_int32 (Bytes.get_int32_be v.frame v.off_retransmit)
+
+  let set_retransmit_from v ip =
+    need v.off_retransmit "set_retransmit_from";
+    Bytes.set_int32_be v.frame v.off_retransmit (Addr.Ip.to_int32 ip)
+
+  let deadline_ns v =
+    need v.off_timely "deadline_ns";
+    Units.Time.ns (Bytes.get_int64_be v.frame v.off_timely)
+
+  let set_deadline_ns v deadline =
+    need v.off_timely "set_deadline_ns";
+    Bytes.set_int64_be v.frame v.off_timely (Units.Time.to_ns deadline)
+
+  let notify v =
+    need v.off_timely "notify";
+    Addr.Ip.of_int32 (Bytes.get_int32_be v.frame (v.off_timely + 8))
+
+  let set_notify v ip =
+    need v.off_timely "set_notify";
+    Bytes.set_int32_be v.frame (v.off_timely + 8) (Addr.Ip.to_int32 ip)
+
+  let age_us v =
+    need v.off_age "age_us";
+    u32_at v.frame v.off_age
+
+  let budget_us v =
+    need v.off_age "budget_us";
+    u32_at v.frame (v.off_age + 4)
+
+  let aged v =
+    need v.off_age "aged";
+    Char.code (Bytes.get v.frame (v.off_age + 8)) land 1 = 1
+
+  let hop_count v =
+    need v.off_age "hop_count";
+    (Char.code (Bytes.get v.frame (v.off_age + 9)) lsl 16)
+    lor Bytes.get_uint16_be v.frame (v.off_age + 10)
+
+  let last_touch_ns v =
+    need v.off_age "last_touch_ns";
+    Units.Time.ns (Bytes.get_int64_be v.frame (v.off_age + 12))
+
+  let touch_age v ~now =
+    need v.off_age "touch_age";
+    touch_age_in_place v.frame ~ext_off:v.off_age ~now
+
+  let pace_mbps v =
+    need v.off_pace "pace_mbps";
+    u32_at v.frame v.off_pace
+
+  let set_pace_mbps v pace =
+    need v.off_pace "set_pace_mbps";
+    check_u32 "pace_mbps" pace;
+    set_u32_at v.frame v.off_pace pace
+
+  let backpressure_to v =
+    need v.off_backpressure "backpressure_to";
+    Addr.Ip.of_int32 (Bytes.get_int32_be v.frame v.off_backpressure)
+
+  let set_backpressure_to v ip =
+    need v.off_backpressure "set_backpressure_to";
+    Bytes.set_int32_be v.frame v.off_backpressure (Addr.Ip.to_int32 ip)
+
+  let int_count v =
+    need v.off_int "int_count";
+    Char.code (Bytes.get v.frame v.off_int)
+
+  let int_overflowed v =
+    need v.off_int "int_overflowed";
+    Char.code (Bytes.get v.frame (v.off_int + 1)) land 1 = 1
+
+  let int_record v i =
+    need v.off_int "int_record";
+    if i < 0 || i >= int_count v then
+      invalid_arg
+        (Printf.sprintf "Header.View.int_record: slot %d of %d" i (int_count v));
+    let slot = v.off_int + 4 + (i * int_record_size) in
+    {
+      node_id = Bytes.get_uint16_be v.frame slot;
+      mode_id = Char.code (Bytes.get v.frame (slot + 2));
+      hop_index = Char.code (Bytes.get v.frame (slot + 3));
+      queue_depth = u32_at v.frame (slot + 4);
+      ingress_ns = Units.Time.ns (Bytes.get_int64_be v.frame (slot + 8));
+      egress_ns = Units.Time.ns (Bytes.get_int64_be v.frame (slot + 16));
+    }
+
+  let int_records v = List.init (int_count v) (int_record v)
+
+  let push_int_record v ~node_id ~mode_id ~queue_depth ~ingress ~egress =
+    need v.off_int "push_int_record";
+    push_int_record_in_place v.frame ~ext_off:v.off_int ~node_id ~mode_id
+      ~queue_depth ~ingress ~egress
+
+  let set_duplicated v =
+    let data =
+      Feature.encode_config_data ~kind:v.kind
+        (Feature.Set.add Feature.Duplicated v.features)
+    in
+    Bytes.set v.frame (v.base + 1) (Char.chr ((data lsr 16) land 0xFF));
+    Bytes.set_uint16_be v.frame (v.base + 2) (data land 0xFFFF)
+
+  let strip_int v =
+    need v.off_int "strip_int";
+    let frame_len = Bytes.length v.frame in
+    let head_len = v.off_int - v.base in
+    let tail_off = v.off_int + int_ext_size in
+    let tail_len = frame_len - tail_off in
+    let out = Bytes.create (head_len + tail_len) in
+    Bytes.blit v.frame v.base out 0 head_len;
+    Bytes.blit v.frame tail_off out head_len tail_len;
+    let data =
+      Feature.encode_config_data ~kind:v.kind
+        (Feature.Set.remove Feature.Int_telemetry v.features)
+    in
+    Bytes.set out 1 (Char.chr ((data lsr 16) land 0xFF));
+    Bytes.set_uint16_be out 2 (data land 0xFFFF);
+    out
+end
+
 let equal a b =
   a.config_id = b.config_id
   && Feature.Kind.equal a.kind b.kind

@@ -177,5 +177,98 @@ val push_int_record_in_place :
     ids are masked to field width and [queue_depth] saturates, as
     fixed-width ALU writes would. *)
 
+(** Zero-copy header views — the simulated equivalent of a Tofino
+    match-action stage's header vector (§ 5.3 "conservative,
+    header-based processing").
+
+    A view parses only the 8-byte core (configuration identifier +
+    configuration data) and derives the byte offset of every extension
+    from the feature bits alone — exactly the arithmetic a P4 parser
+    state machine performs.  All reads and writes are then fixed-offset
+    integer accesses directly into the frame's [Bytes.t]: no record is
+    materialised, no list is built, nothing is re-encoded.  The
+    per-packet in-network elements use views; the full {!decode} is
+    reserved for endpoints and the rare mode-rewrite slow path that
+    changes the header's shape. *)
+module View : sig
+  type nonrec t
+  (** A validated window onto one encoded header inside a frame.
+      Creating a view performs no allocation beyond the view record
+      itself; accessors never allocate except where documented. *)
+
+  val of_frame : ?off:int -> bytes -> (t, string) result
+  (** Validate the core header at [off] and compute extension offsets.
+      Fails on an unknown configuration identifier, reserved
+      configuration bits, a truncated frame, or an out-of-range INT
+      stack count — the same conditions {!decode} rejects. *)
+
+  val kind : t -> Feature.Kind.t
+  val features : t -> Feature.Set.t
+  val has : t -> Feature.t -> bool
+
+  val size : t -> int
+  (** Encoded header size implied by the feature bits; the payload
+      starts at [off + size]. *)
+
+  val experiment : t -> Experiment_id.t
+
+  (** Field accessors below raise [Invalid_argument] when the feature
+      is absent — check {!has} first on paths where that is possible.
+      Setters mask/validate exactly like the record-level [with_*]
+      functions, and never change the header's size. *)
+
+  val sequence : t -> int
+  val set_sequence : t -> int -> unit
+  val retransmit_from : t -> Addr.Ip.t
+  val set_retransmit_from : t -> Addr.Ip.t -> unit
+  val deadline_ns : t -> Units.Time.t
+  val set_deadline_ns : t -> Units.Time.t -> unit
+  val notify : t -> Addr.Ip.t
+  val set_notify : t -> Addr.Ip.t -> unit
+  val age_us : t -> int
+  val budget_us : t -> int
+  val aged : t -> bool
+  val hop_count : t -> int
+  val last_touch_ns : t -> Units.Time.t
+
+  val touch_age : t -> now:Units.Time.t -> int * bool
+  (** {!touch_age_in_place} at the view's age offset. *)
+
+  val pace_mbps : t -> int
+  val set_pace_mbps : t -> int -> unit
+  val backpressure_to : t -> Addr.Ip.t
+  val set_backpressure_to : t -> Addr.Ip.t -> unit
+
+  val int_count : t -> int
+  val int_overflowed : t -> bool
+
+  val int_record : t -> int -> int_record
+  (** Read one stamped slot (allocates the record).
+      @raise Invalid_argument outside [0 .. int_count - 1]. *)
+
+  val int_records : t -> int_record list
+  (** All stamped slots, oldest hop first (allocates; sink-only). *)
+
+  val push_int_record :
+    t ->
+    node_id:int ->
+    mode_id:int ->
+    queue_depth:int ->
+    ingress:Units.Time.t ->
+    egress:Units.Time.t ->
+    int option
+  (** {!push_int_record_in_place} at the view's INT offset. *)
+
+  val set_duplicated : t -> unit
+  (** Set the Duplicated bit in the configuration data in place (the
+      bit is value-less, so the header size is unchanged). *)
+
+  val strip_int : t -> bytes
+  (** A fresh MMT frame (header plus payload) with the INT extension
+      removed and its feature bit cleared — two blits and a two-byte
+      patch, no decode.  The INT extension is the last extension, so
+      the strip is a contiguous cut. *)
+end
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -11,6 +11,16 @@ val all : entry list
 val find : string -> entry option
 (** Case-insensitive lookup by id (with or without the "E-" prefix). *)
 
-val run_all : unit -> bool
+val run_collect :
+  ?jobs:int -> unit -> (entry * (string * bool) * float) list
+(** Run every experiment and return [(entry, (output, ok), wall_s)] in
+    registry order.  With [jobs > 1] the sweep runs on that many
+    domains; each experiment is a self-contained deterministic
+    simulation (own engine, own seeded Rng), so results are identical
+    to the sequential sweep regardless of scheduling. *)
+
+val run_all : ?jobs:int -> unit -> bool
 (** Run every experiment, printing each report; [true] when every
-    shape check in every experiment passed. *)
+    shape check in every experiment passed.  With [jobs > 1] the
+    experiments run in parallel and the reports are printed afterwards
+    in registry order — the output is byte-identical to [jobs = 1]. *)

@@ -28,23 +28,17 @@ let process t ~now packet =
   (match Mmt.Encap.locate frame with
   | Error _ -> t.untracked <- t.untracked + 1
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ -> t.untracked <- t.untracked + 1
-      | Ok header -> (
-          match Mmt.Header.offset_of_age header with
-          | None -> t.untracked <- t.untracked + 1
-          | Some age_offset ->
-              let was_aged =
-                match header.Mmt.Header.age with
-                | Some age -> age.Mmt.Header.aged
-                | None -> false
-              in
-              let _age_us, aged =
-                Mmt.Header.touch_age_in_place frame
-                  ~ext_off:(mmt_offset + age_offset) ~now
-              in
-              t.touched <- t.touched + 1;
-              if aged && not was_aged then t.aged_marked <- t.aged_marked + 1)));
+      | Ok view ->
+          if not (Mmt.Header.View.has view Mmt.Feature.Age_tracked) then
+            t.untracked <- t.untracked + 1
+          else begin
+            let was_aged = Mmt.Header.View.aged view in
+            let _age_us, aged = Mmt.Header.View.touch_age view ~now in
+            t.touched <- t.touched + 1;
+            if aged && not was_aged then t.aged_marked <- t.aged_marked + 1
+          end));
   Element.Forward packet
 
 let create () =

@@ -102,9 +102,9 @@ let process t ~now:_ packet =
   (match Mmt.Encap.locate frame with
   | Error _ -> ()
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
-      | Ok header when header.Mmt.Header.kind = Mmt.Feature.Kind.Data -> (
-          let payload_offset = mmt_offset + Mmt.Header.size header in
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
+      | Ok view when Mmt.Header.View.kind view = Mmt.Feature.Kind.Data -> (
+          let payload_offset = mmt_offset + Mmt.Header.View.size view in
           let payload =
             Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
           in

@@ -70,12 +70,11 @@ let process t ~now packet =
   (match Mmt.Encap.locate frame with
   | Error _ -> ()
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ -> ()
-      | Ok header -> (
-          match header.Mmt.Header.backpressure_to with
-          | None -> ()
-          | Some control_addr ->
+      | Ok view ->
+          if Mmt.Header.View.has view Mmt.Feature.Backpressured then begin
+            let control_addr = Mmt.Header.View.backpressure_to view in
               let depth = Units.Size.to_bytes (t.queue_depth ()) in
               let high = Units.Size.to_bytes t.config.high_watermark in
               let low = Units.Size.to_bytes t.config.low_watermark in
@@ -93,7 +92,8 @@ let process t ~now packet =
                 t.clears_sent <- t.clears_sent + 1;
                 t.congested <- false;
                 t.last_signal <- Some now
-              end)));
+              end
+          end));
   Element.Forward packet
 
 let create ~env config ~queue_depth () =

@@ -27,22 +27,17 @@ let mark_duplicated frame =
   match Mmt.Encap.locate frame with
   | Error _ -> frame
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ -> frame
-      | Ok header ->
-          if Mmt.Feature.Set.mem Mmt.Feature.Duplicated header.Mmt.Header.features
-          then frame
+      | Ok view ->
+          if Mmt.Header.View.has view Mmt.Feature.Duplicated then frame
           else begin
             (* The Duplicated bit lives in the configuration data; the
-               header size is unchanged, so flip it in place. *)
-            let header' =
-              Mmt.Feature.encode_config_data ~kind:header.Mmt.Header.kind
-                (Mmt.Feature.Set.add Mmt.Feature.Duplicated
-                   header.Mmt.Header.features)
-            in
+               header size is unchanged, so flip it in place on a copy. *)
             let out = Bytes.copy frame in
-            Bytes.set out (mmt_offset + 1) (Char.chr ((header' lsr 16) land 0xFF));
-            Bytes.set_uint16_be out (mmt_offset + 2) (header' land 0xFFFF);
+            (match Mmt.Header.View.of_frame ~off:mmt_offset out with
+            | Ok view -> Mmt.Header.View.set_duplicated view
+            | Error _ -> ());
             out
           end)
 
@@ -52,9 +47,9 @@ let process t ~now:_ packet =
     match Mmt.Encap.locate frame with
     | Error _ -> false
     | Ok (_encap, mmt_offset) -> (
-        match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+        match Mmt.Header.View.of_frame ~off:mmt_offset frame with
         | Error _ -> false
-        | Ok header -> header.Mmt.Header.kind = Mmt.Feature.Kind.Data)
+        | Ok view -> Mmt.Header.View.kind view = Mmt.Feature.Kind.Data)
   in
   if (not is_data) || t.consumers = [] then begin
     t.passed <- t.passed + 1;

@@ -123,6 +123,65 @@ let apply_mode t ~now (header : Mmt.Header.t) =
   in
   (header, assigned_seq)
 
+(* Slow path: the header's shape (feature set) differs from the mode's
+   target, so extensions must be added or stripped — decode the full
+   record, transform it, and re-encode. *)
+let rewrite_slow t ~now packet ~frame ~mmt_offset header =
+  let old_header_size = Mmt.Header.size header in
+  let new_header, assigned_seq = apply_mode t ~now header in
+  let payload_offset = mmt_offset + old_header_size in
+  let payload =
+    Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
+  in
+  let new_mmt_header = Mmt.Header.encode new_header in
+  let new_mmt = Bytes.cat new_mmt_header payload in
+  let new_frame =
+    match t.re_encap with
+    | Some encap -> Mmt.Encap.wrap encap new_mmt
+    | None -> Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt
+  in
+  Mmt_sim.Packet.set_frame packet new_frame;
+  t.rewritten <- t.rewritten + 1;
+  (match assigned_seq with
+  | Some _ -> t.sequenced <- t.sequenced + 1
+  | None -> ());
+  Option.iter
+    (fun callback ->
+      callback ~seq:new_header.Mmt.Header.sequence
+        ~born:packet.Mmt_sim.Packet.born (Bytes.copy new_frame))
+    t.on_rewrite;
+  Element.Forward packet
+
+(* Fast path: the header already has exactly the mode's feature set, so
+   no extension appears or disappears and the header size is unchanged.
+   [apply_mode] then reduces to two conditional same-width overwrites
+   (the mode's retransmit buffer and pace), which a match-action stage
+   performs in place. *)
+let rewrite_fast t packet ~frame ~mmt_offset view =
+  Option.iter
+    (Mmt.Header.View.set_retransmit_from view)
+    t.mode.Mmt.Mode.retransmit_from;
+  Option.iter (Mmt.Header.View.set_pace_mbps view) t.mode.Mmt.Mode.pace_mbps;
+  (match t.re_encap with
+  | Some encap ->
+      let mmt =
+        Bytes.sub frame mmt_offset (Bytes.length frame - mmt_offset)
+      in
+      Mmt_sim.Packet.set_frame packet (Mmt.Encap.wrap encap mmt)
+  | None -> ());
+  t.rewritten <- t.rewritten + 1;
+  Option.iter
+    (fun callback ->
+      let seq =
+        if Mmt.Header.View.has view Mmt.Feature.Sequenced then
+          Some (Mmt.Header.View.sequence view)
+        else None
+      in
+      callback ~seq ~born:packet.Mmt_sim.Packet.born
+        (Bytes.copy (Mmt_sim.Packet.frame packet)))
+    t.on_rewrite;
+  Element.Forward packet
+
 let process t ~now packet =
   let frame = Mmt_sim.Packet.frame packet in
   match Mmt.Encap.locate frame with
@@ -130,42 +189,26 @@ let process t ~now packet =
       t.parse_errors <- t.parse_errors + 1;
       Element.Discard ("mode-rewriter: " ^ reason)
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error reason ->
           t.parse_errors <- t.parse_errors + 1;
           Element.Discard ("mode-rewriter: " ^ reason)
-      | Ok header ->
-          if header.Mmt.Header.kind <> Mmt.Feature.Kind.Data then begin
+      | Ok view ->
+          if Mmt.Header.View.kind view <> Mmt.Feature.Kind.Data then begin
             t.passed <- t.passed + 1;
             Element.Forward packet
           end
+          else if
+            Mmt.Feature.Set.equal
+              (Mmt.Header.View.features view)
+              t.mode.Mmt.Mode.features
+          then rewrite_fast t packet ~frame ~mmt_offset view
           else begin
-            let old_header_size = Mmt.Header.size header in
-            let new_header, assigned_seq = apply_mode t ~now header in
-            let payload_offset = mmt_offset + old_header_size in
-            let payload =
-              Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
-            in
-            let new_mmt_header = Mmt.Header.encode new_header in
-            let new_mmt =
-              Bytes.cat new_mmt_header payload
-            in
-            let new_frame =
-              match t.re_encap with
-              | Some encap -> Mmt.Encap.wrap encap new_mmt
-              | None -> Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt
-            in
-            Mmt_sim.Packet.set_frame packet new_frame;
-            t.rewritten <- t.rewritten + 1;
-            (match assigned_seq with
-            | Some _ -> t.sequenced <- t.sequenced + 1
-            | None -> ());
-            Option.iter
-              (fun callback ->
-                callback ~seq:new_header.Mmt.Header.sequence
-                  ~born:packet.Mmt_sim.Packet.born (Bytes.copy new_frame))
-              t.on_rewrite;
-            Element.Forward packet
+            match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+            | Error reason ->
+                t.parse_errors <- t.parse_errors + 1;
+                Element.Discard ("mode-rewriter: " ^ reason)
+            | Ok header -> rewrite_slow t ~now packet ~frame ~mmt_offset header
           end)
 
 let create ~mode ?re_encap ?on_rewrite () =

@@ -57,33 +57,40 @@ let process t ~now packet =
   match Mmt.Encap.locate frame with
   | Error _ -> Element.Forward packet
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ -> Element.Forward packet
-      | Ok header -> (
-          match (header.Mmt.Header.kind, header.Mmt.Header.timely) with
-          | Mmt.Feature.Kind.Data, Some { Mmt.Header.deadline; notify } ->
-              t.checked <- t.checked + 1;
-              if Units.Time.(now > deadline) then begin
-                t.expired <- t.expired + 1;
-                let notice =
-                  {
-                    Mmt.Control.Deadline_exceeded.sequence =
-                      Option.value ~default:0xFFFFFFFF header.Mmt.Header.sequence;
-                    deadline;
-                    observed = now;
-                  }
-                in
-                match t.policy with
-                | Mark -> Element.Forward packet
-                | Drop_expired ->
-                    t.dropped <- t.dropped + 1;
-                    Element.Discard "expired"
-                | Notify ->
-                    if not (Addr.Ip.is_any notify) then send_notice t ~dst:notify notice;
-                    Element.Forward packet
-              end
-              else Element.Forward packet
-          | _ -> Element.Forward packet))
+      | Ok view ->
+          if
+            Mmt.Header.View.kind view = Mmt.Feature.Kind.Data
+            && Mmt.Header.View.has view Mmt.Feature.Timely
+          then begin
+            t.checked <- t.checked + 1;
+            let deadline = Mmt.Header.View.deadline_ns view in
+            if Units.Time.(now > deadline) then begin
+              t.expired <- t.expired + 1;
+              let notify = Mmt.Header.View.notify view in
+              let notice =
+                {
+                  Mmt.Control.Deadline_exceeded.sequence =
+                    (if Mmt.Header.View.has view Mmt.Feature.Sequenced then
+                       Mmt.Header.View.sequence view
+                     else 0xFFFFFFFF);
+                  deadline;
+                  observed = now;
+                }
+              in
+              match t.policy with
+              | Mark -> Element.Forward packet
+              | Drop_expired ->
+                  t.dropped <- t.dropped + 1;
+                  Element.Discard "expired"
+              | Notify ->
+                  if not (Addr.Ip.is_any notify) then send_notice t ~dst:notify notice;
+                  Element.Forward packet
+            end
+            else Element.Forward packet
+          end
+          else Element.Forward packet)
 
 let create ~env ~policy () =
   let rec t =

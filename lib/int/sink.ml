@@ -31,36 +31,39 @@ let process_clean t ~now packet =
       t.passed <- t.passed + 1;
       Element.Forward packet
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ ->
           t.passed <- t.passed + 1;
           Element.Forward packet
-      | Ok header -> (
-          match (header.Mmt.Header.kind, header.Mmt.Header.int_stack) with
-          | Mmt.Feature.Kind.Data, Some stack ->
-              t.emit
-                {
-                  Digest.experiment = header.Mmt.Header.experiment;
-                  sequence = header.Mmt.Header.sequence;
-                  records = stack.Mmt.Header.records;
-                  overflowed = stack.Mmt.Header.overflowed;
-                  sink_node = t.node_id;
-                  sink_at = now;
-                };
-              let old_header_size = Mmt.Header.size header in
-              let stripped = Mmt.Header.strip header Mmt.Feature.Int_telemetry in
-              let payload_offset = mmt_offset + old_header_size in
-              let payload =
-                Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
-              in
-              let new_mmt = Bytes.cat (Mmt.Header.encode stripped) payload in
-              Mmt_sim.Packet.set_frame packet
-                (Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt);
-              t.stripped <- t.stripped + 1;
-              Element.Forward packet
-          | _ ->
-              t.passed <- t.passed + 1;
-              Element.Forward packet))
+      | Ok view ->
+          if
+            Mmt.Header.View.kind view = Mmt.Feature.Kind.Data
+            && Mmt.Header.View.has view Mmt.Feature.Int_telemetry
+          then begin
+            t.emit
+              {
+                Digest.experiment = Mmt.Header.View.experiment view;
+                sequence =
+                  (if Mmt.Header.View.has view Mmt.Feature.Sequenced then
+                     Some (Mmt.Header.View.sequence view)
+                   else None);
+                records = Mmt.Header.View.int_records view;
+                overflowed = Mmt.Header.View.int_overflowed view;
+                sink_node = t.node_id;
+                sink_at = now;
+              };
+            (* The INT stack is the last extension, so stripping it is a
+               contiguous cut — no decode or re-encode. *)
+            let new_mmt = Mmt.Header.View.strip_int view in
+            Mmt_sim.Packet.set_frame packet
+              (Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt);
+            t.stripped <- t.stripped + 1;
+            Element.Forward packet
+          end
+          else begin
+            t.passed <- t.passed + 1;
+            Element.Forward packet
+          end)
 
 let process t ~now packet =
   if packet.Mmt_sim.Packet.corrupted then begin

@@ -39,22 +39,22 @@ let process t ~now packet =
   (match Mmt.Encap.locate frame with
   | Error _ -> t.untracked <- t.untracked + 1
   | Ok (_encap, mmt_offset) -> (
-      match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+      match Mmt.Header.View.of_frame ~off:mmt_offset frame with
       | Error _ -> t.untracked <- t.untracked + 1
-      | Ok header -> (
-          match Mmt.Header.offset_of_int header with
-          | None -> t.untracked <- t.untracked + 1
-          | Some int_offset -> (
-              match
-                Mmt.Header.push_int_record_in_place frame
-                  ~ext_off:(mmt_offset + int_offset) ~node_id:t.node_id
-                  ~mode_id:t.mode_id
-                  ~queue_depth:(t.queue_depth ())
-                  ~ingress:(Units.Time.diff now t.residency)
-                  ~egress:now
-              with
-              | Some _hop -> t.stamped <- t.stamped + 1
-              | None -> t.overflowed <- t.overflowed + 1))));
+      | Ok view ->
+          if not (Mmt.Header.View.has view Mmt.Feature.Int_telemetry) then
+            t.untracked <- t.untracked + 1
+          else begin
+            match
+              Mmt.Header.View.push_int_record view ~node_id:t.node_id
+                ~mode_id:t.mode_id
+                ~queue_depth:(t.queue_depth ())
+                ~ingress:(Units.Time.diff now t.residency)
+                ~egress:now
+            with
+            | Some _hop -> t.stamped <- t.stamped + 1
+            | None -> t.overflowed <- t.overflowed + 1
+          end));
   Element.Forward packet
 
 let create ~node_id ~mode_id ?(residency = Units.Time.zero)

@@ -65,14 +65,12 @@ let snoop_element point =
            match Mmt.Encap.locate frame with
            | Error _ -> ()
            | Ok (_encap, off) -> (
-               match Mmt.Header.decode_bytes ~off frame with
-               | Ok
-                   {
-                     Mmt.Header.kind = Mmt.Feature.Kind.Data;
-                     sequence = Some seq;
-                     _;
-                   } ->
-                   Mmt.Buffer_host.store point.host ~seq
+               match Mmt.Header.View.of_frame ~off frame with
+               | Ok view
+                 when Mmt.Header.View.kind view = Mmt.Feature.Kind.Data
+                      && Mmt.Header.View.has view Mmt.Feature.Sequenced ->
+                   Mmt.Buffer_host.store point.host
+                     ~seq:(Mmt.Header.View.sequence view)
                      ~born:packet.Mmt_sim.Packet.born (Bytes.copy frame)
                | Ok _ | Error _ -> ()));
         Mmt_innet.Element.Forward packet);
@@ -230,9 +228,10 @@ let run p =
     let frame = Mmt_sim.Packet.frame packet in
     match Mmt.Encap.locate frame with
     | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, off) -> (
-        match Mmt.Header.decode_bytes ~off frame with
-        | Ok { Mmt.Header.kind = Mmt.Feature.Kind.Nak; _ }
-          when Addr.Ip.equal dst point.ip ->
+        match Mmt.Header.View.of_frame ~off frame with
+        | Ok view
+          when Mmt.Header.View.kind view = Mmt.Feature.Kind.Nak
+               && Addr.Ip.equal dst point.ip ->
             Some
               (fun packet ->
                 if point.alive then Mmt.Buffer_host.on_packet point.host packet)

@@ -93,8 +93,8 @@ let frame_address frame =
         | Mmt.Encap.Raw | Mmt.Encap.Over_ethernet _ -> None
       in
       let kind =
-        match Mmt.Header.decode_bytes ~off:mmt_offset frame with
-        | Ok header -> Some header.Mmt.Header.kind
+        match Mmt.Header.View.of_frame ~off:mmt_offset frame with
+        | Ok view -> Some (Mmt.Header.View.kind view)
         | Error _ -> None
       in
       Some (dst, kind)

@@ -305,9 +305,9 @@ module Placement_run = struct
       match Mmt.Encap.locate frame with
       | Error _ -> None
       | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, mmt_offset) -> (
-          match Mmt.Header.decode_bytes ~off:mmt_offset frame with
-          | Ok header
-            when header.Mmt.Header.kind = Mmt.Feature.Kind.Nak
+          match Mmt.Header.View.of_frame ~off:mmt_offset frame with
+          | Ok view
+            when Mmt.Header.View.kind view = Mmt.Feature.Kind.Nak
                  && Mmt_frame.Addr.Ip.equal dst buffer_ip ->
               Some (Mmt.Buffer_host.on_packet buffer)
           | _ -> Some (Mmt_sim.Link.send buf_to_dst))
@@ -416,9 +416,9 @@ module Priority_run = struct
     match Mmt.Encap.locate (Mmt_sim.Packet.frame packet) with
     | Error _ -> None
     | Ok (_encap, off) -> (
-        match Mmt.Header.decode_bytes ~off (Mmt_sim.Packet.frame packet) with
-        | Ok { Mmt.Header.timely = Some { Mmt.Header.deadline; _ }; _ } ->
-            Some deadline
+        match Mmt.Header.View.of_frame ~off (Mmt_sim.Packet.frame packet) with
+        | Ok view when Mmt.Header.View.has view Mmt.Feature.Timely ->
+            Some (Mmt.Header.View.deadline_ns view)
         | Ok _ | Error _ -> None)
 
   let run p =
@@ -483,8 +483,9 @@ module Priority_run = struct
         match Mmt.Encap.locate (Mmt_sim.Packet.frame packet) with
         | Error _ -> ()
         | Ok (_encap, off) -> (
-            match Mmt.Header.decode_bytes ~off (Mmt_sim.Packet.frame packet) with
-            | Ok header when Mmt.Experiment_id.slice header.Mmt.Header.experiment = 1
+            match Mmt.Header.View.of_frame ~off (Mmt_sim.Packet.frame packet) with
+            | Ok view
+              when Mmt.Experiment_id.slice (Mmt.Header.View.experiment view) = 1
               ->
                 Mmt.Receiver.on_packet alert_rx packet
             | Ok _ -> Mmt.Receiver.on_packet bulk_rx packet

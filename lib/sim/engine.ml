@@ -5,22 +5,35 @@ type event = {
   seq : int;
   fn : unit -> unit;
   mutable cancelled : bool;
+  mutable in_heap : bool;
+  owner : t option;
 }
 
-type handle = event
-
-(* Array-backed binary min-heap ordered by (at, seq). *)
-type t = {
+and t = {
   mutable heap : event array;
   mutable size : int;
   mutable clock : Units.Time.t;
   mutable next_seq : int;
   mutable live : int;
   mutable processed : int;
+  mutable cancelled_in_heap : int;
 }
+(* Array-backed binary min-heap ordered by (at, seq).  Cancelled events
+   are counted exactly; when more than half the heap is dead weight the
+   heap is compacted in place, so a workload that schedules and cancels
+   (timeouts, retransmit timers) cannot grow the queue without bound. *)
+
+type handle = event
 
 let dummy_event =
-  { at = Units.Time.zero; seq = -1; fn = ignore; cancelled = true }
+  {
+    at = Units.Time.zero;
+    seq = -1;
+    fn = ignore;
+    cancelled = true;
+    in_heap = false;
+    owner = None;
+  }
 
 let create () =
   {
@@ -30,6 +43,7 @@ let create () =
     next_seq = 0;
     live = 0;
     processed = 0;
+    cancelled_in_heap = 0;
   }
 
 let now t = t.clock
@@ -80,11 +94,38 @@ let pop t =
   t.heap.(0) <- t.heap.(t.size);
   t.heap.(t.size) <- dummy_event;
   if t.size > 0 then sift_down t 0;
+  top.in_heap <- false;
+  if top.cancelled then t.cancelled_in_heap <- t.cancelled_in_heap - 1;
   top
+
+(* Drop cancelled events and restore the heap property bottom-up.
+   The comparator is a total order, so pop order — and therefore the
+   simulation — is unchanged. *)
+let compact t =
+  let n = t.size in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let e = t.heap.(i) in
+    if e.cancelled then e.in_heap <- false
+    else begin
+      t.heap.(!kept) <- e;
+      incr kept
+    end
+  done;
+  for i = !kept to n - 1 do
+    t.heap.(i) <- dummy_event
+  done;
+  t.size <- !kept;
+  t.cancelled_in_heap <- 0;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
 
 let schedule t ~at fn =
   let at = Units.Time.max at t.clock in
-  let event = { at; seq = t.next_seq; fn; cancelled = false } in
+  let event =
+    { at; seq = t.next_seq; fn; cancelled = false; in_heap = true; owner = Some t }
+  in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   push t event;
@@ -92,17 +133,20 @@ let schedule t ~at fn =
 
 let schedule_after t ~delay fn = schedule t ~at:(Units.Time.add t.clock delay) fn
 
-let cancel handle = handle.cancelled <- true
+let cancel handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    match handle.owner with
+    | None -> ()
+    | Some t ->
+        if handle.in_heap then begin
+          t.live <- t.live - 1;
+          t.cancelled_in_heap <- t.cancelled_in_heap + 1;
+          if 2 * t.cancelled_in_heap > t.size then compact t
+        end
+  end
 
-let pending t =
-  (* [live] over-counts cancelled-but-queued events; recount lazily. *)
-  let count = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).cancelled then incr count
-  done;
-  t.live <- !count;
-  !count
-
+let pending t = t.live
 let processed t = t.processed
 
 let step t =

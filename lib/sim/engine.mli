@@ -26,10 +26,13 @@ val schedule : t -> at:Units.Time.t -> (unit -> unit) -> handle
 val schedule_after : t -> delay:Units.Time.t -> (unit -> unit) -> handle
 
 val cancel : handle -> unit
-(** Cancelled events are skipped; cancelling twice is harmless. *)
+(** Cancelled events are skipped; cancelling twice is harmless, as is
+    cancelling an event that has already run.  When cancelled entries
+    outnumber live ones the queue is compacted, so cancel-heavy
+    workloads (timeouts, retransmit timers) stay bounded. *)
 
 val pending : t -> int
-(** Live (uncancelled) events still queued. *)
+(** Live (uncancelled) events still queued.  O(1). *)
 
 val processed : t -> int
 (** Events executed so far. *)

@@ -109,6 +109,65 @@ let test_heap_stress () =
   Alcotest.(check bool) "clock monotone over 10k random events" true !monotone;
   Alcotest.(check int) "all processed" 10_000 (Engine.processed engine)
 
+let test_mass_cancellation () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  let handles =
+    List.init 1000 (fun i ->
+        Engine.schedule engine
+          ~at:(Units.Time.of_int_ns (i + 1))
+          (fun () -> incr fired))
+  in
+  (* Cancel 600 of 1000: every event except those with index mod 5 < 2. *)
+  List.iteri (fun i h -> if i mod 5 >= 2 then Engine.cancel h) handles;
+  Alcotest.(check int) "pending reflects cancellations exactly" 400
+    (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "only live events ran" 400 !fired;
+  Alcotest.(check int) "processed" 400 (Engine.processed engine);
+  Alcotest.(check int) "drained" 0 (Engine.pending engine)
+
+let test_cancel_after_run () =
+  let engine = Engine.create () in
+  let handle = Engine.schedule engine ~at:(Units.Time.us 1.) ignore in
+  ignore (Engine.schedule engine ~at:(Units.Time.us 2.) ignore);
+  Engine.run engine;
+  (* Cancelling a handle whose event already ran must not corrupt the
+     live/pending accounting. *)
+  Engine.cancel handle;
+  Engine.cancel handle;
+  Alcotest.(check int) "pending unaffected" 0 (Engine.pending engine);
+  ignore (Engine.schedule engine ~at:(Units.Time.us 3.) ignore);
+  Alcotest.(check int) "new event counted" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "all three processed" 3 (Engine.processed engine)
+
+let test_compaction_preserves_order () =
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed:41L in
+  let last = ref Units.Time.zero in
+  let monotone = ref true in
+  let fired = ref 0 in
+  let handles = ref [] in
+  for i = 1 to 2_000 do
+    let at = Units.Time.of_int_ns (Rng.int rng ~bound:100_000) in
+    let h =
+      Engine.schedule engine ~at (fun () ->
+          if Units.Time.(Engine.now engine < !last) then monotone := false;
+          last := Engine.now engine;
+          incr fired)
+    in
+    handles := (i, h) :: !handles
+  done;
+  (* Cancel two thirds to force several compactions mid-stream. *)
+  List.iter (fun (i, h) -> if i mod 3 <> 0 then Engine.cancel h) !handles;
+  let expected_live = List.length (List.filter (fun (i, _) -> i mod 3 = 0) !handles) in
+  Alcotest.(check int) "pending after burst" expected_live (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check bool) "clock monotone through compactions" true !monotone;
+  Alcotest.(check int) "survivors all ran" expected_live (Engine.processed engine);
+  Alcotest.(check int) "survivor set fired" expected_live !fired
+
 let qcheck_event_order =
   QCheck.Test.make ~name:"events always fire in schedule order" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 1_000))
@@ -140,5 +199,9 @@ let suite =
     Alcotest.test_case "pending/processed" `Quick test_pending_and_processed;
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "heap stress" `Quick test_heap_stress;
+    Alcotest.test_case "mass cancellation" `Quick test_mass_cancellation;
+    Alcotest.test_case "cancel after run" `Quick test_cancel_after_run;
+    Alcotest.test_case "compaction preserves order" `Quick
+      test_compaction_preserves_order;
     QCheck_alcotest.to_alcotest qcheck_event_order;
   ]

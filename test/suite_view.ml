@@ -1,0 +1,359 @@
+(* Differential coverage for the zero-copy Header.View layer: every
+   view read must agree with the corresponding [decode] field, and every
+   in-place view write must produce exactly the bytes that decode ->
+   modify -> encode would. *)
+open Mmt_util
+open Mmt_frame
+
+let experiment = Mmt.Experiment_id.make ~experiment:2 ~slice:1
+let ip1 = Addr.Ip.of_octets 10 0 1 1
+let ip2 = Addr.Ip.of_octets 10 0 0 1
+
+let kinds =
+  [
+    Mmt.Feature.Kind.Data;
+    Mmt.Feature.Kind.Nak;
+    Mmt.Feature.Kind.Deadline_exceeded;
+    Mmt.Feature.Kind.Backpressure;
+    Mmt.Feature.Kind.Buffer_advert;
+  ]
+
+type spec = {
+  seq : int option;
+  rtx : bool;
+  timely : bool;
+  age : bool;
+  pace : int option;
+  bp : bool;
+  int_n : int option;  (* Some n: INT stack with n stamped records *)
+  overflowed : bool;
+  encrypted : bool;
+  duplicated : bool;
+  kind_i : int;
+  payload_len : int;
+  prefix_len : int;  (* leading bytes before the header: tests ~off *)
+}
+
+let gen_spec =
+  QCheck.Gen.(
+    let* seq = opt (int_range 0 0xFFFFFFF) in
+    let* rtx = bool in
+    let* timely = bool in
+    let* age = bool in
+    let* pace = opt (int_range 0 1_000_000) in
+    let* bp = bool in
+    let* int_n = opt (int_range 0 Mmt.Header.max_int_hops) in
+    let* overflowed = bool in
+    let* encrypted = bool in
+    let* duplicated = bool in
+    let* kind_i = int_range 0 (List.length kinds - 1) in
+    let* payload_len = int_range 0 64 in
+    let* prefix_len = int_range 0 16 in
+    return
+      {
+        seq;
+        rtx;
+        timely;
+        age;
+        pace;
+        bp;
+        int_n;
+        overflowed;
+        encrypted;
+        duplicated;
+        kind_i;
+        payload_len;
+        prefix_len;
+      })
+
+let header_of_spec s =
+  let extra =
+    (if s.encrypted then [ Mmt.Feature.Encrypted ] else [])
+    @ if s.duplicated then [ Mmt.Feature.Duplicated ] else []
+  in
+  let int_stack =
+    Option.map
+      (fun n ->
+        {
+          Mmt.Header.records =
+            List.init n (fun i ->
+                {
+                  Mmt.Header.node_id = 100 + i;
+                  mode_id = i;
+                  hop_index = i;
+                  queue_depth = 4096 * (i + 1);
+                  ingress_ns = Units.Time.us (float_of_int (10 * i));
+                  egress_ns = Units.Time.us (float_of_int ((10 * i) + 2));
+                });
+          overflowed = s.overflowed;
+        })
+      s.int_n
+  in
+  let header =
+    Mmt.Header.create ?sequence:s.seq
+      ?retransmit_from:(if s.rtx then Some ip1 else None)
+      ?timely:
+        (if s.timely then
+           Some { Mmt.Header.deadline = Units.Time.ms 42.; notify = ip2 }
+         else None)
+      ?age:
+        (if s.age then
+           Some
+             {
+               Mmt.Header.age_us = 150;
+               budget_us = 20_000;
+               aged = false;
+               hop_count = 2;
+               last_touch_ns = Units.Time.us 77.;
+             }
+         else None)
+      ?pace_mbps:s.pace
+      ?backpressure_to:(if s.bp then Some ip2 else None)
+      ?int_stack ~extra_features:extra ~experiment ()
+  in
+  Mmt.Header.with_kind header (List.nth kinds s.kind_i)
+
+(* prefix ^ encoded header ^ payload, returning the header offset. *)
+let frame_of_spec s =
+  let header = header_of_spec s in
+  let frame =
+    Bytes.concat Bytes.empty
+      [
+        Bytes.make s.prefix_len '\x00';
+        Mmt.Header.encode header;
+        Bytes.make s.payload_len 'p';
+      ]
+  in
+  (frame, s.prefix_len, header)
+
+let view_exn ~off frame =
+  match Mmt.Header.View.of_frame ~off frame with
+  | Ok view -> view
+  | Error reason -> QCheck.Test.fail_reportf "View.of_frame: %s" reason
+
+(* A read that must raise Invalid_argument when the feature is absent,
+   and agree with [expected] when present. *)
+let agrees present read expected =
+  if present then read () = expected ()
+  else match read () with _ -> false | exception Invalid_argument _ -> true
+
+let qcheck_reads_match_decode =
+  QCheck.Test.make ~name:"view reads = decode fields (all feature combos)"
+    ~count:500 (QCheck.make gen_spec) (fun s ->
+      let frame, off, _ = frame_of_spec s in
+      let header =
+        match Mmt.Header.decode_bytes ~off frame with
+        | Ok h -> h
+        | Error reason -> QCheck.Test.fail_reportf "decode_bytes: %s" reason
+      in
+      let v = view_exn ~off frame in
+      let open Mmt.Header in
+      Mmt.Feature.Kind.equal (View.kind v) header.kind
+      && Mmt.Feature.Set.equal (View.features v) header.features
+      && View.size v = size header
+      && Mmt.Experiment_id.equal (View.experiment v) header.experiment
+      && agrees (header.sequence <> None)
+           (fun () -> View.sequence v)
+           (fun () -> Option.get header.sequence)
+      && agrees (header.retransmit_from <> None)
+           (fun () -> View.retransmit_from v)
+           (fun () -> Option.get header.retransmit_from)
+      && agrees (header.timely <> None)
+           (fun () -> View.deadline_ns v)
+           (fun () -> (Option.get header.timely).deadline)
+      && agrees (header.timely <> None)
+           (fun () -> View.notify v)
+           (fun () -> (Option.get header.timely).notify)
+      && agrees (header.age <> None)
+           (fun () -> View.age_us v)
+           (fun () -> (Option.get header.age).age_us)
+      && agrees (header.age <> None)
+           (fun () -> View.budget_us v)
+           (fun () -> (Option.get header.age).budget_us)
+      && agrees (header.age <> None)
+           (fun () -> View.aged v)
+           (fun () -> (Option.get header.age).aged)
+      && agrees (header.age <> None)
+           (fun () -> View.hop_count v)
+           (fun () -> (Option.get header.age).hop_count)
+      && agrees (header.age <> None)
+           (fun () -> View.last_touch_ns v)
+           (fun () -> (Option.get header.age).last_touch_ns)
+      && agrees (header.pace_mbps <> None)
+           (fun () -> View.pace_mbps v)
+           (fun () -> Option.get header.pace_mbps)
+      && agrees (header.backpressure_to <> None)
+           (fun () -> View.backpressure_to v)
+           (fun () -> Option.get header.backpressure_to)
+      && agrees (header.int_stack <> None)
+           (fun () -> View.int_count v)
+           (fun () -> List.length (Option.get header.int_stack).records)
+      && agrees (header.int_stack <> None)
+           (fun () -> View.int_overflowed v)
+           (fun () -> (Option.get header.int_stack).overflowed)
+      && agrees (header.int_stack <> None)
+           (fun () -> View.int_records v)
+           (fun () -> (Option.get header.int_stack).records))
+
+(* Every setter: mutate through the view, then check the whole frame
+   (prefix, header and payload) equals decode -> with_* -> encode. *)
+let qcheck_writes_match_reencode =
+  QCheck.Test.make ~name:"view writes = decode/modify/encode, byte-for-byte"
+    ~count:500 (QCheck.make gen_spec) (fun s ->
+      let frame, off, _ = frame_of_spec s in
+      let header =
+        match Mmt.Header.decode_bytes ~off frame with
+        | Ok h -> h
+        | Error reason -> QCheck.Test.fail_reportf "decode_bytes: %s" reason
+      in
+      let v = view_exn ~off frame in
+      let open Mmt.Header in
+      let header = ref header in
+      if View.has v Mmt.Feature.Sequenced then begin
+        View.set_sequence v 0xABCDEF;
+        header := with_sequence !header 0xABCDEF
+      end;
+      if View.has v Mmt.Feature.Reliable then begin
+        View.set_retransmit_from v ip2;
+        header := with_retransmit_from !header ip2
+      end;
+      if View.has v Mmt.Feature.Timely then begin
+        View.set_deadline_ns v (Units.Time.ms 99.);
+        View.set_notify v ip1;
+        header := with_timely !header { deadline = Units.Time.ms 99.; notify = ip1 }
+      end;
+      if View.has v Mmt.Feature.Paced then begin
+        View.set_pace_mbps v 123456;
+        header := with_pace !header 123456
+      end;
+      if View.has v Mmt.Feature.Backpressured then begin
+        View.set_backpressure_to v ip1;
+        header := with_backpressure_to !header ip1
+      end;
+      let expected =
+        Bytes.concat Bytes.empty
+          [
+            Bytes.make s.prefix_len '\x00';
+            encode !header;
+            Bytes.make s.payload_len 'p';
+          ]
+      in
+      Bytes.equal frame expected)
+
+let qcheck_touch_age_matches_primitive =
+  QCheck.Test.make ~name:"view touch_age = touch_age_in_place" ~count:200
+    (QCheck.make gen_spec) (fun s ->
+      let s = { s with age = true } in
+      let frame, off, header = frame_of_spec s in
+      let reference = Bytes.copy frame in
+      let v = view_exn ~off frame in
+      let now = Units.Time.us 500. in
+      let via_view = Mmt.Header.View.touch_age v ~now in
+      let ext_off = off + Option.get (Mmt.Header.offset_of_age header) in
+      let via_primitive =
+        Mmt.Header.touch_age_in_place reference ~ext_off ~now
+      in
+      via_view = via_primitive && Bytes.equal frame reference)
+
+let qcheck_push_int_matches_decode =
+  QCheck.Test.make ~name:"view push_int_record = decoded append" ~count:300
+    (QCheck.make gen_spec) (fun s ->
+      let s = { s with int_n = Some (Option.value ~default:0 s.int_n) } in
+      let n = Option.get s.int_n in
+      let frame, off, _ = frame_of_spec s in
+      let v = view_exn ~off frame in
+      let pushed =
+        Mmt.Header.View.push_int_record v ~node_id:999 ~mode_id:7
+          ~queue_depth:123456 ~ingress:(Units.Time.us 50.)
+          ~egress:(Units.Time.us 51.)
+      in
+      let stack =
+        match Mmt.Header.decode_bytes ~off frame with
+        | Ok { Mmt.Header.int_stack = Some stack; _ } -> stack
+        | Ok _ -> QCheck.Test.fail_report "INT stack vanished"
+        | Error reason -> QCheck.Test.fail_reportf "decode after push: %s" reason
+      in
+      if n < Mmt.Header.max_int_hops then
+        (* Room left: the stamp lands in slot [n] with hop_index [n]. *)
+        pushed = Some n
+        && List.length stack.Mmt.Header.records = n + 1
+        && stack.Mmt.Header.overflowed = s.overflowed
+        && List.nth stack.Mmt.Header.records n
+           = {
+               Mmt.Header.node_id = 999;
+               mode_id = 7;
+               hop_index = n;
+               queue_depth = 123456;
+               ingress_ns = Units.Time.us 50.;
+               egress_ns = Units.Time.us 51.;
+             }
+      else
+        (* Full: the push sets the overflow flag instead. *)
+        pushed = None
+        && List.length stack.Mmt.Header.records = n
+        && stack.Mmt.Header.overflowed)
+
+let qcheck_strip_int_matches_reencode =
+  QCheck.Test.make ~name:"view strip_int = decode/strip/encode + payload"
+    ~count:300 (QCheck.make gen_spec) (fun s ->
+      let s = { s with int_n = Some (Option.value ~default:2 s.int_n) } in
+      let frame, off, header = frame_of_spec s in
+      let v = view_exn ~off frame in
+      let stripped = Mmt.Header.View.strip_int v in
+      let expected =
+        let without = Mmt.Header.strip header Mmt.Feature.Int_telemetry in
+        Bytes.cat (Mmt.Header.encode without) (Bytes.make s.payload_len 'p')
+      in
+      Bytes.equal stripped expected)
+
+let qcheck_set_duplicated_matches_encode =
+  QCheck.Test.make ~name:"view set_duplicated = encode with Duplicated"
+    ~count:300 (QCheck.make gen_spec) (fun s ->
+      let s = { s with duplicated = false; prefix_len = 0; payload_len = 0 } in
+      let frame, off, _ = frame_of_spec s in
+      let v = view_exn ~off frame in
+      Mmt.Header.View.set_duplicated v;
+      let expected = Mmt.Header.encode (header_of_spec { s with duplicated = true }) in
+      Bytes.equal frame expected)
+
+(* [of_frame] must be total and accept exactly the frames [decode_bytes]
+   accepts — same validation, no decode. *)
+let qcheck_of_frame_agrees_with_decode =
+  let gen =
+    QCheck.Gen.(
+      let* spec = gen_spec in
+      let* mutations =
+        list_size (int_range 0 6) (pair (int_range 0 200) (int_range 0 255))
+      in
+      return (spec, mutations))
+  in
+  QCheck.Test.make ~name:"of_frame ok-agreement with decode_bytes under mutation"
+    ~count:1000 (QCheck.make gen) (fun (s, mutations) ->
+      let frame, off, _ = frame_of_spec s in
+      List.iter
+        (fun (pos, value) ->
+          if Bytes.length frame > 0 then
+            Bytes.set frame (pos mod Bytes.length frame) (Char.chr value))
+        mutations;
+      let decoded = Mmt.Header.decode_bytes ~off frame in
+      let viewed = Mmt.Header.View.of_frame ~off frame in
+      Result.is_ok decoded = Result.is_ok viewed)
+
+let qcheck_of_frame_total_on_garbage =
+  QCheck.Test.make ~name:"of_frame never raises on arbitrary bytes" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun garbage ->
+      let frame = Bytes.of_string garbage in
+      match Mmt.Header.View.of_frame frame with Ok _ | Error _ -> true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_reads_match_decode;
+    QCheck_alcotest.to_alcotest qcheck_writes_match_reencode;
+    QCheck_alcotest.to_alcotest qcheck_touch_age_matches_primitive;
+    QCheck_alcotest.to_alcotest qcheck_push_int_matches_decode;
+    QCheck_alcotest.to_alcotest qcheck_strip_int_matches_reencode;
+    QCheck_alcotest.to_alcotest qcheck_set_duplicated_matches_encode;
+    QCheck_alcotest.to_alcotest qcheck_of_frame_agrees_with_decode;
+    QCheck_alcotest.to_alcotest qcheck_of_frame_total_on_garbage;
+  ]

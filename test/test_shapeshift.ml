@@ -10,6 +10,7 @@ let () =
       ("engine", Suite_engine.suite);
       ("sim-net", Suite_sim_net.suite);
       ("header", Suite_header.suite);
+      ("view", Suite_view.suite);
       ("control", Suite_control.suite);
       ("mode", Suite_mode.suite);
       ("endpoint", Suite_endpoint.suite);
