@@ -252,11 +252,45 @@ let bench_tests =
              ignore
                (Mmt_daq.Lartpc.generate_window lartpc_config rng
                   ~activity:Mmt_daq.Lartpc.Cosmic)));
-      Test.make ~name:"engine schedule+run event" (Staged.stage (fun () ->
-           let engine = Mmt_sim.Engine.create () in
-           ignore (Mmt_sim.Engine.schedule engine ~at:Units.Time.zero ignore);
-           Mmt_sim.Engine.run engine));
+      Test.make ~name:"engine schedule+run event"
+        (let engine = Mmt_sim.Engine.create () in
+         Staged.stage (fun () ->
+             ignore
+               (Mmt_sim.Engine.schedule engine
+                  ~at:(Mmt_sim.Engine.now engine)
+                  ignore);
+             ignore (Mmt_sim.Engine.step engine)));
+      Test.make ~name:"engine create+schedule+run (cold)"
+        (Staged.stage (fun () ->
+             let engine = Mmt_sim.Engine.create () in
+             ignore (Mmt_sim.Engine.schedule engine ~at:Units.Time.zero ignore);
+             Mmt_sim.Engine.run engine));
     ]
+
+(* Allocation audit: `Engine.schedule` must not allocate beyond the
+   caller's callback.  Measured outside bechamel so the measurement
+   itself cannot allocate between the two counter reads. *)
+let check_schedule_allocation () =
+  let engine = Mmt_sim.Engine.create () in
+  (* Warm up past all array growth: 4096 in-flight events. *)
+  for i = 0 to 4_095 do
+    ignore (Mmt_sim.Engine.schedule engine ~at:(Units.Time.of_int_ns i) ignore)
+  done;
+  Mmt_sim.Engine.run engine;
+  for i = 0 to 99 do
+    ignore (Mmt_sim.Engine.schedule engine ~at:(Units.Time.of_int_ns i) ignore)
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to 999 do
+    ignore (Mmt_sim.Engine.schedule engine ~at:(Units.Time.of_int_ns i) ignore)
+  done;
+  let after = Gc.minor_words () in
+  Mmt_sim.Engine.run engine;
+  let words_per_schedule = (after -. before) /. 1000. in
+  Printf.printf "engine schedule allocation: %.3f minor words/event %s\n\n"
+    words_per_schedule
+    (if words_per_schedule < 0.5 then "(allocation-free)" else "(ALLOCATES)");
+  words_per_schedule
 
 let run_micro_benchmarks ~quota ~limit () =
   let ols =
@@ -323,8 +357,9 @@ let run_sweep ~jobs () =
   let sequential_wall = Unix.gettimeofday () -. started in
   print_string (render_sweep sequential);
   let parallel =
-    if jobs <= 1 then None
+    if jobs = 1 then None
     else begin
+      let effective = Mmt_experiments.Registry.effective_jobs jobs in
       let started = Unix.gettimeofday () in
       let results = Mmt_experiments.Registry.run_collect ~jobs () in
       let wall = Unix.gettimeofday () -. started in
@@ -332,15 +367,16 @@ let run_sweep ~jobs () =
         String.equal (render_sweep sequential) (render_sweep results)
       in
       Printf.printf
-        "sweep: sequential %.2f s, %d domains %.2f s, reports %s\n\n"
-        sequential_wall jobs wall
+        "sweep: sequential %.2f s, %d domains (%d requested) %.2f s, \
+         reports %s\n\n"
+        sequential_wall effective jobs wall
         (if identical then "byte-identical" else "DIFFER");
-      Some (wall, identical)
+      Some (effective, wall, identical)
     end
   in
   let all_ok =
     List.for_all (fun (_, (_, ok), _) -> ok) sequential
-    && match parallel with Some (_, identical) -> identical | None -> true
+    && match parallel with Some (_, _, identical) -> identical | None -> true
   in
   (sequential, sequential_wall, parallel, all_ok)
 
@@ -361,13 +397,15 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~quota ~limit ~jobs ~micro ~sweep =
+let write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sweep =
   let results, sequential_wall, parallel, _ = sweep in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"config\": { \"quota_s\": %g, \"limit\": %d, \"jobs\": %d },\n"
        quota limit jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schedule_alloc_minor_words\": %.3f,\n" alloc_words);
   Buffer.add_string buf "  \"micro_ns\": {\n";
   let n = List.length micro in
   List.iteri
@@ -381,9 +419,11 @@ let write_json ~path ~quota ~limit ~jobs ~micro ~sweep =
   Buffer.add_string buf
     (Printf.sprintf "    \"sequential_wall_s\": %.3f,\n" sequential_wall);
   (match parallel with
-  | Some (wall, identical) ->
+  | Some (effective, wall, identical) ->
       Buffer.add_string buf
         (Printf.sprintf "    \"parallel_jobs\": %d,\n" jobs);
+      Buffer.add_string buf
+        (Printf.sprintf "    \"parallel_jobs_effective\": %d,\n" effective);
       Buffer.add_string buf
         (Printf.sprintf "    \"parallel_wall_s\": %.3f,\n" wall);
       Buffer.add_string buf
@@ -419,8 +459,9 @@ let run json jobs quota limit =
   print_newline ();
   let micro = run_micro_benchmarks ~quota ~limit () in
   print_newline ();
+  let alloc_words = check_schedule_allocation () in
   Option.iter
-    (fun path -> write_json ~path ~quota ~limit ~jobs ~micro ~sweep)
+    (fun path -> write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sweep)
     json;
   let _, _, _, all_ok = sweep in
   if all_ok then begin

@@ -61,14 +61,16 @@ let all_cmd =
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Run the experiment sweep on $(docv) domains.  Every \
-             experiment is a self-contained deterministic simulation, so \
-             the reports (printed in registry order) are byte-identical \
-             to a sequential sweep.")
+            "Run the experiment sweep on $(docv) domains; 0 picks the \
+             machine's recommended domain count automatically.  Requests \
+             beyond that count are capped (extra domains only contend).  \
+             Every experiment is a self-contained deterministic \
+             simulation, so the reports (printed in registry order) are \
+             byte-identical to a sequential sweep.")
   in
   let run jobs =
-    if jobs < 1 then begin
-      Printf.eprintf "shapeshift all: --jobs must be at least 1\n";
+    if jobs < 0 then begin
+      Printf.eprintf "shapeshift all: --jobs must be 0 (auto) or positive\n";
       2
     end
     else if Mmt_experiments.Registry.run_all ~jobs () then 0

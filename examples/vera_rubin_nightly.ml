@@ -39,8 +39,8 @@ let run ~deadline_aware =
   let queue =
     if deadline_aware then
       Mmt_sim.Queue_model.deadline_aware ~capacity:(Units.Size.mib 32)
-        ~drop_expired:false ~deadline_of
-    else Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 32)
+        ~drop_expired:false ~deadline_of ()
+    else Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 32) ()
   in
   let wan =
     Mmt_sim.Topology.connect topo ~src:telescope ~dst:archive ~rate:link_rate

@@ -12,17 +12,19 @@ type t = {
   env : Mmt_runtime.Env.t;
   buffer : Retx_buffer.t;
   upstream : Addr.Ip.t option;
+  pool : Mmt_sim.Pool.t option;
   mutable naks_received : int;
   mutable frames_resent : int;
   mutable escalated : int;
   mutable unserviceable : int;
 }
 
-let create ~env ~capacity ?upstream () =
+let create ~env ~capacity ?upstream ?pool () =
   {
     env;
     buffer = Retx_buffer.create ~capacity;
     upstream;
+    pool;
     naks_received = 0;
     frames_resent = 0;
     escalated = 0;
@@ -34,11 +36,19 @@ let store t ~seq ~born frame = Retx_buffer.store t.buffer ~seq ~born frame
 let resend t ~requester (entry : Retx_buffer.entry) =
   (* Preserve the original birth time: a recovered message's latency is
      end-to-end, not resend-to-delivery. *)
+  let frame =
+    match t.pool with
+    | None -> Bytes.copy entry.Retx_buffer.frame
+    | Some pool ->
+        let src = entry.Retx_buffer.frame in
+        let out = Mmt_sim.Pool.acquire pool (Bytes.length src) in
+        Bytes.blit src 0 out 0 (Bytes.length src);
+        out
+  in
   let packet =
     Mmt_sim.Packet.create
       ~id:(t.env.Mmt_runtime.Env.fresh_id ())
-      ~born:entry.Retx_buffer.born
-      (Bytes.copy entry.Retx_buffer.frame)
+      ~born:entry.Retx_buffer.born frame
   in
   t.frames_resent <- t.frames_resent + 1;
   t.env.Mmt_runtime.Env.send requester packet

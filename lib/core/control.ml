@@ -64,16 +64,16 @@ module Deadline_exceeded = struct
   let encode t =
     let w = Cursor.Writer.create 20 in
     Cursor.Writer.u32_int w t.sequence;
-    Cursor.Writer.u64 w (Units.Time.to_ns t.deadline);
-    Cursor.Writer.u64 w (Units.Time.to_ns t.observed);
+    Cursor.Writer.u64 w (Units.Time.to_int64_ns t.deadline);
+    Cursor.Writer.u64 w (Units.Time.to_int64_ns t.observed);
     Cursor.Writer.contents w
 
   let decode buf =
     decode_guard "deadline-exceeded"
       (fun r ->
         let sequence = Cursor.Reader.u32_int r in
-        let deadline = Units.Time.ns (Cursor.Reader.u64 r) in
-        let observed = Units.Time.ns (Cursor.Reader.u64 r) in
+        let deadline = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
+        let observed = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
         { sequence; deadline; observed })
       buf
 
@@ -125,7 +125,7 @@ module Buffer_advert = struct
     let w = Cursor.Writer.create 20 in
     Cursor.Writer.u32 w (Addr.Ip.to_int32 t.buffer);
     Cursor.Writer.u64 w (Int64.of_int (Units.Size.to_bytes t.capacity));
-    Cursor.Writer.u64 w (Units.Time.to_ns t.rtt_hint);
+    Cursor.Writer.u64 w (Units.Time.to_int64_ns t.rtt_hint);
     Cursor.Writer.contents w
 
   let decode buf =
@@ -133,7 +133,7 @@ module Buffer_advert = struct
       (fun r ->
         let buffer = Addr.Ip.of_int32 (Cursor.Reader.u32 r) in
         let capacity = Units.Size.bytes (Int64.to_int (Cursor.Reader.u64 r)) in
-        let rtt_hint = Units.Time.ns (Cursor.Reader.u64 r) in
+        let rtt_hint = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
         { buffer; capacity; rtt_hint })
       buf
 

@@ -157,8 +157,8 @@ let encode_int_stack w stack =
       Cursor.Writer.u8 w r.mode_id;
       Cursor.Writer.u8 w r.hop_index;
       Cursor.Writer.u32_int w r.queue_depth;
-      Cursor.Writer.u64 w (Units.Time.to_ns r.ingress_ns);
-      Cursor.Writer.u64 w (Units.Time.to_ns r.egress_ns))
+      Cursor.Writer.u64 w (Units.Time.to_int64_ns r.ingress_ns);
+      Cursor.Writer.u64 w (Units.Time.to_int64_ns r.egress_ns))
     stack.records;
   let unused = max_int_hops - List.length stack.records in
   if unused > 0 then Cursor.Writer.bytes w (Bytes.make (unused * int_record_size) '\000')
@@ -171,7 +171,7 @@ let encode_into w t =
   Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.retransmit_from;
   Option.iter
     (fun tl ->
-      Cursor.Writer.u64 w (Units.Time.to_ns tl.deadline);
+      Cursor.Writer.u64 w (Units.Time.to_int64_ns tl.deadline);
       Cursor.Writer.u32 w (Addr.Ip.to_int32 tl.notify))
     t.timely;
   Option.iter
@@ -180,7 +180,7 @@ let encode_into w t =
       Cursor.Writer.u32_int w a.budget_us;
       Cursor.Writer.u8 w (if a.aged then 1 else 0);
       Cursor.Writer.u24 w a.hop_count;
-      Cursor.Writer.u64 w (Units.Time.to_ns a.last_touch_ns))
+      Cursor.Writer.u64 w (Units.Time.to_int64_ns a.last_touch_ns))
     t.age;
   Option.iter (fun p -> Cursor.Writer.u32_int w p) t.pace_mbps;
   Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.backpressure_to;
@@ -211,7 +211,7 @@ let decode r =
           in
           let timely =
             if_feature Feature.Timely (fun () ->
-                let deadline = Units.Time.ns (Cursor.Reader.u64 r) in
+                let deadline = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
                 let notify = Addr.Ip.of_int32 (Cursor.Reader.u32 r) in
                 { deadline; notify })
           in
@@ -221,7 +221,7 @@ let decode r =
                 let budget_us = Cursor.Reader.u32_int r in
                 let flags = Cursor.Reader.u8 r in
                 let hop_count = Cursor.Reader.u24 r in
-                let last_touch_ns = Units.Time.ns (Cursor.Reader.u64 r) in
+                let last_touch_ns = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
                 { age_us; budget_us; aged = flags land 1 = 1; hop_count; last_touch_ns })
           in
           let pace_mbps = if_feature Feature.Paced (fun () -> Cursor.Reader.u32_int r) in
@@ -244,8 +244,8 @@ let decode r =
                       let mode_id = Cursor.Reader.u8 r in
                       let hop_index = Cursor.Reader.u8 r in
                       let queue_depth = Cursor.Reader.u32_int r in
-                      let ingress_ns = Units.Time.ns (Cursor.Reader.u64 r) in
-                      let egress_ns = Units.Time.ns (Cursor.Reader.u64 r) in
+                      let ingress_ns = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
+                      let egress_ns = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
                       { node_id; mode_id; hop_index; queue_depth; ingress_ns; egress_ns })
                 in
                 Cursor.Reader.skip r ((max_int_hops - count) * int_record_size);
@@ -368,8 +368,8 @@ let push_int_record_in_place frame ~ext_off ~node_id ~mode_id ~queue_depth
     Bytes.set frame (slot + 3) (Char.chr (count land 0xFF));
     Bytes.set_int32_be frame (slot + 4)
       (Int32.of_int (min queue_depth 0xFFFFFFFF));
-    Bytes.set_int64_be frame (slot + 8) (Units.Time.to_ns ingress);
-    Bytes.set_int64_be frame (slot + 16) (Units.Time.to_ns egress);
+    Bytes.set_int64_be frame (slot + 8) (Units.Time.to_int64_ns ingress);
+    Bytes.set_int64_be frame (slot + 16) (Units.Time.to_int64_ns egress);
     Bytes.set frame ext_off (Char.chr (count + 1));
     Some count
   end
@@ -385,10 +385,10 @@ let touch_age_in_place frame ~ext_off ~now =
     (Char.code (Bytes.get frame (ext_off + 9)) lsl 16)
     lor Bytes.get_uint16_be frame (ext_off + 10)
   in
-  let last_touch = Bytes.get_int64_be frame (ext_off + 12) in
+  let last_touch = Int64.to_int (Bytes.get_int64_be frame (ext_off + 12)) in
   let now_ns = Units.Time.to_ns now in
-  let elapsed_ns = Int64.max 0L (Int64.sub now_ns last_touch) in
-  let age_us = age_us + Int64.to_int (Int64.div elapsed_ns 1_000L) in
+  let elapsed_ns = max 0 (now_ns - last_touch) in
+  let age_us = age_us + (elapsed_ns / 1_000) in
   let age_us = min age_us 0xFFFFFFFF in
   let aged = flags land 1 = 1 || age_us > budget_us in
   let hops = min (hops + 1) 0xFFFFFF in
@@ -396,7 +396,7 @@ let touch_age_in_place frame ~ext_off ~now =
   Bytes.set frame (ext_off + 8) (Char.chr (if aged then flags lor 1 else flags));
   Bytes.set frame (ext_off + 9) (Char.chr ((hops lsr 16) land 0xFF));
   Bytes.set_uint16_be frame (ext_off + 10) (hops land 0xFFFF);
-  Bytes.set_int64_be frame (ext_off + 12) now_ns;
+  Bytes.set_int64_be frame (ext_off + 12) (Int64.of_int now_ns);
   (age_us, aged)
 
 (* Zero-copy header views ------------------------------------------------ *)
@@ -515,11 +515,11 @@ module View = struct
 
   let deadline_ns v =
     need v.off_timely "deadline_ns";
-    Units.Time.ns (Bytes.get_int64_be v.frame v.off_timely)
+    Units.Time.of_int64_ns (Bytes.get_int64_be v.frame v.off_timely)
 
   let set_deadline_ns v deadline =
     need v.off_timely "set_deadline_ns";
-    Bytes.set_int64_be v.frame v.off_timely (Units.Time.to_ns deadline)
+    Bytes.set_int64_be v.frame v.off_timely (Units.Time.to_int64_ns deadline)
 
   let notify v =
     need v.off_timely "notify";
@@ -548,7 +548,7 @@ module View = struct
 
   let last_touch_ns v =
     need v.off_age "last_touch_ns";
-    Units.Time.ns (Bytes.get_int64_be v.frame (v.off_age + 12))
+    Units.Time.of_int64_ns (Bytes.get_int64_be v.frame (v.off_age + 12))
 
   let touch_age v ~now =
     need v.off_age "touch_age";
@@ -590,8 +590,8 @@ module View = struct
       mode_id = Char.code (Bytes.get v.frame (slot + 2));
       hop_index = Char.code (Bytes.get v.frame (slot + 3));
       queue_depth = u32_at v.frame (slot + 4);
-      ingress_ns = Units.Time.ns (Bytes.get_int64_be v.frame (slot + 8));
-      egress_ns = Units.Time.ns (Bytes.get_int64_be v.frame (slot + 16));
+      ingress_ns = Units.Time.of_int64_ns (Bytes.get_int64_be v.frame (slot + 8));
+      egress_ns = Units.Time.of_int64_ns (Bytes.get_int64_be v.frame (slot + 16));
     }
 
   let int_records v = List.init (int_count v) (int_record v)

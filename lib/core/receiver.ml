@@ -54,7 +54,7 @@ type t = {
   mutable next_expected : int option;
   mutable retransmit_source : Addr.Ip.t option;
   mutable flush_scheduled : bool;
-  mutable tail_timer : Mmt_sim.Engine.handle option;
+  mutable tail_timer : Mmt_sim.Engine.handle;
   latencies : Stats.Summary.t;
   recovered_latencies : Stats.Summary.t;
   ages : Stats.Summary.t;
@@ -90,7 +90,7 @@ let create ~env config ~deliver =
     next_expected = None;
     retransmit_source = None;
     flush_scheduled = false;
-    tail_timer = None;
+    tail_timer = Mmt_sim.Engine.null;
     latencies = Stats.Summary.create ();
     recovered_latencies = Stats.Summary.create ();
     ages = Stats.Summary.create ();
@@ -202,15 +202,14 @@ let tail_timeout t =
   Units.Time.max t.config.nak_retry_timeout (Units.Time.scale t.config.nak_delay 4.)
 
 let rec arm_tail_check t =
-  Option.iter Mmt_sim.Engine.cancel t.tail_timer;
-  t.tail_timer <- None;
+  Mmt_sim.Engine.cancel t.env.Mmt_runtime.Env.engine t.tail_timer;
+  t.tail_timer <- Mmt_sim.Engine.null;
   match (t.config.expected_total, t.completion) with
   | Some _, None ->
       t.tail_timer <-
-        Some
-          (Mmt_runtime.Env.after t.env (tail_timeout t) (fun () ->
-               t.tail_timer <- None;
-               tail_check t))
+        Mmt_runtime.Env.after t.env (tail_timeout t) (fun () ->
+            t.tail_timer <- Mmt_sim.Engine.null;
+            tail_check t)
   | _ -> ()
 
 and tail_check t =
@@ -267,7 +266,7 @@ let timeliness_check t (header : Header.t) now =
         let elapsed_ns =
           Units.Time.to_ns (Units.Time.diff now age.Header.last_touch_ns)
         in
-        let final_age = age.Header.age_us + Int64.to_int (Int64.div elapsed_ns 1_000L) in
+        let final_age = age.Header.age_us + (elapsed_ns / 1_000) in
         (age.Header.aged || final_age > age.Header.budget_us, Some final_age)
   in
   if late then t.late <- t.late + 1;

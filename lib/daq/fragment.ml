@@ -109,7 +109,7 @@ let encode t =
   Cursor.Writer.u8 w (detector_kind_code t.detector);
   Cursor.Writer.u32_int w t.run;
   Cursor.Writer.u32_int w t.trigger;
-  Cursor.Writer.u64 w (Units.Time.to_ns t.timestamp);
+  Cursor.Writer.u64 w (Units.Time.to_int64_ns t.timestamp);
   Cursor.Writer.u32 w (Mmt.Experiment_id.to_int32 t.experiment);
   Cursor.Writer.u32_int w (Bytes.length t.payload);
   encode_subheader w t.detector;
@@ -128,7 +128,7 @@ let decode buf =
         let kind_code = Cursor.Reader.u8 r in
         let run = Cursor.Reader.u32_int r in
         let trigger = Cursor.Reader.u32_int r in
-        let timestamp = Units.Time.ns (Cursor.Reader.u64 r) in
+        let timestamp = Units.Time.of_int64_ns (Cursor.Reader.u64 r) in
         let experiment = Mmt.Experiment_id.of_int32 (Cursor.Reader.u32 r) in
         let payload_length = Cursor.Reader.u32_int r in
         match decode_subheader r kind_code with

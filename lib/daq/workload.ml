@@ -150,10 +150,8 @@ let rec trigger_loop t ~window ~duty ~burst_interval =
     let burst_length = Units.Time.scale window duty in
     let fragments_in_burst =
       max 1
-        (Int64.to_int
-           (Int64.div
-              (Units.Time.to_ns burst_length)
-              (Int64.max 1L (Units.Time.to_ns burst_interval))))
+        (Units.Time.to_ns burst_length
+        / max 1 (Units.Time.to_ns burst_interval))
     in
     for i = 0 to fragments_in_burst - 1 do
       ignore

@@ -331,7 +331,7 @@ let int_localization () =
   in
   let show ns =
     if Float.is_nan ns then "-"
-    else Units.Time.to_string (Units.Time.ns (Int64.of_float ns))
+    else Units.Time.to_string (Units.Time.ns (int_of_float ns))
   in
   let components =
     [
@@ -378,7 +378,7 @@ let int_localization () =
       [ (1, 2); (2, 3) ]
   in
   let drift =
-    Int64.max
+    max
       (Mmt_int.Collector.max_inconsistency_ns fabric)
       (Mmt_int.Collector.max_inconsistency_ns physical)
   in
@@ -391,8 +391,8 @@ let int_localization () =
         [
           Mmt_telemetry.Report.check ~metric:"per-packet accounting closes"
             ~expected:"hop residencies + segment gaps telescope to the covered span"
-            ~measured:(Printf.sprintf "max drift %Ldns across both profiles" drift)
-            (Int64.compare drift 1L <= 0);
+            ~measured:(Printf.sprintf "max drift %dns across both profiles" drift)
+            (drift <= 1);
           Mmt_telemetry.Report.check ~metric:"switch residency localizes hardware class"
             ~expected:"software switch slower than Tofino2 by >=10x (20 us vs 450 ns)"
             ~measured:(Printf.sprintf "%.1fx" switch_ratio)

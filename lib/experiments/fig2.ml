@@ -54,6 +54,7 @@ let multi_stream ~streams ~per_stream_transfer =
   let queue () =
     Mmt_sim.Queue_model.droptail
       ~capacity:(Units.Size.bytes (2 * Units.Size.to_bytes bdp))
+      ()
   in
   let forward =
     Mmt_sim.Topology.connect topo ~src:a ~dst:b ~rate ~propagation:half

@@ -11,13 +11,21 @@ val all : entry list
 val find : string -> entry option
 (** Case-insensitive lookup by id (with or without the "E-" prefix). *)
 
+val effective_jobs : int -> int
+(** The domain count a sweep actually uses for a requested job count:
+    capped at [Domain.recommended_domain_count ()] (more domains than
+    cores only contend for the minor heap) and at the number of
+    experiments.  [0] means "the recommended count". *)
+
 val run_collect :
   ?jobs:int -> unit -> (entry * (string * bool) * float) list
 (** Run every experiment and return [(entry, (output, ok), wall_s)] in
-    registry order.  With [jobs > 1] the sweep runs on that many
-    domains; each experiment is a self-contained deterministic
-    simulation (own engine, own seeded Rng), so results are identical
-    to the sequential sweep regardless of scheduling. *)
+    registry order.  With [jobs > 1] the sweep runs on
+    [effective_jobs jobs] domains from the shared
+    {!Mmt_util.Task_pool}; each experiment is a self-contained
+    deterministic simulation (own engine, own seeded Rng), so results
+    are identical to the sequential sweep regardless of scheduling.
+    [jobs = 0] selects the machine's recommended count. *)
 
 val run_all : ?jobs:int -> unit -> bool
 (** Run every experiment, printing each report; [true] when every

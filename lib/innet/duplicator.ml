@@ -4,6 +4,7 @@ type stats = { duplicated : int; copies_sent : int; passed : int }
 
 type t = {
   env : Mmt_runtime.Env.t;
+  pool : Mmt_sim.Pool.t option;
   mutable consumers : Addr.Ip.t list;
   mutable duplicated : int;
   mutable copies_sent : int;
@@ -23,22 +24,33 @@ let program =
       ];
   }
 
-let mark_duplicated frame =
+let copy_frame t frame =
+  match t.pool with
+  | None -> Bytes.copy frame
+  | Some pool ->
+      let out = Mmt_sim.Pool.acquire pool (Bytes.length frame) in
+      Bytes.blit frame 0 out 0 (Bytes.length frame);
+      out
+
+(* Returns the frame to copy consumer frames from, plus whether it is a
+   scratch buffer this element owns (and may recycle afterwards) or the
+   packet's own live frame (which it must not). *)
+let mark_duplicated t frame =
   match Mmt.Encap.locate frame with
-  | Error _ -> frame
+  | Error _ -> (frame, false)
   | Ok (_encap, mmt_offset) -> (
       match Mmt.Header.View.of_frame ~off:mmt_offset frame with
-      | Error _ -> frame
+      | Error _ -> (frame, false)
       | Ok view ->
-          if Mmt.Header.View.has view Mmt.Feature.Duplicated then frame
+          if Mmt.Header.View.has view Mmt.Feature.Duplicated then (frame, false)
           else begin
             (* The Duplicated bit lives in the configuration data; the
                header size is unchanged, so flip it in place on a copy. *)
-            let out = Bytes.copy frame in
+            let out = copy_frame t frame in
             (match Mmt.Header.View.of_frame ~off:mmt_offset out with
             | Ok view -> Mmt.Header.View.set_duplicated view
             | Error _ -> ());
-            out
+            (out, true)
           end)
 
 let process t ~now:_ packet =
@@ -57,21 +69,27 @@ let process t ~now:_ packet =
   end
   else begin
     t.duplicated <- t.duplicated + 1;
-    let marked = mark_duplicated frame in
+    let marked, scratch = mark_duplicated t frame in
     List.iter
       (fun consumer ->
-        let copy = Mmt_sim.Packet.copy packet ~id:(t.env.Mmt_runtime.Env.fresh_id ()) in
-        Mmt_sim.Packet.set_frame copy (Bytes.copy marked);
+        let copy =
+          Mmt_sim.Packet.clone packet
+            ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+            ~frame:(copy_frame t marked)
+        in
         t.copies_sent <- t.copies_sent + 1;
         t.env.Mmt_runtime.Env.send consumer copy)
       t.consumers;
+    if scratch then
+      Option.iter (fun pool -> Mmt_sim.Pool.release pool marked) t.pool;
     Element.Forward packet
   end
 
-let create ~env ~consumers () =
+let create ~env ?pool ~consumers () =
   let rec t =
     {
       env;
+      pool;
       consumers;
       duplicated = 0;
       copies_sent = 0;

@@ -18,7 +18,13 @@ type stats = {
 type t
 
 val create :
-  env:Mmt_runtime.Env.t -> consumers:Addr.Ip.t list -> unit -> t
+  env:Mmt_runtime.Env.t ->
+  ?pool:Mmt_sim.Pool.t ->
+  consumers:Addr.Ip.t list ->
+  unit ->
+  t
+(** With [pool], consumer copies are built in pool-acquired frames and
+    the internal marked scratch frame is recycled after the fan-out. *)
 
 val element : t -> Element.t
 val stats : t -> stats

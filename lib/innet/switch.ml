@@ -2,7 +2,7 @@ open Mmt_util
 
 type profile = { profile_name : string; pipeline_latency : Units.Time.t }
 
-let tofino2 = { profile_name = "tofino2"; pipeline_latency = Units.Time.ns 450L }
+let tofino2 = { profile_name = "tofino2"; pipeline_latency = Units.Time.ns 450 }
 let alveo_smartnic = { profile_name = "alveo-smartnic"; pipeline_latency = Units.Time.us 2. }
 let software_switch = { profile_name = "software"; pipeline_latency = Units.Time.us 20. }
 

@@ -16,7 +16,7 @@ type t = {
   mutable digests : int;
   mutable overflowed : int;
   mutable empty : int;
-  mutable max_inconsistency_ns : int64;
+  mutable max_inconsistency_ns : int;
 }
 
 let create ?(nodes = []) () =
@@ -30,7 +30,7 @@ let create ?(nodes = []) () =
     digests = 0;
     overflowed = 0;
     empty = 0;
-    max_inconsistency_ns = 0L;
+    max_inconsistency_ns = 0;
   }
 
 let node_name t id =
@@ -73,8 +73,7 @@ let add t (digest : Digest.t) =
           let hop = hop_for t r.Mmt.Header.node_id in
           hop.stamps <- hop.stamps + 1;
           Stats.Summary.add hop.residency
-            (Int64.to_float
-               (Int64.sub (ns r.Mmt.Header.egress_ns) (ns r.Mmt.Header.ingress_ns)));
+            (float_of_int (ns r.Mmt.Header.egress_ns - ns r.Mmt.Header.ingress_ns));
           Stats.Summary.add hop.queue_depth (float_of_int r.Mmt.Header.queue_depth))
         records;
       let rec walk = function
@@ -82,22 +81,21 @@ let add t (digest : Digest.t) =
         | [ (last : Mmt.Header.int_record) ] ->
             Stats.Summary.add
               (segment_for t (last.Mmt.Header.node_id, digest.Digest.sink_node))
-              (Int64.to_float
-                 (Int64.sub (ns digest.Digest.sink_at) (ns last.Mmt.Header.egress_ns)))
+              (float_of_int
+                 (ns digest.Digest.sink_at - ns last.Mmt.Header.egress_ns))
         | (a : Mmt.Header.int_record) :: (b :: _ as rest) ->
             Stats.Summary.add
               (segment_for t (a.Mmt.Header.node_id, b.Mmt.Header.node_id))
-              (Int64.to_float
-                 (Int64.sub (ns b.Mmt.Header.ingress_ns) (ns a.Mmt.Header.egress_ns)));
+              (float_of_int
+                 (ns b.Mmt.Header.ingress_ns - ns a.Mmt.Header.egress_ns));
             walk rest
       in
       walk records;
       (match (Digest.covered_span digest, Digest.segment_sum digest) with
       | Some covered, Some pieces ->
-          Stats.Summary.add t.e2e (Int64.to_float (ns covered));
-          let drift = Int64.abs (Int64.sub (ns covered) (ns pieces)) in
-          if Int64.compare drift t.max_inconsistency_ns > 0 then
-            t.max_inconsistency_ns <- drift
+          Stats.Summary.add t.e2e (float_of_int (ns covered));
+          let drift = abs (ns covered - ns pieces) in
+          if drift > t.max_inconsistency_ns then t.max_inconsistency_ns <- drift
       | _ -> ())
 
 let stats t = { digests = t.digests; overflowed = t.overflowed; empty = t.empty }
@@ -122,7 +120,7 @@ let e2e t = t.e2e
 let max_inconsistency_ns t = t.max_inconsistency_ns
 
 let time_of_ns_float v =
-  Units.Time.to_string (Units.Time.ns (Int64.of_float (Float.max 0. v)))
+  Units.Time.to_string (Units.Time.ns (int_of_float (Float.max 0. v)))
 
 let summary_cells summary =
   if Stats.Summary.count summary = 0 then ("-", "-", "-")
@@ -199,7 +197,7 @@ let render t =
   Buffer.add_string buffer
     (Printf.sprintf
        "%d digests (%d overflowed, %d empty); covered end-to-end p50 %s, mean \
-        %s, p99 %s; max per-packet drift %Ldns\n"
+        %s, p99 %s; max per-packet drift %dns\n"
        t.digests t.overflowed t.empty p50 mean p99 t.max_inconsistency_ns);
   Buffer.contents buffer
 
@@ -246,6 +244,6 @@ let report ?(id = "INT") ?(title = "in-band telemetry per-hop breakdown") t =
   push
     (Mmt_telemetry.Report.check ~metric:"segment sums vs end-to-end"
        ~expected:"telescoping sum, zero drift"
-       ~measured:(Printf.sprintf "max drift %Ldns" t.max_inconsistency_ns)
-       (Int64.compare t.max_inconsistency_ns 1L <= 0));
+       ~measured:(Printf.sprintf "max drift %dns" t.max_inconsistency_ns)
+       (t.max_inconsistency_ns <= 1));
   { Mmt_telemetry.Report.id; title; note = None; rows = List.rev !rows }

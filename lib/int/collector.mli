@@ -49,7 +49,7 @@ val segment_latency : t -> src:int -> dst:int -> Stats.Summary.t option
 val e2e : t -> Stats.Summary.t
 (** End-to-end covered span (first ingress to sink), nanoseconds. *)
 
-val max_inconsistency_ns : t -> int64
+val max_inconsistency_ns : t -> int
 (** Worst per-packet |end-to-end - sum of segments| observed. *)
 
 val hop_table : t -> Table.t

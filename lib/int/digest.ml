@@ -22,21 +22,17 @@ let segment_sum t =
   | _ :: _ ->
       let ns time = Units.Time.to_ns time in
       let residency (r : Mmt.Header.int_record) =
-        Int64.sub (ns r.Mmt.Header.egress_ns) (ns r.Mmt.Header.ingress_ns)
+        ns r.Mmt.Header.egress_ns - ns r.Mmt.Header.ingress_ns
       in
       let rec pieces acc = function
         | [] -> acc
         | [ (last : Mmt.Header.int_record) ] ->
-            Int64.add acc
-              (Int64.add (residency last)
-                 (Int64.sub (ns t.sink_at) (ns last.Mmt.Header.egress_ns)))
+            acc + residency last + (ns t.sink_at - ns last.Mmt.Header.egress_ns)
         | (a : Mmt.Header.int_record) :: (b :: _ as rest) ->
-            let gap =
-              Int64.sub (ns b.Mmt.Header.ingress_ns) (ns a.Mmt.Header.egress_ns)
-            in
-            pieces (Int64.add acc (Int64.add (residency a) gap)) rest
+            let gap = ns b.Mmt.Header.ingress_ns - ns a.Mmt.Header.egress_ns in
+            pieces (acc + residency a + gap) rest
       in
-      Some (Units.Time.ns (Int64.max 0L (pieces 0L t.records)))
+      Some (Units.Time.ns (max 0 (pieces 0 t.records)))
 
 let pp fmt t =
   Format.fprintf fmt "@[int-digest{%a" Mmt.Experiment_id.pp t.experiment;

@@ -57,7 +57,7 @@ module Tcp_run = struct
         ~loss:
           (if p.loss > 0. then Mmt_sim.Loss.bernoulli ~drop:p.loss ~corrupt:0. ~rng
            else Mmt_sim.Loss.perfect)
-        ~queue:(Mmt_sim.Queue_model.droptail ~capacity:p.queue_capacity)
+        ~queue:(Mmt_sim.Queue_model.droptail ~capacity:p.queue_capacity ())
         ()
     in
     let reverse =
@@ -430,8 +430,8 @@ module Priority_run = struct
     let queue =
       if p.deadline_aware then
         Mmt_sim.Queue_model.deadline_aware ~capacity:(Units.Size.mib 64)
-          ~drop_expired:false ~deadline_of
-      else Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 64)
+          ~drop_expired:false ~deadline_of ()
+      else Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 64) ()
     in
     let wan =
       Mmt_sim.Topology.connect topo ~src:telescope ~dst:archive ~rate:p.link_rate

@@ -1,66 +1,100 @@
 open Mmt_util
 
-type event = {
-  at : Units.Time.t;
-  seq : int;
-  fn : unit -> unit;
-  mutable cancelled : bool;
-  mutable in_heap : bool;
-  owner : t option;
-}
+(* Structure-of-arrays binary min-heap ordered by (at, seq).
 
-and t = {
-  mutable heap : event array;
+   The hot path — schedule, sift, pop, run — touches only immediate
+   [int] arrays plus one closure array, so scheduling an event performs
+   no heap allocation beyond the caller's callback: timestamps are
+   unboxed nanosecond ints ({!Mmt_util.Units.Time}), handles are packed
+   slot+generation ints, and sifting swaps parallel array elements with
+   int temporaries.
+
+   Layout: three parallel arrays indexed by heap position hold the key
+   ([h_at], [h_seq]) and the owning slot id ([h_slot]).  A slot table
+   indexed by slot id carries the callback ([s_fn]) and the handle
+   generation ([s_gen]); free slots are chained through [s_free].
+   Cancellation replaces the slot's callback with a private sentinel
+   closure — O(1), no heap walk — and exact dead-weight accounting
+   triggers an in-place compaction when cancelled entries exceed half
+   the heap, so cancel-heavy workloads (timeouts, retransmit timers)
+   cannot grow the queue without bound. *)
+
+type t = {
+  (* heap arrays, parallel, indexed by heap position *)
+  mutable h_at : int array;
+  mutable h_seq : int array;
+  mutable h_slot : int array;
   mutable size : int;
-  mutable clock : Units.Time.t;
+  (* slot table, parallel, indexed by slot id *)
+  mutable s_fn : (unit -> unit) array;
+  mutable s_gen : int array;
+  mutable s_free : int array; (* freelist chain; -1 terminates *)
+  mutable free_head : int;
+  mutable clock : int; (* ns *)
   mutable next_seq : int;
   mutable live : int;
   mutable processed : int;
   mutable cancelled_in_heap : int;
 }
-(* Array-backed binary min-heap ordered by (at, seq).  Cancelled events
-   are counted exactly; when more than half the heap is dead weight the
-   heap is compacted in place, so a workload that schedules and cancels
-   (timeouts, retransmit timers) cannot grow the queue without bound. *)
 
-type handle = event
+type handle = int
+(* [(slot lsl 31) lor generation]: immediate, so scheduling returns
+   without allocating.  A slot's generation bumps every time the slot
+   is freed, so handles to events that already ran (or were cancelled)
+   go stale and [cancel] ignores them. *)
 
-let dummy_event =
-  {
-    at = Units.Time.zero;
-    seq = -1;
-    fn = ignore;
-    cancelled = true;
-    in_heap = false;
-    owner = None;
-  }
+let null : handle = -1
+let gen_mask = 0x7FFF_FFFF
+
+(* Distinct top-level closures: [no_fn] fills empty slots, [cancelled_fn]
+   marks cancelled ones.  Physical identity distinguishes them from any
+   user callback (including [Stdlib.ignore]). *)
+let no_fn = fun () -> ()
+let cancelled_fn = fun () -> ()
+
+let initial_capacity = 64
 
 let create () =
+  let cap = initial_capacity in
+  let s_free = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1) in
   {
-    heap = Array.make 64 dummy_event;
+    h_at = Array.make cap 0;
+    h_seq = Array.make cap 0;
+    h_slot = Array.make cap 0;
     size = 0;
-    clock = Units.Time.zero;
+    s_fn = Array.make cap no_fn;
+    s_gen = Array.make cap 0;
+    s_free;
+    free_head = 0;
+    clock = 0;
     next_seq = 0;
     live = 0;
     processed = 0;
     cancelled_in_heap = 0;
   }
 
-let now t = t.clock
+let now t : Units.Time.t = Units.Time.of_int_ns t.clock
 
-let earlier a b =
-  let c = Units.Time.compare a.at b.at in
-  if c <> 0 then c < 0 else a.seq < b.seq
+(* (at, seq) lexicographic order between heap positions i and j. *)
+let earlier t i j =
+  let ai = t.h_at.(i) and aj = t.h_at.(j) in
+  if ai <> aj then ai < aj else t.h_seq.(i) < t.h_seq.(j)
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let at = t.h_at.(i) in
+  t.h_at.(i) <- t.h_at.(j);
+  t.h_at.(j) <- at;
+  let seq = t.h_seq.(i) in
+  t.h_seq.(i) <- t.h_seq.(j);
+  t.h_seq.(j) <- seq;
+  let slot = t.h_slot.(i) in
+  t.h_slot.(i) <- t.h_slot.(j);
+  t.h_slot.(j) <- slot
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
+    if earlier t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -70,50 +104,98 @@ let rec sift_down t i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < t.size && earlier t.heap.(left) t.heap.(!smallest) then smallest := left;
-  if right < t.size && earlier t.heap.(right) t.heap.(!smallest) then
-    smallest := right;
+  if left < t.size && earlier t left !smallest then smallest := left;
+  if right < t.size && earlier t right !smallest then smallest := right;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let push t event =
-  if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy_event in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
-  t.heap.(t.size) <- event;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+(* Double every array; free slots above the old capacity join the
+   freelist.  Amortized over the doubling, schedule stays O(log n)
+   with no per-event allocation. *)
+let grow t =
+  let old = Array.length t.h_at in
+  let cap = 2 * old in
+  let extend_int a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 old;
+    b
+  in
+  t.h_at <- extend_int t.h_at 0;
+  t.h_seq <- extend_int t.h_seq 0;
+  t.h_slot <- extend_int t.h_slot 0;
+  let fns = Array.make cap no_fn in
+  Array.blit t.s_fn 0 fns 0 old;
+  t.s_fn <- fns;
+  t.s_gen <- extend_int t.s_gen 0;
+  t.s_free <- extend_int t.s_free 0;
+  for i = old to cap - 1 do
+    t.s_free.(i) <- (if i = cap - 1 then t.free_head else i + 1)
+  done;
+  t.free_head <- old
 
+let alloc_slot t =
+  if t.free_head = -1 then grow t;
+  let slot = t.free_head in
+  t.free_head <- t.s_free.(slot);
+  slot
+
+(* Bump the generation (staling every outstanding handle) and release
+   the callback so the GC can collect it. *)
+let free_slot t slot =
+  t.s_gen.(slot) <- (t.s_gen.(slot) + 1) land gen_mask;
+  t.s_fn.(slot) <- no_fn;
+  t.s_free.(slot) <- t.free_head;
+  t.free_head <- slot
+
+let schedule t ~at fn =
+  let at = Stdlib.max (Units.Time.to_ns at) t.clock in
+  let slot = alloc_slot t in
+  t.s_fn.(slot) <- fn;
+  (* Heap arrays share capacity with the slot table and at most one
+     slot per heap entry is live, so after [alloc_slot] there is room. *)
+  let i = t.size in
+  t.h_at.(i) <- at;
+  t.h_seq.(i) <- t.next_seq;
+  t.h_slot.(i) <- slot;
+  t.size <- i + 1;
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  sift_up t i;
+  (slot lsl 31) lor t.s_gen.(slot)
+
+let schedule_after t ~delay fn =
+  schedule t ~at:(Units.Time.add (now t) delay) fn
+
+(* Remove the root; returns its slot.  The caller decides whether the
+   event runs or was dead weight. *)
 let pop t =
-  let top = t.heap.(0) in
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy_event;
-  if t.size > 0 then sift_down t 0;
-  top.in_heap <- false;
-  if top.cancelled then t.cancelled_in_heap <- t.cancelled_in_heap - 1;
-  top
+  let slot = t.h_slot.(0) in
+  let last = t.size - 1 in
+  t.h_at.(0) <- t.h_at.(last);
+  t.h_seq.(0) <- t.h_seq.(last);
+  t.h_slot.(0) <- t.h_slot.(last);
+  t.size <- last;
+  if last > 0 then sift_down t 0;
+  slot
 
-(* Drop cancelled events and restore the heap property bottom-up.
+(* Drop cancelled entries and restore the heap property bottom-up.
    The comparator is a total order, so pop order — and therefore the
    simulation — is unchanged. *)
 let compact t =
   let n = t.size in
   let kept = ref 0 in
   for i = 0 to n - 1 do
-    let e = t.heap.(i) in
-    if e.cancelled then e.in_heap <- false
+    let slot = t.h_slot.(i) in
+    if t.s_fn.(slot) == cancelled_fn then free_slot t slot
     else begin
-      t.heap.(!kept) <- e;
+      let k = !kept in
+      t.h_at.(k) <- t.h_at.(i);
+      t.h_seq.(k) <- t.h_seq.(i);
+      t.h_slot.(k) <- slot;
       incr kept
     end
-  done;
-  for i = !kept to n - 1 do
-    t.heap.(i) <- dummy_event
   done;
   t.size <- !kept;
   t.cancelled_in_heap <- 0;
@@ -121,29 +203,20 @@ let compact t =
     sift_down t i
   done
 
-let schedule t ~at fn =
-  let at = Units.Time.max at t.clock in
-  let event =
-    { at; seq = t.next_seq; fn; cancelled = false; in_heap = true; owner = Some t }
-  in
-  t.next_seq <- t.next_seq + 1;
-  t.live <- t.live + 1;
-  push t event;
-  event
-
-let schedule_after t ~delay fn = schedule t ~at:(Units.Time.add t.clock delay) fn
-
-let cancel handle =
-  if not handle.cancelled then begin
-    handle.cancelled <- true;
-    match handle.owner with
-    | None -> ()
-    | Some t ->
-        if handle.in_heap then begin
-          t.live <- t.live - 1;
-          t.cancelled_in_heap <- t.cancelled_in_heap + 1;
-          if 2 * t.cancelled_in_heap > t.size then compact t
-        end
+let cancel t handle =
+  if handle >= 0 then begin
+    let slot = handle lsr 31 in
+    let gen = handle land gen_mask in
+    if
+      slot < Array.length t.s_gen
+      && t.s_gen.(slot) = gen
+      && t.s_fn.(slot) != cancelled_fn
+    then begin
+      t.s_fn.(slot) <- cancelled_fn;
+      t.live <- t.live - 1;
+      t.cancelled_in_heap <- t.cancelled_in_heap + 1;
+      if 2 * t.cancelled_in_heap > t.size then compact t
+    end
   end
 
 let pending t = t.live
@@ -153,13 +226,20 @@ let step t =
   let rec next () =
     if t.size = 0 then false
     else begin
-      let event = pop t in
-      if event.cancelled then next ()
+      let at = t.h_at.(0) in
+      let slot = pop t in
+      let fn = t.s_fn.(slot) in
+      if fn == cancelled_fn then begin
+        t.cancelled_in_heap <- t.cancelled_in_heap - 1;
+        free_slot t slot;
+        next ()
+      end
       else begin
-        t.clock <- event.at;
+        t.clock <- at;
         t.live <- t.live - 1;
         t.processed <- t.processed + 1;
-        event.fn ();
+        free_slot t slot;
+        fn ();
         true
       end
     end
@@ -167,19 +247,19 @@ let step t =
   next ()
 
 let run ?until t =
-  let fits event =
-    match until with
-    | None -> true
-    | Some limit -> Units.Time.(event.at <= limit)
+  let limit =
+    match until with None -> max_int | Some l -> Units.Time.to_ns l
   in
   let rec loop () =
     if t.size > 0 then begin
-      let top = t.heap.(0) in
-      if top.cancelled then begin
+      let slot = t.h_slot.(0) in
+      if t.s_fn.(slot) == cancelled_fn then begin
         ignore (pop t);
+        t.cancelled_in_heap <- t.cancelled_in_heap - 1;
+        free_slot t slot;
         loop ()
       end
-      else if fits top then begin
+      else if t.h_at.(0) <= limit then begin
         ignore (step t);
         loop ()
       end
@@ -187,5 +267,5 @@ let run ?until t =
   in
   loop ();
   match until with
-  | Some limit when Units.Time.(t.clock < limit) -> t.clock <- limit
+  | Some l when t.clock < Units.Time.to_ns l -> t.clock <- Units.Time.to_ns l
   | _ -> ()

@@ -3,14 +3,27 @@
     Events are closures keyed by (time, insertion sequence): two events
     scheduled for the same instant fire in the order they were
     scheduled, so runs are exactly reproducible.  Time is
-    {!Mmt_util.Units.Time} (integer nanoseconds). *)
+    {!Mmt_util.Units.Time} (unboxed integer nanoseconds).
+
+    The queue is a structure-of-arrays binary heap: timestamps and
+    sequence numbers live in parallel [int] arrays, callbacks in one
+    closure array, and handles are packed slot+generation ints — so
+    {!schedule} performs no heap allocation beyond the caller's
+    callback closure. *)
 
 open Mmt_util
 
 type t
 
-type handle
-(** Cancellation token for a scheduled event. *)
+type handle = private int
+(** Cancellation token for a scheduled event: an immediate
+    slot+generation int.  Stale handles (events that already ran or
+    were cancelled) are recognized by their generation and ignored. *)
+
+val null : handle
+(** A handle that never matches any event; {!cancel} ignores it.  Use
+    as the initial value of a timer field instead of wrapping handles
+    in [option] (which would box them). *)
 
 val create : unit -> t
 (** A fresh engine at time zero with an empty event queue. *)
@@ -25,11 +38,13 @@ val schedule : t -> at:Units.Time.t -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:Units.Time.t -> (unit -> unit) -> handle
 
-val cancel : handle -> unit
-(** Cancelled events are skipped; cancelling twice is harmless, as is
-    cancelling an event that has already run.  When cancelled entries
-    outnumber live ones the queue is compacted, so cancel-heavy
-    workloads (timeouts, retransmit timers) stay bounded. *)
+val cancel : t -> handle -> unit
+(** [cancel t h] — [h] must come from this engine.  Cancelled events
+    are skipped; cancelling twice is harmless, as is cancelling an
+    event that has already run (the handle's generation went stale).
+    When cancelled entries outnumber live ones the queue is compacted,
+    so cancel-heavy workloads (timeouts, retransmit timers) stay
+    bounded. *)
 
 val pending : t -> int
 (** Live (uncancelled) events still queued.  O(1). *)

@@ -26,6 +26,7 @@ type t = {
   propagation : Units.Time.t;
   loss : Loss.t;
   queue : Queue_model.t;
+  pool : Pool.t option;
   observer : event -> Packet.t -> unit;
   deliver : Packet.t -> unit;
   mutable transmitting : bool;
@@ -39,8 +40,8 @@ type t = {
 }
 
 let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
-    ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4))
-    ?(observer = fun _ _ -> ()) ~deliver () =
+    ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4) ())
+    ?pool ?(observer = fun _ _ -> ()) ~deliver () =
   {
     engine;
     name;
@@ -48,6 +49,7 @@ let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
     propagation;
     loss;
     queue;
+    pool;
     observer;
     deliver;
     transmitting = false;
@@ -75,7 +77,9 @@ let rec transmit_next t =
              (match Loss.decide t.loss with
              | Loss.Drop ->
                  t.loss_drops <- t.loss_drops + 1;
-                 t.observer Loss_dropped packet
+                 t.observer Loss_dropped packet;
+                 (* The link was the packet's last holder: recycle. *)
+                 Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
              | Loss.Corrupt ->
                  packet.Packet.corrupted <- true;
                  t.corrupted <- t.corrupted + 1;
@@ -99,7 +103,9 @@ let send t packet =
   t.observer Sent packet;
   let now = Engine.now t.engine in
   match Queue_model.enqueue t.queue ~now packet with
-  | `Dropped -> t.observer Queue_dropped packet
+  | `Dropped ->
+      t.observer Queue_dropped packet;
+      Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
   | `Accepted -> if not t.transmitting then transmit_next t
 
 let name t = t.name

@@ -35,6 +35,7 @@ val create :
   propagation:Units.Time.t ->
   ?loss:Loss.t ->
   ?queue:Queue_model.t ->
+  ?pool:Pool.t ->
   ?observer:(event -> Packet.t -> unit) ->
   deliver:(Packet.t -> unit) ->
   unit ->
@@ -42,7 +43,10 @@ val create :
 (** Default impairment is {!Loss.perfect}; default queue is a 4 MiB
     drop-tail.  A zero [rate] means an ideal link (no serialization
     delay).  [observer] sees every per-packet event as it happens —
-    tracing taps into it. *)
+    tracing taps into it.  With [pool], frames of packets the link
+    destroys (queue drops and loss drops) are recycled after the
+    observer has seen the event; delivered packets belong to the
+    receiver. *)
 
 val send : t -> Packet.t -> unit
 (** Enqueue for transmission; drops (with accounting) if the queue is

@@ -7,11 +7,12 @@ type t = {
   born : Units.Time.t;
   mutable corrupted : bool;
   mutable hops : int;
+  mutable gen : int;
 }
 
 let create ?(padding = 0) ~id ~born frame =
   if padding < 0 then invalid_arg "Packet.create: negative padding";
-  { id; frame; padding; born; corrupted = false; hops = 0 }
+  { id; frame; padding; born; corrupted = false; hops = 0; gen = 0 }
 
 let wire_size t = Units.Size.bytes (Bytes.length t.frame + t.padding)
 let frame t = t.frame
@@ -25,7 +26,10 @@ let copy t ~id =
     born = t.born;
     corrupted = t.corrupted;
     hops = t.hops;
+    gen = 0;
   }
+
+let clone t ~id ~frame = { t with id; frame; gen = 0 }
 
 let pp fmt t =
   Format.fprintf fmt "pkt#%d{%a%s, %d hops}" t.id Units.Size.pp (wire_size t)

@@ -15,6 +15,10 @@ type t = {
   born : Units.Time.t;
   mutable corrupted : bool;
   mutable hops : int;
+  mutable gen : int;
+      (** Frame generation, bumped by {!Pool.release_packet} when the
+          frame is recycled.  A holder that recorded [gen] at hand-off
+          can detect that the frame under it was retired. *)
 }
 
 val create :
@@ -29,5 +33,9 @@ val set_frame : t -> bytes -> unit
 
 val copy : t -> id:int -> t
 (** Deep copy with a new identity (in-network duplication). *)
+
+val clone : t -> id:int -> frame:bytes -> t
+(** Like {!copy} but adopting [frame] (e.g. a pool-acquired buffer the
+    caller already filled) instead of copying the original's. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+(* Size classes are exact frame lengths: [bytes] cannot be resized, and
+   simulated traffic is dominated by a handful of fixed frame shapes
+   (header sizes x payload sizes), so exact-length classes hit almost
+   always without wasting slack bytes.  Each class is a bounded stack
+   backed by a bytes array — push/pop touch no list cells, so a warm
+   acquire/release pair allocates nothing. *)
+
+type stack = { mutable items : bytes array; mutable len : int }
+
+type stats = {
+  acquired : int;
+  recycled : int;
+  released : int;
+  dropped : int;
+  pooled_bytes : int;
+}
+
+type t = {
+  classes : (int, stack) Hashtbl.t;
+  max_per_class : int;
+  mutable acquired : int;
+  mutable recycled : int;
+  mutable released : int;
+  mutable dropped : int;
+}
+
+let retired = Bytes.create 0
+
+let create ?(max_per_class = 256) () =
+  if max_per_class < 1 then invalid_arg "Pool.create: max_per_class < 1";
+  {
+    classes = Hashtbl.create 16;
+    max_per_class;
+    acquired = 0;
+    recycled = 0;
+    released = 0;
+    dropped = 0;
+  }
+
+let acquire t len =
+  t.acquired <- t.acquired + 1;
+  match Hashtbl.find_opt t.classes len with
+  | Some s when s.len > 0 ->
+      s.len <- s.len - 1;
+      let frame = s.items.(s.len) in
+      s.items.(s.len) <- retired;
+      t.recycled <- t.recycled + 1;
+      frame
+  | Some _ | None -> Bytes.create len
+
+let release t frame =
+  let len = Bytes.length frame in
+  if len > 0 then begin
+    let s =
+      match Hashtbl.find_opt t.classes len with
+      | Some s -> s
+      | None ->
+          let s = { items = Array.make 8 retired; len = 0 } in
+          Hashtbl.add t.classes len s;
+          s
+    in
+    if s.len >= t.max_per_class then t.dropped <- t.dropped + 1
+    else begin
+      if s.len = Array.length s.items then begin
+        let bigger = Array.make (2 * s.len) retired in
+        Array.blit s.items 0 bigger 0 s.len;
+        s.items <- bigger
+      end;
+      s.items.(s.len) <- frame;
+      s.len <- s.len + 1;
+      t.released <- t.released + 1
+    end
+  end
+
+let release_packet t (packet : Packet.t) =
+  let frame = packet.Packet.frame in
+  if frame != retired && Bytes.length frame > 0 then begin
+    (* Swap in the sentinel and bump the generation *before* the frame
+       re-enters the pool: any alias still holding the packet sees a
+       stale generation and an empty frame, never recycled payload. *)
+    packet.Packet.frame <- retired;
+    packet.Packet.gen <- packet.Packet.gen + 1;
+    release t frame
+  end
+
+let stats t =
+  let pooled_bytes =
+    Hashtbl.fold (fun len s acc -> acc + (len * s.len)) t.classes 0
+  in
+  ({
+     acquired = t.acquired;
+     recycled = t.recycled;
+     released = t.released;
+     dropped = t.dropped;
+     pooled_bytes;
+   }
+    : stats)

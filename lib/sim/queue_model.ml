@@ -18,6 +18,10 @@ type discipline = Fifo of Packet.t Queue.t | Edf of edf
 type t = {
   capacity : Units.Size.t;
   discipline : discipline;
+  pool : Pool.t option;
+      (* recycles frames of packets this queue destroys (expired
+         drops); overflow drops never enter the queue and stay the
+         caller's to recycle *)
   mutable bytes : int;
   mutable next_seq : int;
   mutable overflow_drops : int;
@@ -31,21 +35,23 @@ let dummy_entry () =
     seq = -1;
   }
 
-let droptail ~capacity =
+let droptail ?pool ~capacity () =
   {
     capacity;
     discipline = Fifo (Queue.create ());
+    pool;
     bytes = 0;
     next_seq = 0;
     overflow_drops = 0;
     expired_drops = 0;
   }
 
-let deadline_aware ~capacity ~drop_expired ~deadline_of =
+let deadline_aware ?pool ~capacity ~drop_expired ~deadline_of () =
   {
     capacity;
     discipline =
       Edf { heap = Array.make 64 (dummy_entry ()); size = 0; drop_expired; deadline_of };
+    pool;
     bytes = 0;
     next_seq = 0;
     overflow_drops = 0;
@@ -139,6 +145,7 @@ let rec dequeue t ~now =
         match entry.deadline with
         | Some deadline when edf.drop_expired && Units.Time.(deadline < now) ->
             t.expired_drops <- t.expired_drops + 1;
+            Option.iter (fun pool -> Pool.release_packet pool entry.packet) t.pool;
             dequeue t ~now
         | _ -> Some entry.packet
       end

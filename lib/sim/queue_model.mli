@@ -9,19 +9,23 @@ open Mmt_util
 
 type t
 
-val droptail : capacity:Units.Size.t -> t
+val droptail : ?pool:Pool.t -> capacity:Units.Size.t -> unit -> t
 (** FIFO bounded by queued bytes; arrivals that would overflow are
     dropped. *)
 
 val deadline_aware :
+  ?pool:Pool.t ->
   capacity:Units.Size.t ->
   drop_expired:bool ->
   deadline_of:(Packet.t -> Units.Time.t option) ->
+  unit ->
   t
 (** Earliest-deadline-first; packets without a deadline are served
     after all deadline-bearing packets, among themselves in FIFO order.
     When [drop_expired], packets whose deadline already passed are
-    discarded at dequeue time instead of transmitted. *)
+    discarded at dequeue time instead of transmitted — and their frames
+    recycled into [pool] when one is given (the queue is the last
+    holder of an expired packet). *)
 
 val enqueue : t -> now:Units.Time.t -> Packet.t -> [ `Accepted | `Dropped ]
 val dequeue : t -> now:Units.Time.t -> Packet.t option

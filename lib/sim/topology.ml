@@ -1,16 +1,18 @@
 type t = {
   engine : Engine.t;
   trace : Trace.t option;
+  pool : Pool.t option;
   mutable next_packet_id : int;
   node_by_name : (string, Node.t) Hashtbl.t;
   mutable node_order : Node.t list; (* reversed *)
   mutable link_order : Link.t list; (* reversed *)
 }
 
-let create ~engine ?trace () =
+let create ~engine ?trace ?pool () =
   {
     engine;
     trace;
+    pool;
     next_packet_id = 0;
     node_by_name = Hashtbl.create 16;
     node_order = [];
@@ -19,6 +21,7 @@ let create ~engine ?trace () =
 
 let engine t = t.engine
 let trace t = t.trace
+let pool t = t.pool
 
 let fresh_packet_id t =
   let id = t.next_packet_id in
@@ -46,8 +49,8 @@ let connect t ~src ~dst ~rate ~propagation ?loss ?queue () =
       t.trace
   in
   let link =
-    Link.create ~engine:t.engine ~name ~rate ~propagation ?loss ?queue ?observer
-      ~deliver:(Node.handle dst) ()
+    Link.create ~engine:t.engine ~name ~rate ~propagation ?loss ?queue
+      ?pool:t.pool ?observer ~deliver:(Node.handle dst) ()
   in
   t.link_order <- link :: t.link_order;
   link

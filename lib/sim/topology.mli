@@ -9,12 +9,15 @@ open Mmt_util
 
 type t
 
-val create : engine:Engine.t -> ?trace:Trace.t -> unit -> t
+val create : engine:Engine.t -> ?trace:Trace.t -> ?pool:Pool.t -> unit -> t
 (** When [trace] is given, every link created through this topology
-    records its packet events into it. *)
+    records its packet events into it.  When [pool] is given, every
+    link recycles the frames of packets it drops into it (see
+    {!Link.create}). *)
 
 val engine : t -> Engine.t
 val trace : t -> Trace.t option
+val pool : t -> Pool.t option
 
 val fresh_packet_id : t -> int
 (** Globally unique (per topology) packet identity. *)

@@ -79,7 +79,7 @@ type t = {
   mutable srtt : float option;  (* seconds *)
   mutable rttvar : float;
   mutable rto : Units.Time.t;
-  mutable rto_timer : Mmt_sim.Engine.handle option;
+  mutable rto_timer : Mmt_sim.Engine.handle;
   (* receiver state *)
   mutable rcv_nxt : int64;
   ooo : (int64, int) Hashtbl.t;  (* out-of-order: seq -> len *)
@@ -117,7 +117,7 @@ let create ~engine ~fresh_id ~config ?(port = 1) ~tx ?(deliver = fun _ -> ()) ()
     srtt = None;
     rttvar = 0.;
     rto = config.min_rto;
-    rto_timer = None;
+    rto_timer = Mmt_sim.Engine.null;
     rcv_nxt = 0L;
     ooo = Hashtbl.create 64;
     bytes_delivered = 0;
@@ -160,8 +160,8 @@ let send_pure_ack t =
 (* RTO management ------------------------------------------------------ *)
 
 let cancel_rto t =
-  Option.iter Mmt_sim.Engine.cancel t.rto_timer;
-  t.rto_timer <- None
+  Mmt_sim.Engine.cancel t.engine t.rto_timer;
+  t.rto_timer <- Mmt_sim.Engine.null
 
 let update_rto_estimate t ~sample_s =
   (match t.srtt with
@@ -181,12 +181,10 @@ let rec arm_rto t =
   cancel_rto t;
   if not (Queue.is_empty t.unacked) then
     t.rto_timer <-
-      Some
-        (Mmt_sim.Engine.schedule_after t.engine ~delay:t.rto (fun () ->
-             on_rto t))
+      Mmt_sim.Engine.schedule_after t.engine ~delay:t.rto (fun () -> on_rto t)
 
 and on_rto t =
-  t.rto_timer <- None;
+  t.rto_timer <- Mmt_sim.Engine.null;
   match Queue.peek_opt t.unacked with
   | None -> ()
   | Some head ->
@@ -226,7 +224,7 @@ let rec pump t =
         }
         t.unacked;
       t.snd_nxt <- Int64.add t.snd_nxt (Int64.of_int len);
-      if t.rto_timer = None then arm_rto t;
+      if t.rto_timer = Mmt_sim.Engine.null then arm_rto t;
       pump t
     end
   end

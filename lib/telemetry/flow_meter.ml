@@ -11,7 +11,7 @@ let create ~bin =
   if Units.Time.is_zero bin then invalid_arg "Flow_meter.create: zero bin";
   { bin; bins = Hashtbl.create 256; total = 0; max_bin = -1 }
 
-let index t now = Int64.to_int (Int64.div (Units.Time.to_ns now) (Units.Time.to_ns t.bin))
+let index t now = Units.Time.to_ns now / Units.Time.to_ns t.bin
 
 let record t ~now ~bytes =
   let i = index t now in
@@ -29,7 +29,7 @@ let series t =
   else
     List.init (t.max_bin + 1) (fun i ->
         let bytes = Option.value ~default:0 (Hashtbl.find_opt t.bins i) in
-        ( Units.Time.ns (Int64.mul (Int64.of_int i) (Units.Time.to_ns t.bin)),
+        ( Units.Time.ns (i * Units.Time.to_ns t.bin),
           bin_rate t bytes ))
 
 let peak t =

@@ -1,0 +1,110 @@
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t; (* new batch, or stop *)
+  rest : Condition.t; (* batch finished *)
+  mutable task : (unit -> unit) option;
+  mutable epoch : int; (* bumped once per batch *)
+  mutable to_run : int; (* workers that must still pick up this batch *)
+  mutable running : int; (* workers currently inside the task *)
+  mutable error : exn option; (* first exception of the batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  max_workers : int;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let create ?max_workers () =
+  let max_workers =
+    match max_workers with
+    | Some n -> max 0 n
+    | None -> recommended_jobs () - 1
+  in
+  {
+    mutex = Mutex.create ();
+    wake = Condition.create ();
+    rest = Condition.create ();
+    task = None;
+    epoch = 0;
+    to_run = 0;
+    running = 0;
+    error = None;
+    stop = false;
+    workers = [];
+    max_workers;
+  }
+
+(* Each worker remembers the last epoch it served so it runs a batch's
+   task at most once, then parks on [wake] until the next batch. *)
+let worker t =
+  let last = ref 0 in
+  Mutex.lock t.mutex;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.mutex
+    else if t.epoch > !last && t.to_run > 0 then begin
+      last := t.epoch;
+      t.to_run <- t.to_run - 1;
+      t.running <- t.running + 1;
+      let fn = Option.get t.task in
+      Mutex.unlock t.mutex;
+      let error = match fn () with () -> None | exception e -> Some e in
+      Mutex.lock t.mutex;
+      (match error with
+      | Some e when t.error = None -> t.error <- Some e
+      | _ -> ());
+      t.running <- t.running - 1;
+      if t.running = 0 && t.to_run = 0 then Condition.broadcast t.rest;
+      loop ()
+    end
+    else begin
+      Condition.wait t.wake t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let ensure_workers t wanted =
+  let have = List.length t.workers in
+  if wanted > have then
+    for _ = have + 1 to wanted do
+      t.workers <- Domain.spawn (fun () -> worker t) :: t.workers
+    done
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let shared_pool =
+  lazy
+    (let t = create () in
+     at_exit (fun () -> shutdown t);
+     t)
+
+let shared () = Lazy.force shared_pool
+
+let run t ~extra fn =
+  let extra = min extra t.max_workers in
+  if extra <= 0 || t.stop then fn ()
+  else begin
+    Mutex.lock t.mutex;
+    ensure_workers t extra;
+    t.task <- Some fn;
+    t.epoch <- t.epoch + 1;
+    t.to_run <- extra;
+    t.error <- None;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    let caller_error = match fn () with () -> None | exception e -> Some e in
+    Mutex.lock t.mutex;
+    while t.to_run > 0 || t.running > 0 do
+      Condition.wait t.rest t.mutex
+    done;
+    t.task <- None;
+    let error = match caller_error with Some _ -> caller_error | None -> t.error in
+    Mutex.unlock t.mutex;
+    match error with Some e -> raise e | None -> ()
+  end

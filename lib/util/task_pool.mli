@@ -1,0 +1,39 @@
+(** Persistent domain pool for parallel sweeps.
+
+    Spawning domains per batch is what made the parallel experiment
+    sweep slower than the sequential one: every [run_collect] paid
+    domain start-up and tear-down, and asking for more domains than
+    the machine has cores ([Domain.recommended_domain_count]) made
+    them fight over the minor heap.  This pool spawns workers once,
+    parks them on a condition variable between batches, and never
+    engages more than the recommended count. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the largest worthwhile
+    parallel job count on this machine (1 on a single-core host). *)
+
+val create : ?max_workers:int -> unit -> t
+(** A private pool.  [max_workers] bounds the extra domains {!run}
+    will engage (default [recommended_jobs () - 1]); tests pass an
+    explicit bound to exercise the worker machinery regardless of the
+    host's core count.  Prefer {!shared} outside tests. *)
+
+val shutdown : t -> unit
+(** Stop and join the pool's workers.  The pool degrades to running
+    everything on the caller afterwards. *)
+
+val shared : unit -> t
+(** The process-wide pool.  Workers are spawned lazily on first use
+    and reused by every subsequent batch; they are stopped and joined
+    at exit. *)
+
+val run : t -> extra:int -> (unit -> unit) -> unit
+(** [run t ~extra fn] executes [fn] on the calling domain and on
+    [extra] pool workers concurrently, returning when every instance
+    has finished.  [fn] is typically a work-stealing loop over an
+    atomic index.  [extra] is clamped to [recommended_jobs () - 1];
+    with [extra <= 0] this is just [fn ()].  If any instance raises,
+    one such exception is re-raised in the caller after all instances
+    finish.  Not reentrant: do not call [run] from inside [fn]. *)

@@ -1,39 +1,40 @@
 module Time = struct
-  type t = int64
+  type t = int
 
-  let zero = 0L
+  let zero = 0
   let ns x = x
-  let of_int_ns x = Int64.of_int x
-  let us x = Int64.of_float (x *. 1e3)
-  let ms x = Int64.of_float (x *. 1e6)
-  let seconds x = Int64.of_float (x *. 1e9)
+  let of_int_ns x = x
+  let of_int64_ns x = Int64.to_int x
+  let to_int64_ns t = Int64.of_int t
+  let us x = int_of_float (x *. 1e3)
+  let ms x = int_of_float (x *. 1e6)
+  let seconds x = int_of_float (x *. 1e9)
   let to_ns t = t
-  let to_float_s t = Int64.to_float t *. 1e-9
-  let add = Int64.add
+  let to_float_s t = float_of_int t *. 1e-9
+  let add = ( + )
 
-  let sub a b = if Int64.compare a b <= 0 then 0L else Int64.sub a b
+  let sub a b = if a <= b then 0 else a - b
   let diff later earlier = sub later earlier
 
   let scale t k =
-    let scaled = Int64.to_float t *. k in
-    if scaled <= 0. then 0L else Int64.of_float scaled
+    let scaled = float_of_int t *. k in
+    if scaled <= 0. then 0 else int_of_float scaled
 
-  let compare = Int64.compare
-  let ( < ) a b = compare a b < 0
-  let ( <= ) a b = compare a b <= 0
-  let ( > ) a b = compare a b > 0
-  let ( >= ) a b = compare a b >= 0
-  let equal = Int64.equal
-  let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
-  let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
-  let is_zero t = Int64.equal t 0L
+  let compare = Int.compare
+  let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+  let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+  let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
+  let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
+  let equal = Int.equal
+  let min (a : t) (b : t) = if Stdlib.( <= ) a b then a else b
+  let max (a : t) (b : t) = if Stdlib.( >= ) a b then a else b
+  let is_zero (t : t) = t = 0
 
   let pp fmt t =
-    let f = Int64.to_float t in
-    let below limit = Stdlib.( < ) (Int64.compare t limit) 0 in
-    if below 1_000L then Format.fprintf fmt "%Ldns" t
-    else if below 1_000_000L then Format.fprintf fmt "%.3gus" (f /. 1e3)
-    else if below 1_000_000_000L then Format.fprintf fmt "%.4gms" (f /. 1e6)
+    let f = float_of_int t in
+    if t < 1_000 then Format.fprintf fmt "%dns" t
+    else if t < 1_000_000 then Format.fprintf fmt "%.3gus" (f /. 1e3)
+    else if t < 1_000_000_000 then Format.fprintf fmt "%.4gms" (f /. 1e6)
     else Format.fprintf fmt "%.4gs" (f /. 1e9)
 
   let to_string t = Format.asprintf "%a" pp t
@@ -84,7 +85,7 @@ module Rate = struct
     if rate <= 0. then Time.zero
     else
       let bits = float_of_int (Size.to_bits size) in
-      Time.ns (Int64.of_float (Float.round (bits /. rate *. 1e9)))
+      Time.ns (int_of_float (Float.round (bits /. rate *. 1e9)))
 
   let bytes_in rate window =
     let seconds = Time.to_float_s window in

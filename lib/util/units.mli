@@ -1,21 +1,31 @@
 (** Physical units used across the simulator and protocol layers.
 
-    Time is an [int64] count of nanoseconds — enough for ~292 years of
-    simulated time at exact integer precision, which keeps event
-    ordering deterministic (no float drift).  Data sizes are byte
-    counts; rates are bits per second. *)
+    Time is an immediate [int] count of nanoseconds — 63 bits cover
+    ~146 years of simulated time at exact integer precision, which
+    keeps event ordering deterministic (no float drift) and keeps every
+    timestamp unboxed: arithmetic and comparisons on [Time.t] never
+    allocate, unlike the boxed [int64] representation this replaced.
+    The on-wire format is still a 64-bit field; {!Time.of_int64_ns} and
+    {!Time.to_int64_ns} convert at the codec boundary.  Data sizes are
+    byte counts; rates are bits per second. *)
 
 module Time : sig
-  type t = private int64
-  (** Nanoseconds since simulation start. *)
+  type t = private int
+  (** Nanoseconds since simulation start.  Immediate (unboxed). *)
 
   val zero : t
-  val ns : int64 -> t
+  val ns : int -> t
   val of_int_ns : int -> t
+  val of_int64_ns : int64 -> t
+  (** Wire-format decode; truncates to 63 bits. *)
+
+  val to_int64_ns : t -> int64
+  (** Wire-format encode. *)
+
   val us : float -> t
   val ms : float -> t
   val seconds : float -> t
-  val to_ns : t -> int64
+  val to_ns : t -> int
   val to_float_s : t -> float
   val add : t -> t -> t
   val sub : t -> t -> t

@@ -58,8 +58,8 @@ let test_cancellation () =
   let engine = Engine.create () in
   let fired = ref false in
   let handle = Engine.schedule engine ~at:(Units.Time.ms 1.) (fun () -> fired := true) in
-  Engine.cancel handle;
-  Engine.cancel handle;
+  Engine.cancel engine handle;
+  Engine.cancel engine handle;
   Engine.run engine;
   Alcotest.(check bool) "cancelled event skipped" false !fired
 
@@ -79,7 +79,7 @@ let test_pending_and_processed () =
   let h1 = Engine.schedule engine ~at:(Units.Time.ms 1.) ignore in
   ignore (Engine.schedule engine ~at:(Units.Time.ms 2.) ignore);
   Alcotest.(check int) "pending" 2 (Engine.pending engine);
-  Engine.cancel h1;
+  Engine.cancel engine h1;
   Alcotest.(check int) "pending after cancel" 1 (Engine.pending engine);
   Engine.run engine;
   Alcotest.(check int) "processed" 1 (Engine.processed engine);
@@ -119,7 +119,7 @@ let test_mass_cancellation () =
           (fun () -> incr fired))
   in
   (* Cancel 600 of 1000: every event except those with index mod 5 < 2. *)
-  List.iteri (fun i h -> if i mod 5 >= 2 then Engine.cancel h) handles;
+  List.iteri (fun i h -> if i mod 5 >= 2 then Engine.cancel engine h) handles;
   Alcotest.(check int) "pending reflects cancellations exactly" 400
     (Engine.pending engine);
   Engine.run engine;
@@ -134,8 +134,8 @@ let test_cancel_after_run () =
   Engine.run engine;
   (* Cancelling a handle whose event already ran must not corrupt the
      live/pending accounting. *)
-  Engine.cancel handle;
-  Engine.cancel handle;
+  Engine.cancel engine handle;
+  Engine.cancel engine handle;
   Alcotest.(check int) "pending unaffected" 0 (Engine.pending engine);
   ignore (Engine.schedule engine ~at:(Units.Time.us 3.) ignore);
   Alcotest.(check int) "new event counted" 1 (Engine.pending engine);
@@ -160,13 +160,124 @@ let test_compaction_preserves_order () =
     handles := (i, h) :: !handles
   done;
   (* Cancel two thirds to force several compactions mid-stream. *)
-  List.iter (fun (i, h) -> if i mod 3 <> 0 then Engine.cancel h) !handles;
+  List.iter (fun (i, h) -> if i mod 3 <> 0 then Engine.cancel engine h) !handles;
   let expected_live = List.length (List.filter (fun (i, _) -> i mod 3 = 0) !handles) in
   Alcotest.(check int) "pending after burst" expected_live (Engine.pending engine);
   Engine.run engine;
   Alcotest.(check bool) "clock monotone through compactions" true !monotone;
   Alcotest.(check int) "survivors all ran" expected_live (Engine.processed engine);
   Alcotest.(check int) "survivor set fired" expected_live !fired
+
+(* Differential fuzz: drive the SoA heap and a naive reference model
+   (linear scan for the minimum (at, seq) live event) through the same
+   random schedule/cancel/step stream and demand identical pop order,
+   clocks and pending counts — across array growth and the compactions
+   the cancel bursts trigger. *)
+type model_event = {
+  m_at : int; (* effective fire time, clamped at schedule *)
+  m_seq : int;
+  m_id : int;
+  mutable m_cancelled : bool;
+  mutable m_popped : bool;
+}
+
+let model_pop events clock =
+  let best =
+    List.fold_left
+      (fun acc e ->
+        if e.m_cancelled || e.m_popped then acc
+        else
+          match acc with
+          | None -> Some e
+          | Some b ->
+              if e.m_at < b.m_at || (e.m_at = b.m_at && e.m_seq < b.m_seq)
+              then Some e
+              else acc)
+      None events
+  in
+  match best with
+  | None -> None
+  | Some e ->
+      e.m_popped <- true;
+      clock := e.m_at;
+      Some e.m_id
+
+let test_fuzz_matches_reference_model () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let engine = Engine.create () in
+      let by_id : (int, Engine.handle * model_event) Hashtbl.t =
+        Hashtbl.create 256
+      in
+      let events = ref [] in
+      let model_clock = ref 0 in
+      let next_id = ref 0 in
+      let next_seq = ref 0 in
+      let engine_pops = ref [] in
+      let model_pops = ref [] in
+      let schedule () =
+        let at_req = Rng.int rng ~bound:50_000 in
+        let id = !next_id in
+        incr next_id;
+        let handle =
+          Engine.schedule engine
+            ~at:(Units.Time.of_int_ns at_req)
+            (fun () -> engine_pops := id :: !engine_pops)
+        in
+        let event =
+          {
+            m_at = max at_req !model_clock;
+            m_seq = !next_seq;
+            m_id = id;
+            m_cancelled = false;
+            m_popped = false;
+          }
+        in
+        incr next_seq;
+        events := event :: !events;
+        Hashtbl.replace by_id id (handle, event)
+      in
+      let cancel () =
+        if !next_id > 0 then begin
+          (* Any id ever issued: live, already-run and already-cancelled
+             handles all get exercised. *)
+          let victim = Rng.int rng ~bound:!next_id in
+          let handle, event = Hashtbl.find by_id victim in
+          Engine.cancel engine handle;
+          if not (event.m_popped || event.m_cancelled) then
+            event.m_cancelled <- true
+        end
+      in
+      let pop () =
+        let stepped = Engine.step engine in
+        let model = model_pop !events model_clock in
+        Alcotest.(check bool)
+          "step mirrors model emptiness" (model <> None) stepped;
+        Option.iter (fun id -> model_pops := id :: !model_pops) model
+      in
+      for _ = 1 to 3_000 do
+        let r = Rng.int rng ~bound:100 in
+        if r < 55 then schedule () else if r < 85 then cancel () else pop ()
+      done;
+      (* Drain both completely. *)
+      let continue = ref true in
+      while !continue do
+        let stepped = Engine.step engine in
+        let model = model_pop !events model_clock in
+        Alcotest.(check bool)
+          "drain mirrors model emptiness" (model <> None) stepped;
+        Option.iter (fun id -> model_pops := id :: !model_pops) model;
+        continue := stepped
+      done;
+      Alcotest.(check (list int))
+        (Printf.sprintf "pop order (seed %Ld)" seed)
+        (List.rev !model_pops) (List.rev !engine_pops);
+      Alcotest.(check int)
+        "final clock" !model_clock
+        (Units.Time.to_ns (Engine.now engine));
+      Alcotest.(check int) "drained" 0 (Engine.pending engine))
+    [ 3L; 17L; 99L; 4242L ]
 
 let qcheck_event_order =
   QCheck.Test.make ~name:"events always fire in schedule order" ~count:100
@@ -203,5 +314,7 @@ let suite =
     Alcotest.test_case "cancel after run" `Quick test_cancel_after_run;
     Alcotest.test_case "compaction preserves order" `Quick
       test_compaction_preserves_order;
+    Alcotest.test_case "fuzz vs reference model" `Quick
+      test_fuzz_matches_reference_model;
     QCheck_alcotest.to_alcotest qcheck_event_order;
   ]

@@ -172,12 +172,10 @@ let test_digest_telescopes () =
   in
   let covered = Option.get (Mmt_int.Digest.covered_span digest) in
   let pieces = Option.get (Mmt_int.Digest.segment_sum digest) in
-  Alcotest.(check int64) "telescoping sum is exact"
+  Alcotest.(check int) "telescoping sum is exact"
     (Units.Time.to_ns covered) (Units.Time.to_ns pieces);
-  Alcotest.(check int64) "covered = sink - first ingress"
-    (Int64.sub
-       (Units.Time.to_ns (Units.Time.us 40.))
-       (Units.Time.to_ns (Units.Time.us 10.)))
+  Alcotest.(check int) "covered = sink - first ingress"
+    (Units.Time.to_ns (Units.Time.us 40.) - Units.Time.to_ns (Units.Time.us 10.))
     (Units.Time.to_ns covered)
 
 (* Pilot integration -------------------------------------------------- *)
@@ -217,18 +215,18 @@ let test_pilot_int_consistency () =
   Alcotest.(check int) "tofino stamps" 200 (Mmt_int.Collector.hop_stamps collector 2);
   (* The acceptance invariant: per-segment sums equal the end-to-end
      covered span, exactly, for every packet. *)
-  Alcotest.(check int64) "zero telescoping drift" 0L
+  Alcotest.(check int) "zero telescoping drift" 0
     (Mmt_int.Collector.max_inconsistency_ns collector);
   (* Residency medians are the device pipeline latencies. *)
   let p = Mmt_pilot.Pilot.default_config.Mmt_pilot.Pilot.profile in
   let median id =
-    Int64.of_float
+    int_of_float
       (Stats.Summary.median (Option.get (Mmt_int.Collector.hop_residency collector id)))
   in
-  Alcotest.(check int64) "dtn1 residency = NIC pipeline"
+  Alcotest.(check int) "dtn1 residency = NIC pipeline"
     (Units.Time.to_ns p.Mmt_pilot.Profile.nic.Mmt_innet.Switch.pipeline_latency)
     (median 1);
-  Alcotest.(check int64) "tofino residency = switch pipeline"
+  Alcotest.(check int) "tofino residency = switch pipeline"
     (Units.Time.to_ns p.Mmt_pilot.Profile.switch.Mmt_innet.Switch.pipeline_latency)
     (median 2);
   (* The collector's covered end-to-end agrees with the receiver's
@@ -283,13 +281,13 @@ let test_pilot_int_fabric_profile () =
   in
   Mmt_pilot.Pilot.run pilot;
   let collector = Option.get (Mmt_pilot.Pilot.int_collector pilot) in
-  Alcotest.(check int64) "zero drift on fabric too" 0L
+  Alcotest.(check int) "zero drift on fabric too" 0
     (Mmt_int.Collector.max_inconsistency_ns collector);
   let median id =
-    Int64.of_float
+    int_of_float
       (Stats.Summary.median (Option.get (Mmt_int.Collector.hop_residency collector id)))
   in
-  Alcotest.(check int64) "software-switch residency"
+  Alcotest.(check int) "software-switch residency"
     (Units.Time.to_ns Mmt_innet.Switch.software_switch.Mmt_innet.Switch.pipeline_latency)
     (median 2)
 

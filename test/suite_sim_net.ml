@@ -8,7 +8,7 @@ let mk_packet ?(padding = 0) ?(id = 0) size =
 (* Queue models ---------------------------------------------------------- *)
 
 let test_droptail_fifo_order () =
-  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.kib 64) in
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.kib 64) () in
   let now = Units.Time.zero in
   for i = 0 to 9 do
     Alcotest.(check bool) "accepted" true
@@ -22,7 +22,7 @@ let test_droptail_fifo_order () =
   Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) order
 
 let test_droptail_overflow () =
-  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 250) in
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 250) () in
   let now = Units.Time.zero in
   Alcotest.(check bool) "fits" true (Sim.Queue_model.enqueue q ~now (mk_packet 100) = `Accepted);
   Alcotest.(check bool) "fits" true (Sim.Queue_model.enqueue q ~now (mk_packet 100) = `Accepted);
@@ -31,7 +31,7 @@ let test_droptail_overflow () =
   Alcotest.(check int) "bytes" 200 (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q))
 
 let test_droptail_padding_counts () =
-  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 150) in
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 150) () in
   let now = Units.Time.zero in
   Alcotest.(check bool) "padding included in occupancy" true
     (Sim.Queue_model.enqueue q ~now (mk_packet ~padding:100 10) = `Accepted);
@@ -42,6 +42,7 @@ let test_droptail_padding_counts () =
 let edf_queue deadlines =
   Sim.Queue_model.deadline_aware ~capacity:(Units.Size.kib 64) ~drop_expired:false
     ~deadline_of:(fun p -> List.assoc_opt p.Sim.Packet.id deadlines)
+    ()
 
 let test_edf_orders_by_deadline () =
   let deadlines = [ (0, Units.Time.ms 3.); (1, Units.Time.ms 1.); (2, Units.Time.ms 2.) ] in
@@ -68,6 +69,7 @@ let test_edf_drop_expired () =
   let q =
     Sim.Queue_model.deadline_aware ~capacity:(Units.Size.kib 64) ~drop_expired:true
       ~deadline_of:(fun p -> List.assoc_opt p.Sim.Packet.id deadlines)
+      ()
   in
   List.iter
     (fun i -> ignore (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 10)))
@@ -84,7 +86,7 @@ let test_edf_heap_stress () =
   in
   let q =
     Sim.Queue_model.deadline_aware ~capacity:(Units.Size.mib 16) ~drop_expired:false
-      ~deadline_of
+      ~deadline_of ()
   in
   for i = 0 to 999 do
     ignore (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 10));
@@ -99,6 +101,83 @@ let test_edf_heap_stress () =
         drain d
   in
   drain (-1)
+
+(* An expired-drop cascade — several expired packets discarded inside a
+   single dequeue — must debit every dropped packet's bytes, so the
+   freed capacity is immediately reusable. *)
+let test_edf_expired_cascade_byte_accounting () =
+  let deadlines =
+    [
+      (0, Units.Time.ms 1.);
+      (1, Units.Time.ms 2.);
+      (2, Units.Time.ms 3.);
+      (3, Units.Time.ms 4.);
+      (4, Units.Time.ms 50.);
+    ]
+  in
+  let q =
+    Sim.Queue_model.deadline_aware ~capacity:(Units.Size.bytes 1_000)
+      ~drop_expired:true
+      ~deadline_of:(fun p -> List.assoc_opt p.Sim.Packet.id deadlines)
+      ()
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        "accepted" true
+        (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 200)
+        = `Accepted))
+    [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "full" 1_000
+    (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q));
+  (* At t=10ms packets 0-3 are expired: one dequeue call cascades over
+     all four and serves the live one. *)
+  (match Sim.Queue_model.dequeue q ~now:(Units.Time.ms 10.) with
+  | Some p -> Alcotest.(check int) "live packet served" 4 p.Sim.Packet.id
+  | None -> Alcotest.fail "expected the unexpired packet");
+  Alcotest.(check int) "cascade counted" 4 (Sim.Queue_model.expired_drops q);
+  Alcotest.(check int) "every dropped byte debited" 0
+    (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q));
+  (* The freed capacity must be reusable at once. *)
+  Alcotest.(check bool)
+    "capacity reusable after cascade" true
+    (Sim.Queue_model.enqueue q ~now:(Units.Time.ms 10.) (mk_packet ~id:9 1_000)
+    = `Accepted)
+
+let test_edf_expired_cascade_recycles_into_pool () =
+  let pool = Sim.Pool.create () in
+  let q =
+    Sim.Queue_model.deadline_aware ~pool ~capacity:(Units.Size.kib 64)
+      ~drop_expired:true
+      ~deadline_of:(fun _ -> Some (Units.Time.us 1.))
+      ()
+  in
+  for i = 0 to 9 do
+    ignore (Sim.Queue_model.enqueue q ~now:Units.Time.zero (mk_packet ~id:i 128))
+  done;
+  Alcotest.(check bool)
+    "all expired: nothing to serve" true
+    (Sim.Queue_model.dequeue q ~now:(Units.Time.ms 1.) = None);
+  let stats = Sim.Pool.stats pool in
+  Alcotest.(check int) "all ten frames recycled" 10 stats.Sim.Pool.released
+
+let test_queue_capacity_reusable_after_overflow () =
+  let q = Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 300) () in
+  let now = Units.Time.zero in
+  Alcotest.(check bool) "fits" true
+    (Sim.Queue_model.enqueue q ~now (mk_packet ~id:0 200) = `Accepted);
+  Alcotest.(check bool) "overflows" true
+    (Sim.Queue_model.enqueue q ~now (mk_packet ~id:1 200) = `Dropped);
+  Alcotest.(check int) "overflow counted" 1 (Sim.Queue_model.overflow_drops q);
+  (* The overflow drop must not corrupt the byte count ... *)
+  Alcotest.(check int) "bytes unchanged by overflow" 200
+    (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q));
+  ignore (Sim.Queue_model.dequeue q ~now);
+  (* ... and after draining, the full capacity is available again. *)
+  Alcotest.(check int) "empty" 0
+    (Units.Size.to_bytes (Sim.Queue_model.queued_bytes q));
+  Alcotest.(check bool) "full capacity back" true
+    (Sim.Queue_model.enqueue q ~now (mk_packet ~id:2 300) = `Accepted)
 
 (* Loss models ------------------------------------------------------------ *)
 
@@ -232,7 +311,7 @@ let test_link_queue_overflow_accounting () =
   let link =
     Sim.Link.create ~engine ~name:"tiny" ~rate:(Units.Rate.mbps 1.)
       ~propagation:Units.Time.zero
-      ~queue:(Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 500))
+      ~queue:(Sim.Queue_model.droptail ~capacity:(Units.Size.bytes 500) ())
       ~deliver:ignore ()
   in
   for _ = 1 to 20 do
@@ -357,6 +436,12 @@ let suite =
     Alcotest.test_case "edf deadline-free last" `Quick test_edf_deadline_free_after_deadlines;
     Alcotest.test_case "edf drop expired" `Quick test_edf_drop_expired;
     Alcotest.test_case "edf heap stress" `Quick test_edf_heap_stress;
+    Alcotest.test_case "edf expired cascade byte accounting" `Quick
+      test_edf_expired_cascade_byte_accounting;
+    Alcotest.test_case "edf expired cascade recycles into pool" `Quick
+      test_edf_expired_cascade_recycles_into_pool;
+    Alcotest.test_case "queue capacity reusable after overflow" `Quick
+      test_queue_capacity_reusable_after_overflow;
     Alcotest.test_case "loss perfect" `Quick test_loss_perfect;
     Alcotest.test_case "loss bernoulli rates" `Quick test_loss_bernoulli_rates;
     Alcotest.test_case "loss validation" `Quick test_loss_bernoulli_validation;

@@ -166,7 +166,7 @@ let make_path ?(rate = Units.Rate.gbps 10.) ?(rtt = Units.Time.ms 10.) ?(loss = 
       ~loss:
         (if loss > 0. then Mmt_sim.Loss.bernoulli ~drop:loss ~corrupt:0. ~rng
          else Mmt_sim.Loss.perfect)
-      ~queue:(Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 64))
+      ~queue:(Mmt_sim.Queue_model.droptail ~capacity:(Units.Size.mib 64) ())
       ()
   in
   let reverse = Mmt_sim.Topology.connect topo ~src:b ~dst:a ~rate ~propagation:half () in

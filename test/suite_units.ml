@@ -3,9 +3,9 @@ open Mmt_util
 let time = Alcotest.testable Units.Time.pp Units.Time.equal
 
 let test_time_constructors () =
-  Alcotest.check time "us" (Units.Time.ns 1_500L) (Units.Time.us 1.5);
-  Alcotest.check time "ms" (Units.Time.ns 2_000_000L) (Units.Time.ms 2.);
-  Alcotest.check time "s" (Units.Time.ns 3_000_000_000L) (Units.Time.seconds 3.)
+  Alcotest.check time "us" (Units.Time.ns 1_500) (Units.Time.us 1.5);
+  Alcotest.check time "ms" (Units.Time.ns 2_000_000) (Units.Time.ms 2.);
+  Alcotest.check time "s" (Units.Time.ns 3_000_000_000) (Units.Time.seconds 3.)
 
 let test_time_saturating_sub () =
   let a = Units.Time.ms 1. in
@@ -29,7 +29,7 @@ let test_time_scale () =
     (Units.Time.scale (Units.Time.ms 10.) (-1.))
 
 let test_time_pp () =
-  Alcotest.(check string) "ns" "250ns" (Units.Time.to_string (Units.Time.ns 250L));
+  Alcotest.(check string) "ns" "250ns" (Units.Time.to_string (Units.Time.ns 250));
   Alcotest.(check string) "us" "1.5us" (Units.Time.to_string (Units.Time.us 1.5));
   Alcotest.(check string) "ms" "13ms" (Units.Time.to_string (Units.Time.ms 13.))
 

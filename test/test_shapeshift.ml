@@ -9,6 +9,7 @@ let () =
       ("frame", Suite_frame.suite);
       ("engine", Suite_engine.suite);
       ("sim-net", Suite_sim_net.suite);
+      ("pool", Suite_pool.suite);
       ("header", Suite_header.suite);
       ("view", Suite_view.suite);
       ("control", Suite_control.suite);

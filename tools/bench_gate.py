@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Compares a fresh `bench --json` run against the committed baseline and
+fails (exit 1) when any shared micro-benchmark slowed down by more than
+RATIO, when the parallel sweep is slower than the sequential one (the
+regression this gate exists to keep out), or when `Engine.schedule`
+started allocating.
+
+Usage: bench_gate.py BASELINE.json CURRENT.json
+"""
+
+import json
+import sys
+
+RATIO = 1.5  # fail when current > baseline * RATIO + SLACK_NS
+SLACK_NS = 25.0  # absolute headroom so sub-50ns ops don't flap on noise
+SWEEP_HEADROOM = 1.15  # parallel may not exceed sequential by more than this
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    failures = []
+
+    base_micro = baseline.get("micro_ns", {})
+    cur_micro = current.get("micro_ns", {})
+    for name, old_ns in sorted(base_micro.items()):
+        new_ns = cur_micro.get(name)
+        if new_ns is None:
+            continue  # benchmark renamed or removed: not a slowdown
+        if new_ns > old_ns * RATIO + SLACK_NS:
+            failures.append(
+                f"{name}: {old_ns:.1f} ns -> {new_ns:.1f} ns "
+                f"({new_ns / old_ns:.2f}x)"
+            )
+
+    sweep = current.get("sweep", {})
+    sequential = sweep.get("sequential_wall_s")
+    parallel = sweep.get("parallel_wall_s")
+    if sequential is not None and parallel is not None:
+        if parallel > sequential * SWEEP_HEADROOM:
+            failures.append(
+                f"parallel sweep {parallel:.2f} s slower than "
+                f"sequential {sequential:.2f} s"
+            )
+    if sweep.get("reports_identical") is False:
+        failures.append("parallel sweep reports differ from sequential")
+
+    alloc = current.get("schedule_alloc_minor_words")
+    if alloc is not None and alloc >= 0.5:
+        failures.append(
+            f"Engine.schedule allocates ({alloc:.2f} minor words/event)"
+        )
+
+    shared = sorted(set(base_micro) & set(cur_micro))
+    print(f"bench gate: {len(shared)} shared micro-benchmarks checked")
+    if failures:
+        print("bench gate: REGRESSIONS FOUND", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
