@@ -332,6 +332,126 @@ let failover_cmd =
        ~doc:"Kill a retransmission buffer mid-stream and watch discovery re-plan.")
     Term.(const run $ fail_at_ms $ no_failure $ fragments)
 
+(* `shapeshift chaos` -------------------------------------------------------- *)
+
+let chaos_cmd =
+  let list_flag =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenarios and exit.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run a single scenario (substring match against the series \
+             names); default runs the whole series.")
+  in
+  let fragments =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fragments" ] ~doc:"Override the fragment count.")
+  in
+  let show_log =
+    Arg.(value & flag & info [ "log" ] ~doc:"Print the applied-fault log.")
+  in
+  let print_outcome name (params : Mmt_pilot.Chaos_run.params) show_log =
+    let o = Mmt_pilot.Chaos_run.run params in
+    let module C = Mmt_pilot.Chaos_run in
+    let table =
+      Table.create
+        ~title:(Printf.sprintf "chaos: %s (%d fault events planned)" name
+                  (Mmt_fault.Plan.length params.C.plan))
+        ~columns:[ ("metric", Table.Left); ("value", Table.Right) ]
+        ()
+    in
+    let row k v = Table.add_row table [ k; v ] in
+    row "sequenced (emitted)" (string_of_int o.C.emitted);
+    row "delivered" (string_of_int o.C.delivered);
+    row "delivered degraded" (string_of_int o.C.degraded_delivered);
+    row "recovered" (string_of_int o.C.recovered);
+    row "lost" (string_of_int (o.C.lost + o.C.unrecoverable));
+    row "duplicates" (string_of_int o.C.duplicates);
+    row "headers flipped on-wire" (string_of_int o.C.tampered);
+    row "caught in-network" (string_of_int o.C.verify_failed_innet);
+    row "caught at receiver" (string_of_int o.C.checksum_failed_rx);
+    row "destroyed by downed links" (string_of_int o.C.fault_drops);
+    row "degraded rewrites" (string_of_int o.C.degraded_rewrites);
+    row "planner mode changes" (string_of_int o.C.mode_changes);
+    row "final buffer" o.C.final_buffer;
+    row "NAKs served by A" (string_of_int o.C.naks_served_by_a);
+    row "NAKs served by B" (string_of_int o.C.naks_served_by_b);
+    row "faults applied" (string_of_int o.C.faults_applied);
+    row "goodput" (Units.Rate.to_string o.C.goodput);
+    row "completion"
+      (match o.C.completion with
+      | Some t -> Units.Time.to_string t
+      | None -> "-");
+    Table.print table;
+    if show_log then
+      List.iter
+        (fun (at, what) ->
+          Printf.printf "  %-12s FAULT %s\n" (Units.Time.to_string at) what)
+        o.C.fault_log;
+    (match o.C.violations with
+    | [] -> Printf.printf "invariants: OK\n\n"
+    | vs ->
+        Printf.printf "invariants: %d VIOLATION(S)\n" (List.length vs);
+        List.iter (fun v -> Printf.printf "  !! %s\n" v) vs;
+        print_newline ());
+    o.C.violations = []
+  in
+  let run list_flag scenario fragments show_log =
+    let scenarios = Mmt_experiments.Chaos.scenarios in
+    if list_flag then begin
+      List.iter (fun (name, _) -> print_endline name) scenarios;
+      0
+    end
+    else
+      let contains ~needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+        n = 0 || at 0
+      in
+      let selected =
+        match scenario with
+        | None -> scenarios
+        | Some needle ->
+            List.filter
+              (fun (name, _) ->
+                contains
+                  ~needle:(String.lowercase_ascii needle)
+                  (String.lowercase_ascii name))
+              scenarios
+      in
+      match selected with
+      | [] ->
+          Printf.eprintf "no scenario matches (try `shapeshift chaos --list`)\n";
+          2
+      | selected ->
+          let ok =
+            List.fold_left
+              (fun ok (name, params) ->
+                let params =
+                  match fragments with
+                  | None -> params
+                  | Some n ->
+                      { params with Mmt_pilot.Chaos_run.fragment_count = n }
+                in
+                print_outcome name params show_log && ok)
+              true selected
+          in
+          if ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection series: kill buffers, flip header bits on \
+          the wire, flap links, blackhole adverts — and check the delivery \
+          invariants.")
+    Term.(const run $ list_flag $ scenario $ fragments $ show_log)
+
 (* `shapeshift trace` ----------------------------------------------------------- *)
 
 let trace_cmd =
@@ -457,6 +577,7 @@ let main_cmd =
       telemetry_cmd;
       catalog_cmd;
       failover_cmd;
+      chaos_cmd;
       trace_cmd;
     ]
 

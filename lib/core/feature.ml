@@ -8,10 +8,11 @@ type t =
   | Duplicated
   | Encrypted
   | Int_telemetry
+  | Checksummed
 
 let all =
   [ Sequenced; Reliable; Timely; Age_tracked; Paced; Backpressured; Duplicated;
-    Encrypted; Int_telemetry ]
+    Encrypted; Int_telemetry; Checksummed ]
 
 let to_string = function
   | Sequenced -> "sequenced"
@@ -23,6 +24,7 @@ let to_string = function
   | Duplicated -> "duplicated"
   | Encrypted -> "encrypted"
   | Int_telemetry -> "int-telemetry"
+  | Checksummed -> "checksummed"
 
 let bit = function
   | Sequenced -> 0
@@ -34,6 +36,7 @@ let bit = function
   | Duplicated -> 6
   | Encrypted -> 7
   | Int_telemetry -> 8
+  | Checksummed -> 9
 
 module Set = struct
   type feature = t

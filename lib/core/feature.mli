@@ -35,6 +35,12 @@ type t =
       (** the header carries a bounded in-band-telemetry stack that
           each programmable hop stamps with its identity, timestamps
           and queue depth (§ 6: per-hop observability) *)
+  | Checksummed
+      (** the header carries a 16-bit ones'-complement checksum over
+          the fixed MMT header; receivers and P4-realizable verify
+          elements detect on-the-wire corruption instead of trusting
+          a simulator oracle (§ 5.3: fixed-size header fields keep
+          this a constant-offset integer computation) *)
 
 val all : t list
 val to_string : t -> string

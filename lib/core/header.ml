@@ -40,6 +40,7 @@ type t = {
 }
 
 let core_size = 8
+let checksum_size = 4
 let sequence_size = 4
 let retransmit_size = 4
 let timely_size = 12
@@ -96,7 +97,8 @@ let features_of_fields ~sequence ~retransmit_from ~timely ~age ~pace_mbps
   List.fold_left
     (fun set feature ->
       match feature with
-      | Feature.Duplicated | Feature.Encrypted -> Feature.Set.add feature set
+      | Feature.Duplicated | Feature.Encrypted | Feature.Checksummed ->
+          Feature.Set.add feature set
       | Feature.Sequenced | Feature.Reliable | Feature.Timely
       | Feature.Age_tracked | Feature.Paced | Feature.Backpressured
       | Feature.Int_telemetry ->
@@ -139,6 +141,7 @@ let mode0 ~experiment = create ~experiment ()
 let size t =
   let ext feature width = if Feature.Set.mem feature t.features then width else 0 in
   core_size
+  + ext Feature.Checksummed checksum_size
   + ext Feature.Sequenced sequence_size
   + ext Feature.Reliable retransmit_size
   + ext Feature.Timely timely_size
@@ -163,10 +166,31 @@ let encode_int_stack w stack =
   let unused = max_int_hops - List.length stack.records in
   if unused > 0 then Cursor.Writer.bytes w (Bytes.make (unused * int_record_size) '\000')
 
-let encode_into w t =
+(* The checksum extension is the FIRST extension (right after the core)
+   so a P4 verify stage finds it at a constant offset.  It is laid out
+   as [u16 checksum | u16 zero-pad]; the checksum is the RFC 1071
+   ones'-complement sum over the whole fixed header with the checksum
+   field itself zeroed, which makes "sum over header = 0" the verify
+   property. *)
+
+let checksum_field_off ~off = off + core_size
+
+let seal_in_place frame ~off ~size =
+  let at = checksum_field_off ~off in
+  Bytes.set_uint16_be frame at 0;
+  Bytes.set_uint16_be frame at (Cursor.checksum frame ~off ~len:size)
+
+let verify_in_place frame ~off ~size = Cursor.checksum frame ~off ~len:size = 0
+
+let encode_into_raw w t =
   Cursor.Writer.u8 w t.config_id;
   Cursor.Writer.u24 w (Feature.encode_config_data ~kind:t.kind t.features);
   Cursor.Writer.u32 w (Experiment_id.to_int32 t.experiment);
+  if Feature.Set.mem Feature.Checksummed t.features then begin
+    (* Placeholder; [encode] seals once the header is fully written. *)
+    Cursor.Writer.u16 w 0;
+    Cursor.Writer.u16 w 0
+  end;
   Option.iter (fun s -> Cursor.Writer.u32_int w s) t.sequence;
   Option.iter (fun ip -> Cursor.Writer.u32 w (Addr.Ip.to_int32 ip)) t.retransmit_from;
   Option.iter
@@ -188,8 +212,17 @@ let encode_into w t =
 
 let encode t =
   let w = Cursor.Writer.create (size t) in
-  encode_into w t;
-  Cursor.Writer.contents w
+  encode_into_raw w t;
+  let frame = Cursor.Writer.contents w in
+  if Feature.Set.mem Feature.Checksummed t.features then
+    seal_in_place frame ~off:0 ~size:(size t);
+  frame
+
+let encode_into w t =
+  if Feature.Set.mem Feature.Checksummed t.features then
+    (* Sealing needs the finished bytes; build then splice. *)
+    Cursor.Writer.bytes w (encode t)
+  else encode_into_raw w t
 
 let decode r =
   match
@@ -201,6 +234,10 @@ let decode r =
       | Error e -> Error e
       | Ok (kind, features) ->
           let experiment = Experiment_id.of_int32 (Cursor.Reader.u32 r) in
+          if Feature.Set.mem Feature.Checksummed features then
+            (* Wire artifact only: integrity is checked on the raw
+               bytes (View.verify / Header.verify) before decoding. *)
+            Cursor.Reader.skip r checksum_size;
           let if_feature feature read =
             if Feature.Set.mem feature features then Some (read ()) else None
           in
@@ -308,6 +345,8 @@ let with_int_stack t stack =
   check_int_stack stack;
   { (with_feature t Feature.Int_telemetry) with int_stack = Some stack }
 
+let with_checksummed t = with_feature t Feature.Checksummed
+
 let with_kind t kind = { t with kind }
 
 let strip t feature =
@@ -320,7 +359,8 @@ let strip t feature =
   | Feature.Paced -> { t with features; pace_mbps = None }
   | Feature.Backpressured -> { t with features; backpressure_to = None }
   | Feature.Int_telemetry -> { t with features; int_stack = None }
-  | Feature.Duplicated | Feature.Encrypted -> { t with features }
+  | Feature.Duplicated | Feature.Encrypted | Feature.Checksummed ->
+      { t with features }
 
 let offset_of_age t =
   if not (Feature.Set.mem Feature.Age_tracked t.features) then None
@@ -330,6 +370,7 @@ let offset_of_age t =
     in
     Some
       (core_size
+      + skip Feature.Checksummed checksum_size
       + skip Feature.Sequenced sequence_size
       + skip Feature.Reliable retransmit_size
       + skip Feature.Timely timely_size)
@@ -343,6 +384,7 @@ let offset_of_int t =
     in
     Some
       (core_size
+      + skip Feature.Checksummed checksum_size
       + skip Feature.Sequenced sequence_size
       + skip Feature.Reliable retransmit_size
       + skip Feature.Timely timely_size
@@ -411,6 +453,7 @@ module View = struct
     (* Absolute byte offsets of each extension within [frame]; -1 when
        the feature bit is clear.  Computed once from the feature bits,
        exactly as a P4 parser state machine would. *)
+    off_checksum : int;
     off_sequence : int;
     off_retransmit : int;
     off_timely : int;
@@ -446,6 +489,7 @@ module View = struct
               end
               else -1
             in
+            let off_checksum = place Feature.Checksummed checksum_size in
             let off_sequence = place Feature.Sequenced sequence_size in
             let off_retransmit = place Feature.Reliable retransmit_size in
             let off_timely = place Feature.Timely timely_size in
@@ -473,6 +517,7 @@ module View = struct
                   kind;
                   features;
                   size;
+                  off_checksum;
                   off_sequence;
                   off_retransmit;
                   off_timely;
@@ -494,6 +539,19 @@ module View = struct
   let u32_at frame at = Int32.to_int (Bytes.get_int32_be frame at) land 0xFFFFFFFF
   let set_u32_at frame at v = Bytes.set_int32_be frame at (Int32.of_int v)
 
+  (* Every mutator reseals when the header is checksummed — in P4 this
+     is the deparser's checksum-update stage.  Non-checksummed headers
+     pay a single branch. *)
+  let reseal v =
+    if v.off_checksum >= 0 then seal_in_place v.frame ~off:v.base ~size:v.size
+
+  let checksum v =
+    need v.off_checksum "checksum";
+    Bytes.get_uint16_be v.frame v.off_checksum
+
+  let verify v =
+    v.off_checksum < 0 || verify_in_place v.frame ~off:v.base ~size:v.size
+
   let experiment v = Experiment_id.of_int32 (Bytes.get_int32_be v.frame (v.base + 4))
 
   let sequence v =
@@ -503,7 +561,8 @@ module View = struct
   let set_sequence v s =
     need v.off_sequence "set_sequence";
     check_u32 "sequence" s;
-    set_u32_at v.frame v.off_sequence s
+    set_u32_at v.frame v.off_sequence s;
+    reseal v
 
   let retransmit_from v =
     need v.off_retransmit "retransmit_from";
@@ -511,7 +570,8 @@ module View = struct
 
   let set_retransmit_from v ip =
     need v.off_retransmit "set_retransmit_from";
-    Bytes.set_int32_be v.frame v.off_retransmit (Addr.Ip.to_int32 ip)
+    Bytes.set_int32_be v.frame v.off_retransmit (Addr.Ip.to_int32 ip);
+    reseal v
 
   let deadline_ns v =
     need v.off_timely "deadline_ns";
@@ -519,7 +579,8 @@ module View = struct
 
   let set_deadline_ns v deadline =
     need v.off_timely "set_deadline_ns";
-    Bytes.set_int64_be v.frame v.off_timely (Units.Time.to_int64_ns deadline)
+    Bytes.set_int64_be v.frame v.off_timely (Units.Time.to_int64_ns deadline);
+    reseal v
 
   let notify v =
     need v.off_timely "notify";
@@ -527,7 +588,8 @@ module View = struct
 
   let set_notify v ip =
     need v.off_timely "set_notify";
-    Bytes.set_int32_be v.frame (v.off_timely + 8) (Addr.Ip.to_int32 ip)
+    Bytes.set_int32_be v.frame (v.off_timely + 8) (Addr.Ip.to_int32 ip);
+    reseal v
 
   let age_us v =
     need v.off_age "age_us";
@@ -552,7 +614,9 @@ module View = struct
 
   let touch_age v ~now =
     need v.off_age "touch_age";
-    touch_age_in_place v.frame ~ext_off:v.off_age ~now
+    let result = touch_age_in_place v.frame ~ext_off:v.off_age ~now in
+    reseal v;
+    result
 
   let pace_mbps v =
     need v.off_pace "pace_mbps";
@@ -561,7 +625,8 @@ module View = struct
   let set_pace_mbps v pace =
     need v.off_pace "set_pace_mbps";
     check_u32 "pace_mbps" pace;
-    set_u32_at v.frame v.off_pace pace
+    set_u32_at v.frame v.off_pace pace;
+    reseal v
 
   let backpressure_to v =
     need v.off_backpressure "backpressure_to";
@@ -569,7 +634,8 @@ module View = struct
 
   let set_backpressure_to v ip =
     need v.off_backpressure "set_backpressure_to";
-    Bytes.set_int32_be v.frame v.off_backpressure (Addr.Ip.to_int32 ip)
+    Bytes.set_int32_be v.frame v.off_backpressure (Addr.Ip.to_int32 ip);
+    reseal v
 
   let int_count v =
     need v.off_int "int_count";
@@ -598,8 +664,12 @@ module View = struct
 
   let push_int_record v ~node_id ~mode_id ~queue_depth ~ingress ~egress =
     need v.off_int "push_int_record";
-    push_int_record_in_place v.frame ~ext_off:v.off_int ~node_id ~mode_id
-      ~queue_depth ~ingress ~egress
+    let result =
+      push_int_record_in_place v.frame ~ext_off:v.off_int ~node_id ~mode_id
+        ~queue_depth ~ingress ~egress
+    in
+    reseal v;
+    result
 
   let set_duplicated v =
     let data =
@@ -607,7 +677,8 @@ module View = struct
         (Feature.Set.add Feature.Duplicated v.features)
     in
     Bytes.set v.frame (v.base + 1) (Char.chr ((data lsr 16) land 0xFF));
-    Bytes.set_uint16_be v.frame (v.base + 2) (data land 0xFFFF)
+    Bytes.set_uint16_be v.frame (v.base + 2) (data land 0xFFFF);
+    reseal v
 
   let strip_int v =
     need v.off_int "strip_int";
@@ -624,6 +695,8 @@ module View = struct
     in
     Bytes.set out 1 (Char.chr ((data lsr 16) land 0xFF));
     Bytes.set_uint16_be out 2 (data land 0xFFFF);
+    if v.off_checksum >= 0 then
+      seal_in_place out ~off:0 ~size:(v.size - int_ext_size);
     out
 end
 

@@ -12,6 +12,7 @@
     order}, present exactly when the corresponding feature bit is set:
 
     {v
+      checksum          u16 checksum, u16 zero pad   (Checksummed)
       sequence          u32                      (Sequenced)
       retransmit_from   u32 IPv4                 (Reliable)
       deadline, notify  u64 ns, u32 IPv4         (Timely)
@@ -26,6 +27,13 @@
                         u8 hop index, u32 queue depth (bytes),
                         u64 ingress ns, u64 egress ns   (Int_telemetry)
     v}
+
+    The checksum extension comes {e first} (constant offset
+    {!core_size} whenever present): a 16-bit RFC 1071 ones'-complement
+    sum over the entire fixed header with the checksum field zeroed.
+    Verification is therefore "ones'-complement sum over the header
+    equals zero" — a constant-offset integer computation a P4 verify
+    stage performs without parsing the payload.
 
     The header is designed for conservative, header-only rewriting in
     P4 hardware: every field is a fixed-width integer at an offset
@@ -110,6 +118,10 @@ val size : t -> int
 val core_size : int
 (** 8. *)
 
+val checksum_size : int
+(** 4 — u16 checksum plus u16 zero pad, keeping extensions 32-bit
+    aligned. *)
+
 val max_int_hops : int
 (** 4 — the bounded depth of the in-band telemetry stack.  A fixed
     bound keeps the extension a constant-size header field, as a P4
@@ -123,7 +135,18 @@ val int_ext_size : int
     {!max_int_hops} slots), feature-independent. *)
 
 val encode : t -> bytes
+(** Seals the checksum when the Checksummed feature is active. *)
+
 val encode_into : Mmt_wire.Cursor.Writer.t -> t -> unit
+
+val seal_in_place : bytes -> off:int -> size:int -> unit
+(** Recompute and store the checksum of the header spanning
+    [\[off, off + size)]; the caller asserts the Checksummed feature is
+    active (the field lives at [off + core_size]). *)
+
+val verify_in_place : bytes -> off:int -> size:int -> bool
+(** True iff the ones'-complement sum over the header window is zero —
+    the sealed-and-uncorrupted property. *)
 
 val decode : Mmt_wire.Cursor.Reader.t -> (t, string) result
 (** Consumes exactly [size] bytes on success. *)
@@ -139,6 +162,9 @@ val with_age : t -> age -> t
 val with_pace : t -> int -> t
 val with_backpressure_to : t -> Addr.Ip.t -> t
 val with_int_stack : t -> int_stack -> t
+val with_checksummed : t -> t
+(** Activate the Checksummed feature; {!encode} then seals the header. *)
+
 val with_kind : t -> Feature.Kind.t -> t
 val strip : t -> Feature.t -> t
 (** Remove a feature and its field; no-op if absent. *)
@@ -215,7 +241,20 @@ module View : sig
   (** Field accessors below raise [Invalid_argument] when the feature
       is absent — check {!has} first on paths where that is possible.
       Setters mask/validate exactly like the record-level [with_*]
-      functions, and never change the header's size. *)
+      functions, and never change the header's size.  When the
+      Checksummed feature is active, every setter reseals the checksum
+      (the deparser's checksum-update stage); otherwise setters pay a
+      single branch. *)
+
+  val checksum : t -> int
+  (** Stored checksum value (u16). *)
+
+  val verify : t -> bool
+  (** True when the Checksummed feature is absent, or when the stored
+      checksum matches the header bytes.  Corrupt feature bits
+      themselves are caught earlier: they change the implied size or
+      trip {!of_frame}'s validation, or turn the header into one whose
+      checksum no longer sums to zero. *)
 
   val sequence : t -> int
   val set_sequence : t -> int -> unit

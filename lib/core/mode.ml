@@ -26,7 +26,7 @@ let identification =
 
 let make ~name ?reliable ?deadline_budget ?age_budget_us ?pace_mbps
     ?backpressure_to ?(duplicated = false) ?(encrypted = false)
-    ?(int_telemetry = false) () =
+    ?(int_telemetry = false) ?(checksummed = false) () =
   let features = ref Feature.Set.empty in
   let activate feature = features := Feature.Set.add feature !features in
   Option.iter (fun _ -> activate Feature.Sequenced; activate Feature.Reliable) reliable;
@@ -37,6 +37,7 @@ let make ~name ?reliable ?deadline_budget ?age_budget_us ?pace_mbps
   if duplicated then activate Feature.Duplicated;
   if encrypted then activate Feature.Encrypted;
   if int_telemetry then activate Feature.Int_telemetry;
+  if checksummed then activate Feature.Checksummed;
   {
     name;
     features = !features;

@@ -37,13 +37,16 @@ val make :
   ?duplicated:bool ->
   ?encrypted:bool ->
   ?int_telemetry:bool ->
+  ?checksummed:bool ->
   unit ->
   t
 (** Derives the feature set from the supplied configuration.
     [reliable] implies [Sequenced].  [int_telemetry] activates the
     in-band telemetry stack: the element entering the segment inserts
     an empty stack, every programmable hop stamps it, a sink strips
-    it. *)
+    it.  [checksummed] activates the header checksum: senders and
+    rewriters seal it, receivers and verify elements discard frames
+    whose fixed header no longer sums clean. *)
 
 val check : t -> (unit, string) result
 (** Well-formedness: [Reliable] requires [Sequenced] and a buffer

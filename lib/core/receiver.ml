@@ -24,6 +24,8 @@ type stats = {
   delivered_bytes : int;
   duplicates : int;
   corrupted : int;
+  checksum_failed : int;
+  implausible : int;
   unsequenced : int;
   gaps_detected : int;
   recovered : int;
@@ -36,6 +38,8 @@ type stats = {
   deadline_notices_sent : int;
   out_of_order : int;
   source_updates : int;  (* retargeted by buffer advertisements *)
+  resurrected : int;
+      (* abandoned gaps a straggler retransmission delivered anyway *)
   first_arrival : Units.Time.t option;
   last_arrival : Units.Time.t option;
   completion : Units.Time.t option;
@@ -43,6 +47,15 @@ type stats = {
 }
 
 type gap = { mutable retries : int; mutable last_nak : Units.Time.t option }
+
+(* Plausibility bound on the per-packet gap span.  A sequence number is
+   attacker- (or bit-flip-) controlled input: accepting one far beyond
+   the frontier would open millions of tracked gaps and NAK them all.
+   Nothing reorders by anywhere near this much in practice, so a frame
+   implying a wider jump is discarded as corrupt and, if it was real,
+   recovered like any other loss once honest frames advance the
+   frontier. *)
+let max_gap_span = 1 lsl 16
 
 type t = {
   env : Mmt_runtime.Env.t;
@@ -62,6 +75,8 @@ type t = {
   mutable delivered_bytes : int;
   mutable duplicates : int;
   mutable corrupted : int;
+  mutable checksum_failed : int;
+  mutable implausible : int;
   mutable unsequenced : int;
   mutable gaps_detected : int;
   mutable recovered : int;
@@ -74,6 +89,7 @@ type t = {
   mutable deadline_notices_sent : int;
   mutable out_of_order : int;
   mutable source_updates : int;
+  mutable resurrected : int;
   mutable first_arrival : Units.Time.t option;
   mutable last_arrival : Units.Time.t option;
   mutable completion : Units.Time.t option;
@@ -98,6 +114,8 @@ let create ~env config ~deliver =
     delivered_bytes = 0;
     duplicates = 0;
     corrupted = 0;
+    checksum_failed = 0;
+    implausible = 0;
     unsequenced = 0;
     gaps_detected = 0;
     recovered = 0;
@@ -110,6 +128,7 @@ let create ~env config ~deliver =
     deadline_notices_sent = 0;
     out_of_order = 0;
     source_updates = 0;
+    resurrected = 0;
     first_arrival = None;
     last_arrival = None;
     completion = None;
@@ -292,7 +311,21 @@ let deliver_message t packet (header : Header.t) payload ~recovered =
     { header; arrival = now; transport_latency; recovered; late; aged; age_us }
     payload
 
+let implausible_seq t seq =
+  let frontier = match t.next_expected with None -> 0 | Some e -> e in
+  seq < 0
+  || seq - frontier > max_gap_span
+  ||
+  match t.config.expected_total with
+  | Some total -> seq >= total
+  | None -> false
+
 let handle_sequenced t packet header payload seq =
+  if implausible_seq t seq then begin
+    t.corrupted <- t.corrupted + 1;
+    t.implausible <- t.implausible + 1
+  end
+  else begin
   Option.iter (fun ip -> t.retransmit_source <- Some ip)
     header.Header.retransmit_from;
   if Hashtbl.mem t.received seq then t.duplicates <- t.duplicates + 1
@@ -334,9 +367,17 @@ let handle_sequenced t packet header payload seq =
           if recovered then begin
             Hashtbl.remove t.missing seq;
             t.recovered <- t.recovered + 1
+          end
+          else if Hashtbl.mem t.given_up seq then begin
+            (* A straggler arrived after we abandoned the gap: it now
+               has two terminal states, which the accounting must
+               know about or a chaos run's books will not balance. *)
+            Hashtbl.remove t.given_up seq;
+            t.resurrected <- t.resurrected + 1
           end;
           deliver_message t packet header payload ~recovered
         end
+  end
   end
 
 let on_packet t packet =
@@ -345,6 +386,13 @@ let on_packet t packet =
     match Encap.strip (Mmt_sim.Packet.frame packet) with
     | Error _ -> t.corrupted <- t.corrupted + 1
     | Ok (_encap, mmt_frame) -> (
+        match Header.View.of_frame mmt_frame with
+        | Ok view when not (Header.View.verify view) ->
+            (* Real corruption detection: the stored header checksum
+               no longer sums clean over the received bytes. *)
+            t.corrupted <- t.corrupted + 1;
+            t.checksum_failed <- t.checksum_failed + 1
+        | Ok _ | Error _ -> (
         match Header.decode_bytes mmt_frame with
         | Error _ -> t.corrupted <- t.corrupted + 1
         | Ok header -> (
@@ -383,7 +431,7 @@ let on_packet t packet =
             | Feature.Kind.Nak | Feature.Kind.Deadline_exceeded
             | Feature.Kind.Backpressure ->
                 (* Control traffic not for the data sink. *)
-                ()))
+                ())))
 
 let stats t =
   {
@@ -391,6 +439,8 @@ let stats t =
     delivered_bytes = t.delivered_bytes;
     duplicates = t.duplicates;
     corrupted = t.corrupted;
+    checksum_failed = t.checksum_failed;
+    implausible = t.implausible;
     unsequenced = t.unsequenced;
     gaps_detected = t.gaps_detected;
     recovered = t.recovered;
@@ -403,6 +453,7 @@ let stats t =
     deadline_notices_sent = t.deadline_notices_sent;
     out_of_order = t.out_of_order;
     source_updates = t.source_updates;
+    resurrected = t.resurrected;
     first_arrival = t.first_arrival;
     last_arrival = t.last_arrival;
     completion = t.completion;

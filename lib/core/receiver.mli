@@ -40,6 +40,17 @@ type stats = {
   delivered_bytes : int;
   duplicates : int;
   corrupted : int;
+      (** discarded on arrival: oracle-flagged, undecodable, or failed
+          checksum verification *)
+  checksum_failed : int;
+      (** subset of [corrupted] caught by real header-checksum
+          verification (Checksummed feature) rather than the
+          simulator's oracle flag *)
+  implausible : int;
+      (** subset of [corrupted] rejected by the sequence-plausibility
+          bound: the frame implied a gap span no honest reordering
+          produces, so it is treated as undetected header corruption
+          instead of opening (and NAKing) millions of phantom gaps *)
   unsequenced : int;
   gaps_detected : int;
   recovered : int;
@@ -54,6 +65,11 @@ type stats = {
   source_updates : int;
       (** retransmission source retargeted by buffer advertisements
           (e.g. after an in-network buffer failover) *)
+  resurrected : int;
+      (** sequences abandoned (counted in [lost]) that a straggling
+          retransmission later delivered anyway — invariant checkers
+          subtract these so every frame nets exactly one terminal
+          state *)
   first_arrival : Units.Time.t option;
   last_arrival : Units.Time.t option;
   completion : Units.Time.t option;

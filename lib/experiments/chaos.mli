@@ -1,0 +1,15 @@
+(** E-R1 — chaos series (robustness).
+
+    Runs the failover pilot topology under seven declarative fault
+    plans ({!Mmt_fault.Plan}): none, active-buffer fail-stop, on-wire
+    header bit-flips, a link flap, a rate brown-out, a control-plane
+    advert blackhole, and the combined kill + flip plan.  Every run is
+    checked against the delivery invariants; header corruption is
+    caught by the real ones'-complement header checksum in-network and
+    at the receiver. *)
+
+val scenarios : (string * Mmt_pilot.Chaos_run.params) list
+(** The fault plans of the series, in run order — also driven
+    individually by [shapeshift chaos]. *)
+
+val run : unit -> string * bool

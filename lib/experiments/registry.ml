@@ -26,6 +26,7 @@ let all =
       title = "§ 6.2: in-network alert generation";
       run = Challenge6.payload_alerts;
     };
+    { id = "E-R1"; title = "robustness: chaos series"; run = Chaos.run };
   ]
 
 let normalize id =

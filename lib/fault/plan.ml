@@ -1,0 +1,77 @@
+open Mmt_util
+
+type action =
+  | Link_down of string
+  | Link_up of string
+  | Partition of string list
+  | Heal of string list
+  | Degrade_rate of { link : string; factor : float }
+  | Restore_rate of string
+  | Fail_element of string
+  | Restart_element of string
+  | Blackhole_adverts of string
+  | Unblackhole_adverts of string
+  | Corrupt_headers of { link : string; probability : float; bits : int }
+  | Stop_corrupting of string
+
+type event = { at : Units.Time.t; action : action }
+type t = event list
+
+let empty = []
+let event ~at action = { at; action }
+
+let validate_action = function
+  | Degrade_rate { link; factor } ->
+      if factor <= 0. || factor > 1. then
+        invalid_arg
+          (Printf.sprintf "Fault.Plan: degrade factor %g for %s outside (0, 1]"
+             factor link)
+  | Corrupt_headers { link; probability; bits } ->
+      if probability < 0. || probability > 1. then
+        invalid_arg
+          (Printf.sprintf
+             "Fault.Plan: corruption probability %g for %s outside [0, 1]"
+             probability link);
+      if bits < 1 then
+        invalid_arg
+          (Printf.sprintf "Fault.Plan: %d bit flips for %s (need >= 1)" bits
+             link)
+  | Link_down _ | Link_up _ | Partition _ | Heal _ | Restore_rate _
+  | Fail_element _ | Restart_element _ | Blackhole_adverts _
+  | Unblackhole_adverts _ | Stop_corrupting _ ->
+      ()
+
+(* Events are ordered by time; the stable sort preserves authoring
+   order among same-instant events, so a plan is a deterministic
+   script, not a set. *)
+let make events =
+  List.iter (fun e -> validate_action e.action) events;
+  List.stable_sort (fun a b -> Units.Time.compare a.at b.at) events
+
+let events t = t
+let is_empty = function [] -> true | _ -> false
+let length = List.length
+
+let describe_action = function
+  | Link_down link -> Printf.sprintf "link-down %s" link
+  | Link_up link -> Printf.sprintf "link-up %s" link
+  | Partition links -> Printf.sprintf "partition {%s}" (String.concat ", " links)
+  | Heal links -> Printf.sprintf "heal {%s}" (String.concat ", " links)
+  | Degrade_rate { link; factor } ->
+      Printf.sprintf "degrade %s to %gx" link factor
+  | Restore_rate link -> Printf.sprintf "restore-rate %s" link
+  | Fail_element name -> Printf.sprintf "fail %s" name
+  | Restart_element name -> Printf.sprintf "restart %s" name
+  | Blackhole_adverts name -> Printf.sprintf "blackhole-adverts %s" name
+  | Unblackhole_adverts name -> Printf.sprintf "unblackhole-adverts %s" name
+  | Corrupt_headers { link; probability; bits } ->
+      Printf.sprintf "corrupt %s p=%g bits=%d" link probability bits
+  | Stop_corrupting link -> Printf.sprintf "stop-corrupting %s" link
+
+let describe t =
+  String.concat "; "
+    (List.map
+       (fun e ->
+         Printf.sprintf "%s %s" (Units.Time.to_string e.at)
+           (describe_action e.action))
+       t)

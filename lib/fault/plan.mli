@@ -1,0 +1,49 @@
+(** Declarative, deterministic fault plans.
+
+    A plan is a time-ordered script of faults to inject into a
+    simulated run: link flaps and partitions, rate brown-outs,
+    element fail-stop and restart, control-plane blackholes and
+    on-the-wire header bit flips.  The same plan armed against the
+    same seeded topology replays the same faults at the same instants
+    — chaos here is scripted, never sampled from wall-clock state —
+    so every chaos experiment is exactly reproducible. *)
+
+open Mmt_util
+
+type action =
+  | Link_down of string  (** the named link destroys traffic *)
+  | Link_up of string
+  | Partition of string list  (** take a whole cut of links down *)
+  | Heal of string list
+  | Degrade_rate of { link : string; factor : float }
+      (** brown-out: scale the link rate by [factor] in (0, 1] *)
+  | Restore_rate of string
+  | Fail_element of string
+      (** fail-stop a registered element (e.g. a buffer host) *)
+  | Restart_element of string
+      (** restart it with state loss — what that means is defined by
+          the scenario's registered restart handler *)
+  | Blackhole_adverts of string
+      (** drop a named control plane's advertisements so its soft
+          state genuinely expires *)
+  | Unblackhole_adverts of string
+  | Corrupt_headers of { link : string; probability : float; bits : int }
+      (** per-packet probability of flipping [bits] random bits inside
+          the MMT header on the wire *)
+  | Stop_corrupting of string
+
+type event = { at : Units.Time.t; action : action }
+type t
+
+val empty : t
+val event : at:Units.Time.t -> action -> event
+
+val make : event list -> t
+(** Order by time (stable: same-instant events keep authoring order).
+    @raise Invalid_argument on out-of-range probabilities or factors. *)
+
+val events : t -> event list
+val is_empty : t -> bool
+val length : t -> int
+val describe_action : action -> string
+val describe : t -> string

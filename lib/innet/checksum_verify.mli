@@ -1,0 +1,33 @@
+(** In-network header-checksum verification.
+
+    Placed ahead of stateful elements (retransmission-buffer snoops,
+    rewriters), it discards data frames whose fixed MMT header no
+    longer sums clean under the Checksummed feature's RFC 1071
+    ones'-complement checksum — so corrupted headers are dropped at
+    the first programmable hop instead of poisoning buffer or receiver
+    state.  Frames without the Checksummed bit, and non-MMT frames,
+    pass untouched.
+
+    The declared program is integer-only (extract, fold, compare) and
+    passes {!Op.realizable} — § 5.3's "conservative, header-based
+    processing": the checksum lives at a constant offset over
+    fixed-width fields, exactly what a P4 [verify_checksum] stage
+    computes. *)
+
+type stats = {
+  checked : int;  (** frames carrying the Checksummed feature *)
+  failed : int;  (** discarded: mismatch or unparseable header *)
+  passed : int;  (** non-MMT or non-checksummed frames forwarded *)
+}
+
+type t
+
+val create : ?require:bool -> unit -> t
+(** With [require] (default false), data frames {e without} the
+    Checksummed bit are also discarded: on a path whose planned mode
+    seals every data frame, a missing checksum means the feature bit
+    itself was flipped, and nothing else in the header can be
+    trusted. *)
+
+val element : t -> Element.t
+val stats : t -> stats

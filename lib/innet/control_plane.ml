@@ -15,6 +15,7 @@ type t = {
   map : Resource_map.t;
   mutable providers : (unit -> Mmt.Control.Buffer_advert.t option) list;
   mutable running : bool;
+  mutable blackholed : bool;
   mutable adverts_sent : int;
   mutable adverts_received : int;
   mutable gossip_forwarded : int;
@@ -32,6 +33,7 @@ let create ~env ~period ~peers ?map_ttl ?(gossip_hops = 1) () =
     map = Resource_map.create ~ttl ();
     providers = [];
     running = false;
+    blackholed = false;
     adverts_sent = 0;
     adverts_received = 0;
     gossip_forwarded = 0;
@@ -67,15 +69,18 @@ let broadcast t advert =
 let rec round t =
   if t.running then begin
     let now = Mmt_runtime.Env.now t.env in
-    (* Advertise local resources; refresh them in our own map too. *)
-    List.iter
-      (fun provider ->
-        match provider () with
-        | Some advert ->
-            Resource_map.learn t.map ~now advert;
-            broadcast t advert
-        | None -> ())
-      t.providers;
+    (* Advertise local resources; refresh them in our own map too.
+       A blackholed control plane sends and learns nothing — but time
+       still passes, so soft state genuinely expires below. *)
+    if not t.blackholed then
+      List.iter
+        (fun provider ->
+          match provider () with
+          | Some advert ->
+              Resource_map.learn t.map ~now advert;
+              broadcast t advert
+          | None -> ())
+        t.providers;
     ignore (Resource_map.expire t.map ~now);
     ignore (Mmt_runtime.Env.after t.env t.period (fun () -> round t))
   end
@@ -87,9 +92,11 @@ let start t =
   end
 
 let stop t = t.running <- false
+let set_blackholed t blackholed = t.blackholed <- blackholed
+let blackholed t = t.blackholed
 
 let on_packet t packet =
-  if not packet.Mmt_sim.Packet.corrupted then
+  if (not packet.Mmt_sim.Packet.corrupted) && not t.blackholed then
     match Mmt.Encap.strip (Mmt_sim.Packet.frame packet) with
     | Error _ -> ()
     | Ok (_encap, mmt_frame) -> (

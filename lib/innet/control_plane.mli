@@ -45,6 +45,14 @@ val start : t -> unit
 
 val stop : t -> unit
 
+val set_blackholed : t -> bool -> unit
+(** Fault hook: a blackholed control plane neither sends nor ingests
+    advertisements, while expiry keeps running — so soft state decays
+    exactly as it would if the advertisement path were severed
+    (failure detection falls out of the TTL, as in BGP). *)
+
+val blackholed : t -> bool
+
 val on_packet : t -> Mmt_sim.Packet.t -> unit
 (** Ingest a control packet; only buffer advertisements are acted on. *)
 

@@ -5,17 +5,20 @@ type stats = {
   sequenced : int;
   passed : int;
   parse_errors : int;
+  degraded : int;
 }
 
 type t = {
   mutable mode : Mmt.Mode.t;
   re_encap : Mmt.Encap.t option;
   on_rewrite : (seq:int option -> born:Mmt_util.Units.Time.t -> bytes -> unit) option;
+  liveness : (Mmt_frame.Addr.Ip.t -> now:Mmt_util.Units.Time.t -> bool) option;
   counters : (Mmt.Experiment_id.t, int) Hashtbl.t;
   mutable rewritten : int;
   mutable sequenced : int;
   mutable passed : int;
   mutable parse_errors : int;
+  mutable degraded : int;
   element : Element.t Lazy.t;
 }
 
@@ -52,8 +55,7 @@ let take_sequence t experiment =
 let next_sequence t ~experiment =
   Option.value ~default:0 (Hashtbl.find_opt t.counters experiment)
 
-let apply_mode t ~now (header : Mmt.Header.t) =
-  let mode = t.mode in
+let apply_mode t ~mode ~now (header : Mmt.Header.t) =
   let target = mode.Mmt.Mode.features in
   let has feature = Mmt.Feature.Set.mem feature target in
   (* Activate / configure target features. *)
@@ -121,14 +123,41 @@ let apply_mode t ~now (header : Mmt.Header.t) =
       | None -> Mmt.Header.with_int_stack header Mmt.Header.empty_int_stack
     else Mmt.Header.strip header Mmt.Feature.Int_telemetry
   in
+  let header =
+    if has Mmt.Feature.Checksummed then Mmt.Header.with_checksummed header
+    else Mmt.Header.strip header Mmt.Feature.Checksummed
+  in
   (header, assigned_seq)
+
+(* Graceful degradation: when the mode's named retransmission buffer is
+   not live in the resource map, pointing NAK traffic at it would
+   strand every gap behind a corpse.  Until the control plane replans,
+   rewrite into the mode with Reliable AND Sequenced stripped — the
+   legality doctrine of {!Mmt.Mode.transition_legal}: a stream leaving
+   the recoverable region leaves it whole.  Frames pass unsequenced and
+   the application sees best-effort delivery instead of a hang. *)
+let degraded_target mode =
+  {
+    mode with
+    Mmt.Mode.name = mode.Mmt.Mode.name ^ "/degraded";
+    features =
+      Mmt.Feature.Set.remove Mmt.Feature.Reliable
+        (Mmt.Feature.Set.remove Mmt.Feature.Sequenced
+           mode.Mmt.Mode.features);
+    retransmit_from = None;
+  }
+
+let effective_target t ~now =
+  match (t.mode.Mmt.Mode.retransmit_from, t.liveness) with
+  | Some buffer, Some live when not (live buffer ~now) -> degraded_target t.mode
+  | _ -> t.mode
 
 (* Slow path: the header's shape (feature set) differs from the mode's
    target, so extensions must be added or stripped — decode the full
    record, transform it, and re-encode. *)
-let rewrite_slow t ~now packet ~frame ~mmt_offset header =
+let rewrite_slow t ~mode ~now packet ~frame ~mmt_offset header =
   let old_header_size = Mmt.Header.size header in
-  let new_header, assigned_seq = apply_mode t ~now header in
+  let new_header, assigned_seq = apply_mode t ~mode ~now header in
   let payload_offset = mmt_offset + old_header_size in
   let payload =
     Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
@@ -157,11 +186,11 @@ let rewrite_slow t ~now packet ~frame ~mmt_offset header =
    [apply_mode] then reduces to two conditional same-width overwrites
    (the mode's retransmit buffer and pace), which a match-action stage
    performs in place. *)
-let rewrite_fast t packet ~frame ~mmt_offset view =
+let rewrite_fast t ~mode packet ~frame ~mmt_offset view =
   Option.iter
     (Mmt.Header.View.set_retransmit_from view)
-    t.mode.Mmt.Mode.retransmit_from;
-  Option.iter (Mmt.Header.View.set_pace_mbps view) t.mode.Mmt.Mode.pace_mbps;
+    mode.Mmt.Mode.retransmit_from;
+  Option.iter (Mmt.Header.View.set_pace_mbps view) mode.Mmt.Mode.pace_mbps;
   (match t.re_encap with
   | Some encap ->
       let mmt =
@@ -198,20 +227,24 @@ let process t ~now packet =
             t.passed <- t.passed + 1;
             Element.Forward packet
           end
-          else if
-            Mmt.Feature.Set.equal
-              (Mmt.Header.View.features view)
-              t.mode.Mmt.Mode.features
-          then rewrite_fast t packet ~frame ~mmt_offset view
           else begin
-            match Mmt.Header.decode_bytes ~off:mmt_offset frame with
-            | Error reason ->
-                t.parse_errors <- t.parse_errors + 1;
-                Element.Discard ("mode-rewriter: " ^ reason)
-            | Ok header -> rewrite_slow t ~now packet ~frame ~mmt_offset header
+            let mode = effective_target t ~now in
+            if mode != t.mode then t.degraded <- t.degraded + 1;
+            if
+              Mmt.Feature.Set.equal
+                (Mmt.Header.View.features view)
+                mode.Mmt.Mode.features
+            then rewrite_fast t ~mode packet ~frame ~mmt_offset view
+            else
+              match Mmt.Header.decode_bytes ~off:mmt_offset frame with
+              | Error reason ->
+                  t.parse_errors <- t.parse_errors + 1;
+                  Element.Discard ("mode-rewriter: " ^ reason)
+              | Ok header ->
+                  rewrite_slow t ~mode ~now packet ~frame ~mmt_offset header
           end)
 
-let create ~mode ?re_encap ?on_rewrite () =
+let create ~mode ?re_encap ?on_rewrite ?liveness () =
   (match Mmt.Mode.check mode with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Mode_rewriter.create: " ^ reason));
@@ -220,11 +253,13 @@ let create ~mode ?re_encap ?on_rewrite () =
       mode;
       re_encap;
       on_rewrite;
+      liveness;
       counters = Hashtbl.create 8;
       rewritten = 0;
       sequenced = 0;
       passed = 0;
       parse_errors = 0;
+      degraded = 0;
       element =
         lazy
           {
@@ -256,4 +291,5 @@ let stats t =
     sequenced = t.sequenced;
     passed = t.passed;
     parse_errors = t.parse_errors;
+    degraded = t.degraded;
   }

@@ -20,14 +20,25 @@
       border, Req 1).
 
     A callback observes each rewritten frame so a co-located
-    retransmission buffer ({!Mmt.Buffer_host}) can store it. *)
+    retransmission buffer ({!Mmt.Buffer_host}) can store it.
 
+    {b Graceful degradation.}  With a [liveness] oracle installed, a
+    rewriter whose target mode names a retransmission buffer that is no
+    longer live (failed, or its soft state expired) does not point NAK
+    traffic at the corpse: it rewrites into the target mode with
+    [Reliable] {e and} [Sequenced] stripped — per
+    {!Mmt.Mode.transition_legal}, a stream may only leave the
+    recoverable region whole — so frames flow best-effort until the
+    control plane replans. *)
 
 type stats = {
   rewritten : int;
   sequenced : int;  (** sequence numbers assigned *)
   passed : int;  (** non-data packets forwarded untouched *)
   parse_errors : int;
+  degraded : int;
+      (** data packets rewritten into the degraded (unreliable) mode
+          because the target buffer was not live *)
 }
 
 type t
@@ -36,9 +47,14 @@ val create :
   mode:Mmt.Mode.t ->
   ?re_encap:Mmt.Encap.t ->
   ?on_rewrite:(seq:int option -> born:Mmt_util.Units.Time.t -> bytes -> unit) ->
+  ?liveness:(Mmt_frame.Addr.Ip.t -> now:Mmt_util.Units.Time.t -> bool) ->
   unit ->
   t
-(** @raise Invalid_argument when [mode] fails {!Mmt.Mode.check}. *)
+(** [liveness] is consulted per data packet for the target mode's
+    retransmission buffer (typically
+    [Resource_map.is_live (Control_plane.map control)]); omitting it
+    preserves the historic always-trusting behaviour.
+    @raise Invalid_argument when [mode] fails {!Mmt.Mode.check}. *)
 
 val element : t -> Element.t
 

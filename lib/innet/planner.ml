@@ -8,11 +8,20 @@ type requirement = {
   age_budget_us : int option;
   pace_mbps : int option;
   backpressure_to : Addr.Ip.t option;
+  checksummed : bool;
 }
 
 let requirement ~name ?(reliability = false) ?deadline_budget ?age_budget_us
-    ?pace_mbps ?backpressure_to () =
-  { name; reliability; deadline_budget; age_budget_us; pace_mbps; backpressure_to }
+    ?pace_mbps ?backpressure_to ?(checksummed = false) () =
+  {
+    name;
+    reliability;
+    deadline_budget;
+    age_budget_us;
+    pace_mbps;
+    backpressure_to;
+    checksummed;
+  }
 
 let plan requirement ~map ~now =
   let buffer =
@@ -32,7 +41,8 @@ let plan requirement ~map ~now =
           ?deadline_budget:requirement.deadline_budget
           ?age_budget_us:requirement.age_budget_us
           ?pace_mbps:requirement.pace_mbps
-          ?backpressure_to:requirement.backpressure_to ()
+          ?backpressure_to:requirement.backpressure_to
+          ~checksummed:requirement.checksummed ()
       in
       Result.map (fun () -> mode) (Mmt.Mode.check mode))
 

@@ -22,6 +22,8 @@ type requirement = {
   age_budget_us : int option;
   pace_mbps : int option;
   backpressure_to : Addr.Ip.t option;
+  checksummed : bool;
+      (** seal a header checksum so corruption is detectable on-path *)
 }
 
 val requirement :
@@ -31,6 +33,7 @@ val requirement :
   ?age_budget_us:int ->
   ?pace_mbps:int ->
   ?backpressure_to:Addr.Ip.t ->
+  ?checksummed:bool ->
   unit ->
   requirement
 

@@ -37,6 +37,11 @@ let best_buffer t ~now =
 
 let lookup t key = Hashtbl.find_opt t.table key
 
+let is_live t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some entry -> live t ~now entry
+
 let merge t ~from ~now =
   let absorbed = ref 0 in
   Hashtbl.iter

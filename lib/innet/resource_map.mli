@@ -30,6 +30,12 @@ val best_buffer : t -> now:Units.Time.t -> Addr.Ip.t option
 (** Live buffer with the smallest advertised RTT. *)
 
 val lookup : t -> Addr.Ip.t -> entry option
+(** Raw entry access, ignoring liveness. *)
+
+val is_live : t -> now:Units.Time.t -> Addr.Ip.t -> bool
+(** Whether a buffer is present and unexpired — the liveness oracle a
+    rewriter consults before pointing NAK traffic at it. *)
+
 val entries : t -> now:Units.Time.t -> entry list
 (** Live entries, nearest first. *)
 

@@ -1,0 +1,485 @@
+open Mmt_util
+open Mmt_frame
+
+type params = {
+  fragment_count : int;
+  fragment_size : Units.Size.t;
+  loss : float;
+  advert_period : Units.Time.t;
+  run_until : Units.Time.t;
+  seed : int64;
+  fault_seed : int64;
+  track_total : bool;
+  plan : Mmt_fault.Plan.t;
+}
+
+let params ?(fragment_count = 6000) ?(fragment_size = Units.Size.bytes 4096)
+    ?(loss = 0.002) ?(advert_period = Units.Time.ms 5.)
+    ?(run_until = Units.Time.seconds 12.) ?(seed = 47L) ?(fault_seed = 0xFA17L)
+    ?(track_total = true) ?(plan = Mmt_fault.Plan.empty) () =
+  {
+    fragment_count;
+    fragment_size;
+    loss;
+    advert_period;
+    run_until;
+    seed;
+    fault_seed;
+    track_total;
+    plan;
+  }
+
+type outcome = {
+  emitted : int;  (** sequence numbers assigned by the ingress rewriter *)
+  delivered : int;
+  degraded_delivered : int;  (** delivered unsequenced (degraded mode) *)
+  recovered : int;
+  lost : int;
+  unrecoverable : int;
+  resurrected : int;
+  duplicates : int;
+  checksum_failed_rx : int;
+  verify_failed_innet : int;
+  tampered : int;
+  fault_drops : int;
+  degraded_rewrites : int;
+  mode_changes : int;
+  final_buffer : string;
+  naks_served_by_a : int;
+  naks_served_by_b : int;
+  goodput : Units.Rate.t;
+  completion : Units.Time.t option;
+  faults_applied : int;
+  fault_log : (Units.Time.t * string) list;
+  invariant : Mmt_fault.Invariant.outcome;
+  violations : string list;
+  receiver : Mmt.Receiver.stats;
+}
+
+let source_ip = Addr.Ip.of_octets 10 9 0 1
+let ingress_ip = Addr.Ip.of_octets 10 9 0 2
+let buffer_a_ip = Addr.Ip.of_octets 10 9 0 3
+let buffer_b_ip = Addr.Ip.of_octets 10 9 0 4
+let sink_ip = Addr.Ip.of_octets 10 9 0 5
+
+let experiment = Mmt.Experiment_id.make ~experiment:9 ~slice:0
+
+(* A restartable buffer point: fail-stop loses the host's entire
+   retransmission memory — a restart builds a {e fresh}
+   {!Mmt.Buffer_host}, exactly like a process that came back with an
+   empty [Retx_buffer]. *)
+type buffer_point = {
+  mutable host : Mmt.Buffer_host.t;
+  mutable alive : bool;
+  ip : Addr.Ip.t;
+  rtt_hint : Units.Time.t;
+  env : Mmt_runtime.Env.t;
+}
+
+let snoop_element (point : buffer_point) =
+  {
+    Mmt_innet.Element.name = "buffer-snoop";
+    program =
+      {
+        Mmt_innet.Op.name = "buffer-snoop";
+        ops =
+          [
+            Mmt_innet.Op.Extract "config_data";
+            Mmt_innet.Op.Compare "features.sequenced";
+            Mmt_innet.Op.Extract "sequence";
+            Mmt_innet.Op.Emit_digest "frame-to-buffer-memory";
+          ];
+      };
+    process =
+      (fun ~now:_ packet ->
+        (if point.alive then
+           let frame = Mmt_sim.Packet.frame packet in
+           match Mmt.Encap.locate frame with
+           | Error _ -> ()
+           | Ok (_encap, off) -> (
+               match Mmt.Header.View.of_frame ~off frame with
+               | Ok view
+                 when Mmt.Header.View.kind view = Mmt.Feature.Kind.Data
+                      && Mmt.Header.View.has view Mmt.Feature.Sequenced ->
+                   Mmt.Buffer_host.store point.host
+                     ~seq:(Mmt.Header.View.sequence view)
+                     ~born:packet.Mmt_sim.Packet.born (Bytes.copy frame)
+               | Ok _ | Error _ -> ()));
+        Mmt_innet.Element.Forward packet);
+  }
+
+let run p =
+  let engine = Mmt_sim.Engine.create () in
+  let trace = Mmt_sim.Trace.create ~capacity:10_000 () in
+  let topo = Mmt_sim.Topology.create ~engine () in
+  let fresh_id () = Mmt_sim.Topology.fresh_packet_id topo in
+  let rng = Rng.create ~seed:p.seed in
+  let loss_rng = Rng.split rng in
+  let rate = Units.Rate.gbps 100. in
+  let src = Mmt_sim.Topology.add_node topo ~name:"source" in
+  let ingress = Mmt_sim.Topology.add_node topo ~name:"ingress" in
+  let node_a = Mmt_sim.Topology.add_node topo ~name:"buffer-a" in
+  let node_b = Mmt_sim.Topology.add_node topo ~name:"buffer-b" in
+  let sink = Mmt_sim.Topology.add_node topo ~name:"sink" in
+  let hop = Units.Time.ms 1. in
+  let src_to_ing =
+    Mmt_sim.Topology.connect topo ~src ~dst:ingress ~rate
+      ~propagation:(Units.Time.us 10.) ()
+  in
+  let ing_to_a =
+    Mmt_sim.Topology.connect topo ~src:ingress ~dst:node_a ~rate
+      ~propagation:hop ()
+  in
+  let a_to_b =
+    Mmt_sim.Topology.connect topo ~src:node_a ~dst:node_b ~rate
+      ~propagation:hop ()
+  in
+  let b_to_sink =
+    Mmt_sim.Topology.connect topo ~src:node_b ~dst:sink ~rate ~propagation:hop
+      ~loss:(Mmt_sim.Loss.bernoulli ~drop:p.loss ~corrupt:0. ~rng:loss_rng)
+      ()
+  in
+  (* Reverse path for NAKs / control. *)
+  let sink_to_b =
+    Mmt_sim.Topology.connect topo ~src:sink ~dst:node_b ~rate ~propagation:hop
+      ()
+  in
+  let b_to_a =
+    Mmt_sim.Topology.connect topo ~src:node_b ~dst:node_a ~rate
+      ~propagation:hop ()
+  in
+  let a_to_ing =
+    Mmt_sim.Topology.connect topo ~src:node_a ~dst:ingress ~rate
+      ~propagation:hop ()
+  in
+
+  (* Buffer points. *)
+  let make_buffer ~ip ~rtt_hint ~env =
+    {
+      host = Mmt.Buffer_host.create ~env ~capacity:(Units.Size.mib 256) ();
+      alive = true;
+      ip;
+      rtt_hint;
+      env;
+    }
+  in
+  let router_a = Router.create () in
+  let env_a = Router.env router_a ~engine ~fresh_id ~local_ip:buffer_a_ip in
+  let buffer_a =
+    make_buffer ~ip:buffer_a_ip ~rtt_hint:(Units.Time.ms 2.) ~env:env_a
+  in
+  let router_b = Router.create () in
+  let env_b = Router.env router_b ~engine ~fresh_id ~local_ip:buffer_b_ip in
+  let buffer_b =
+    make_buffer ~ip:buffer_b_ip ~rtt_hint:(Units.Time.ms 4.) ~env:env_b
+  in
+  Router.add router_a sink_ip (Mmt_sim.Link.send a_to_b);
+  Router.add router_a ingress_ip (Mmt_sim.Link.send a_to_ing);
+  Router.add router_b sink_ip (Mmt_sim.Link.send b_to_sink);
+  Router.add router_b ingress_ip (Mmt_sim.Link.send b_to_a);
+
+  (* Ingress: control-plane participant + planned, liveness-aware,
+     checksumming rewriter. *)
+  let router_ing = Router.create ~default:(Mmt_sim.Link.send ing_to_a) () in
+  let env_ing = Router.env router_ing ~engine ~fresh_id ~local_ip:ingress_ip in
+  let control =
+    Mmt_innet.Control_plane.create ~env:env_ing ~period:p.advert_period
+      ~peers:[] ()
+  in
+  let map = Mmt_innet.Control_plane.map control in
+  let requirement =
+    Mmt_innet.Planner.requirement ~name:"wan/chaos" ~reliability:true
+      ~checksummed:true ()
+  in
+  Mmt_innet.Resource_map.learn map ~now:Units.Time.zero
+    (Mmt.Buffer_host.advert buffer_a.host ~rtt_hint:buffer_a.rtt_hint);
+  Mmt_innet.Resource_map.learn map ~now:Units.Time.zero
+    (Mmt.Buffer_host.advert buffer_b.host ~rtt_hint:buffer_b.rtt_hint);
+  let boot_mode =
+    match Mmt_innet.Planner.plan requirement ~map ~now:Units.Time.zero with
+    | Ok mode -> mode
+    | Error reason -> invalid_arg reason
+  in
+  let rewriter =
+    Mmt_innet.Mode_rewriter.create ~mode:boot_mode
+      ~re_encap:
+        (Mmt.Encap.Over_ipv4 { src = ingress_ip; dst = sink_ip; dscp = 0; ttl = 64 })
+      ~liveness:(fun ip ~now -> Mmt_innet.Resource_map.is_live map ~now ip)
+      ()
+  in
+  let mode_changes = ref 0 in
+  let announce_new_buffer buffer_ip =
+    let entry = Mmt_innet.Resource_map.lookup map buffer_ip in
+    Option.iter
+      (fun (entry : Mmt_innet.Resource_map.entry) ->
+        let header =
+          Mmt.Header.with_kind
+            (Mmt.Header.mode0
+               ~experiment:(Mmt.Experiment_id.make ~experiment:0 ~slice:0))
+            Mmt.Feature.Kind.Buffer_advert
+        in
+        let frame =
+          Mmt.Encap.wrap
+            (Mmt.Encap.Over_ipv4
+               { src = ingress_ip; dst = sink_ip; dscp = 0; ttl = 64 })
+            (Bytes.cat (Mmt.Header.encode header)
+               (Mmt.Control.Buffer_advert.encode
+                  entry.Mmt_innet.Resource_map.advert))
+        in
+        env_ing.Mmt_runtime.Env.send sink_ip (Mmt_runtime.Env.packet env_ing frame))
+      entry
+  in
+  let rec replan_loop () =
+    let now = Mmt_sim.Engine.now engine in
+    let before =
+      (Mmt_innet.Mode_rewriter.mode rewriter).Mmt.Mode.retransmit_from
+    in
+    (match Mmt_innet.Planner.replan_rewriter requirement ~rewriter ~map ~now with
+    | Ok mode ->
+        if not (Option.equal Addr.Ip.equal before mode.Mmt.Mode.retransmit_from)
+        then begin
+          incr mode_changes;
+          Option.iter announce_new_buffer mode.Mmt.Mode.retransmit_from
+        end
+    | Error _ -> () (* nothing live yet: keep the old mode *));
+    if Units.Time.(now < p.run_until) then
+      ignore
+        (Mmt_sim.Engine.schedule_after engine ~delay:p.advert_period (fun () ->
+             replan_loop ()))
+  in
+  Mmt_innet.Control_plane.add_local control (fun () ->
+      if buffer_a.alive then
+        Some (Mmt.Buffer_host.advert buffer_a.host ~rtt_hint:buffer_a.rtt_hint)
+      else None);
+  Mmt_innet.Control_plane.add_local control (fun () ->
+      if buffer_b.alive then
+        Some (Mmt.Buffer_host.advert buffer_b.host ~rtt_hint:buffer_b.rtt_hint)
+      else None);
+  Mmt_innet.Control_plane.start control;
+  replan_loop ();
+
+  (* Ingress switch: fail-stoppable gate ahead of the rewriter. *)
+  let rewriter_alive = ref true in
+  let gate =
+    {
+      Mmt_innet.Element.name = "ingress-gate";
+      program = { Mmt_innet.Op.name = "ingress-gate"; ops = [] };
+      process =
+        (fun ~now:_ packet ->
+          if !rewriter_alive then Mmt_innet.Element.Forward packet
+          else Mmt_innet.Element.Discard "ingress-gate: element failed");
+    }
+  in
+  let ingress_route packet =
+    let frame = Mmt_sim.Packet.frame packet in
+    match Mmt.Encap.locate frame with
+    | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, _) when Addr.Ip.equal dst source_ip ->
+        Some ignore
+    | _ -> Some (Mmt_sim.Link.send ing_to_a)
+  in
+  let _ingress_switch =
+    Mmt_innet.Switch.attach ~engine ~node:ingress
+      ~profile:Mmt_innet.Switch.tofino2
+      ~elements:[ gate; Mmt_innet.Mode_rewriter.element rewriter ]
+      ~route:ingress_route ()
+  in
+
+  (* Buffer nodes: checksum verification ahead of the snoop, so frames
+     corrupted upstream never enter retransmission memory. *)
+  let verify_a = Mmt_innet.Checksum_verify.create ~require:true () in
+  let verify_b = Mmt_innet.Checksum_verify.create ~require:true () in
+  let buffer_route (point : buffer_point) ~forward packet =
+    let frame = Mmt_sim.Packet.frame packet in
+    match Mmt.Encap.locate frame with
+    | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, off) -> (
+        match Mmt.Header.View.of_frame ~off frame with
+        | Ok view
+          when Mmt.Header.View.kind view = Mmt.Feature.Kind.Nak
+               && Addr.Ip.equal dst point.ip ->
+            Some
+              (fun packet ->
+                if point.alive then Mmt.Buffer_host.on_packet point.host packet)
+        | _ -> Some forward)
+    | _ -> Some forward
+  in
+  let _switch_a =
+    Mmt_innet.Switch.attach ~engine ~node:node_a
+      ~profile:Mmt_innet.Switch.alveo_smartnic
+      ~elements:
+        [ Mmt_innet.Checksum_verify.element verify_a; snoop_element buffer_a ]
+      ~route:(fun packet ->
+        let frame = Mmt_sim.Packet.frame packet in
+        match Mmt.Encap.locate frame with
+        | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, _)
+          when Addr.Ip.equal dst ingress_ip || Addr.Ip.equal dst source_ip ->
+            Some (Mmt_sim.Link.send a_to_ing)
+        | _ -> buffer_route buffer_a ~forward:(Mmt_sim.Link.send a_to_b) packet)
+      ()
+  in
+  let _switch_b =
+    Mmt_innet.Switch.attach ~engine ~node:node_b
+      ~profile:Mmt_innet.Switch.alveo_smartnic
+      ~elements:
+        [ Mmt_innet.Checksum_verify.element verify_b; snoop_element buffer_b ]
+      ~route:(fun packet ->
+        let frame = Mmt_sim.Packet.frame packet in
+        match Mmt.Encap.locate frame with
+        | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, _)
+          when Addr.Ip.equal dst buffer_a_ip || Addr.Ip.equal dst ingress_ip
+               || Addr.Ip.equal dst source_ip ->
+            Some (Mmt_sim.Link.send b_to_a)
+        | _ -> buffer_route buffer_b ~forward:(Mmt_sim.Link.send b_to_sink) packet)
+      ()
+  in
+
+  (* Sink: receiver wrapped in the invariant ledger. *)
+  let router_sink = Router.create () in
+  Router.add router_sink buffer_a_ip (Mmt_sim.Link.send sink_to_b);
+  Router.add router_sink buffer_b_ip (Mmt_sim.Link.send sink_to_b);
+  Router.add router_sink ingress_ip (Mmt_sim.Link.send sink_to_b);
+  Router.add router_sink source_ip (Mmt_sim.Link.send sink_to_b);
+  let env_sink = Router.env router_sink ~engine ~fresh_id ~local_ip:sink_ip in
+  let ledger = Mmt_fault.Invariant.ledger () in
+  let degraded_delivered = ref 0 in
+  let receiver =
+    Mmt.Receiver.create ~env:env_sink
+      {
+        Mmt.Receiver.experiment;
+        nak_delay = Units.Time.ms 1.;
+        nak_retry_timeout = Units.Time.ms 15.;
+        max_nak_retries = 10;
+        expected_total = (if p.track_total then Some p.fragment_count else None);
+      }
+      ~deliver:(fun meta _payload ->
+        match meta.Mmt.Receiver.header.Mmt.Header.sequence with
+        | Some seq -> Mmt_fault.Invariant.delivered ledger ~seq
+        | None -> incr degraded_delivered)
+  in
+  Mmt_sim.Node.set_handler sink (Mmt.Receiver.on_packet receiver);
+
+  (* The fault plan. *)
+  let injector =
+    Mmt_fault.Injector.of_topology ~trace ~seed:p.fault_seed topo
+  in
+  Mmt_fault.Injector.register_element injector "buffer-a"
+    ~fail:(fun () ->
+      buffer_a.alive <- false;
+      ignore
+        (Mmt_innet.Resource_map.expire map ~now:(Mmt_sim.Engine.now engine)))
+    ~restart:(fun () ->
+      (* State loss: the restarted host has an empty Retx_buffer. *)
+      buffer_a.host <-
+        Mmt.Buffer_host.create ~env:buffer_a.env ~capacity:(Units.Size.mib 256)
+          ();
+      buffer_a.alive <- true);
+  Mmt_fault.Injector.register_element injector "buffer-b"
+    ~fail:(fun () ->
+      buffer_b.alive <- false;
+      ignore
+        (Mmt_innet.Resource_map.expire map ~now:(Mmt_sim.Engine.now engine)))
+    ~restart:(fun () ->
+      buffer_b.host <-
+        Mmt.Buffer_host.create ~env:buffer_b.env ~capacity:(Units.Size.mib 256)
+          ();
+      buffer_b.alive <- true);
+  Mmt_fault.Injector.register_element injector "ingress-rewriter"
+    ~fail:(fun () -> rewriter_alive := false)
+    ~restart:(fun () ->
+      rewriter_alive := true;
+      (* Boot-mode revert: a restarted element forgets control-plane
+         reconfiguration; the replan loop re-points it. *)
+      ignore (Mmt_innet.Mode_rewriter.set_mode rewriter boot_mode));
+  Mmt_fault.Injector.register_control injector "control"
+    (Mmt_innet.Control_plane.set_blackholed control);
+  Mmt_fault.Injector.arm injector p.plan;
+
+  (* Source: mode-0 sender. *)
+  let router_src = Router.create ~default:(Mmt_sim.Link.send src_to_ing) () in
+  let env_src = Router.env router_src ~engine ~fresh_id ~local_ip:source_ip in
+  let sender =
+    Mmt.Sender.create ~env:env_src
+      {
+        Mmt.Sender.experiment;
+        destination = sink_ip;
+        encap = Mmt.Encap.Raw;
+        deadline_budget = None;
+        backpressure_to = None;
+        pace = None;
+        padding = 0;
+      }
+  in
+  let payload = Bytes.make (Units.Size.to_bytes p.fragment_size) '\xEE' in
+  let gap =
+    Units.Rate.transmission_time (Units.Rate.scale rate 0.1) p.fragment_size
+  in
+  for i = 0 to p.fragment_count - 1 do
+    ignore
+      (Mmt_sim.Engine.schedule engine
+         ~at:(Units.Time.scale gap (float_of_int i))
+         (fun () -> Mmt.Sender.send sender (Bytes.copy payload)))
+  done;
+  Mmt_sim.Engine.run ~until:p.run_until engine;
+  Mmt_innet.Control_plane.stop control;
+
+  let stats = Mmt.Receiver.stats receiver in
+  let rw = Mmt_innet.Mode_rewriter.stats rewriter in
+  let a_stats = Mmt.Buffer_host.stats buffer_a.host in
+  let b_stats = Mmt.Buffer_host.stats buffer_b.host in
+  let va = Mmt_innet.Checksum_verify.stats verify_a in
+  let vb = Mmt_innet.Checksum_verify.stats verify_b in
+  let link_stats =
+    List.map Mmt_sim.Link.stats
+      [ src_to_ing; ing_to_a; a_to_b; b_to_sink; sink_to_b; b_to_a; a_to_ing ]
+  in
+  let tampered =
+    List.fold_left (fun acc (s : Mmt_sim.Link.stats) -> acc + s.tampered) 0
+      link_stats
+  in
+  let fault_drops =
+    List.fold_left (fun acc (s : Mmt_sim.Link.stats) -> acc + s.fault_drops) 0
+      link_stats
+  in
+  (* Frames a dead buffer point dropped NAKs for are accounted by the
+     receiver as lost/unrecoverable; here we reconcile the ledger. *)
+  let invariant =
+    Mmt_fault.Invariant.outcome
+      ~emitted:rw.Mmt_innet.Mode_rewriter.sequenced
+      ~abandoned:(stats.Mmt.Receiver.lost + stats.Mmt.Receiver.unrecoverable)
+      ~resurrected:stats.Mmt.Receiver.resurrected
+      ~pending:stats.Mmt.Receiver.still_missing ~terminated:true ledger
+  in
+  let violations = Mmt_fault.Invariant.check invariant in
+  {
+    emitted = rw.Mmt_innet.Mode_rewriter.sequenced;
+    delivered = stats.Mmt.Receiver.delivered;
+    degraded_delivered = !degraded_delivered;
+    recovered = stats.Mmt.Receiver.recovered;
+    lost = stats.Mmt.Receiver.lost;
+    unrecoverable = stats.Mmt.Receiver.unrecoverable;
+    resurrected = stats.Mmt.Receiver.resurrected;
+    duplicates = stats.Mmt.Receiver.duplicates;
+    checksum_failed_rx = stats.Mmt.Receiver.checksum_failed;
+    verify_failed_innet =
+      va.Mmt_innet.Checksum_verify.failed + vb.Mmt_innet.Checksum_verify.failed;
+    tampered;
+    fault_drops;
+    degraded_rewrites = rw.Mmt_innet.Mode_rewriter.degraded;
+    mode_changes = !mode_changes;
+    final_buffer =
+      (match
+         (Mmt_innet.Mode_rewriter.mode rewriter).Mmt.Mode.retransmit_from
+       with
+      | Some ip when Addr.Ip.equal ip buffer_a_ip -> "A"
+      | Some ip when Addr.Ip.equal ip buffer_b_ip -> "B"
+      | Some _ -> "other"
+      | None -> "none");
+    naks_served_by_a = a_stats.Mmt.Buffer_host.frames_resent;
+    naks_served_by_b = b_stats.Mmt.Buffer_host.frames_resent;
+    goodput = Mmt.Receiver.goodput receiver;
+    completion = stats.Mmt.Receiver.completion;
+    faults_applied = Mmt_fault.Injector.applied injector;
+    fault_log = Mmt_fault.Injector.log injector;
+    invariant;
+    violations;
+    receiver = stats;
+  }

@@ -1,0 +1,70 @@
+(** Chaos pilot: the failover topology under a declarative fault plan.
+
+    A five-node path (source → ingress → buffer A → buffer B → sink)
+    with a checksumming, liveness-aware ingress rewriter, in-network
+    checksum verification ahead of both retransmission-buffer snoops,
+    a soft-state control plane, and a {!Mmt_fault.Injector} armed with
+    an arbitrary {!Mmt_fault.Plan}.  Every run is checked against the
+    delivery invariants ({!Mmt_fault.Invariant}): each sequenced frame
+    ends in exactly one of delivered / lost / abandoned, nothing is
+    delivered to the application twice, and the run terminates. *)
+
+open Mmt_util
+
+type params = {
+  fragment_count : int;
+  fragment_size : Units.Size.t;
+  loss : float;  (** random drop on the buffer-b → sink link *)
+  advert_period : Units.Time.t;
+  run_until : Units.Time.t;
+  seed : int64;  (** workload / loss RNG seed *)
+  fault_seed : int64;  (** injector bit-flip RNG seed *)
+  track_total : bool;
+      (** give the receiver [expected_total] for tail-loss detection;
+          turn off for plans that degrade frames to unsequenced, where
+          the sequenced stream is legitimately shorter than the
+          fragment count *)
+  plan : Mmt_fault.Plan.t;
+}
+
+val params :
+  ?fragment_count:int ->
+  ?fragment_size:Units.Size.t ->
+  ?loss:float ->
+  ?advert_period:Units.Time.t ->
+  ?run_until:Units.Time.t ->
+  ?seed:int64 ->
+  ?fault_seed:int64 ->
+  ?track_total:bool ->
+  ?plan:Mmt_fault.Plan.t ->
+  unit ->
+  params
+
+type outcome = {
+  emitted : int;  (** sequence numbers assigned by the ingress rewriter *)
+  delivered : int;
+  degraded_delivered : int;  (** delivered unsequenced (degraded mode) *)
+  recovered : int;
+  lost : int;
+  unrecoverable : int;
+  resurrected : int;
+  duplicates : int;
+  checksum_failed_rx : int;  (** receiver-side checksum discards *)
+  verify_failed_innet : int;  (** in-network verify-element discards *)
+  tampered : int;  (** frames the injector bit-flipped on the wire *)
+  fault_drops : int;  (** frames destroyed by downed links *)
+  degraded_rewrites : int;
+  mode_changes : int;  (** replans that re-targeted the buffer *)
+  final_buffer : string;  (** "A", "B", "none" *)
+  naks_served_by_a : int;
+  naks_served_by_b : int;
+  goodput : Units.Rate.t;
+  completion : Units.Time.t option;
+  faults_applied : int;
+  fault_log : (Units.Time.t * string) list;
+  invariant : Mmt_fault.Invariant.outcome;
+  violations : string list;  (** empty iff all invariants held *)
+  receiver : Mmt.Receiver.stats;
+}
+
+val run : params -> outcome

@@ -288,18 +288,24 @@ let run p =
 
   (* The control plane participant also lives at the ingress node — but
      adverts are local (peers = []); the map is fed by the providers.
-     Failure injection: buffer A dies. *)
+     Failure injection: buffer A dies — expressed as a declarative
+     fault plan armed through the deterministic injector. *)
+  let injector = Mmt_fault.Injector.of_topology topo in
+  Mmt_fault.Injector.register_element injector "buffer-a"
+    ~fail:(fun () ->
+      buffer_a.alive <- false;
+      (* Hard failure: its soft state must also disappear from
+         the map as if adverts stopped reaching the ingress. *)
+      ignore
+        (Mmt_innet.Resource_map.expire
+           (Mmt_innet.Control_plane.map control)
+           ~now:(Mmt_sim.Engine.now engine)))
+    ~restart:(fun () -> buffer_a.alive <- true);
   Option.iter
     (fun at ->
-      ignore
-        (Mmt_sim.Engine.schedule engine ~at (fun () ->
-             buffer_a.alive <- false;
-             (* Hard failure: its soft state must also disappear from
-                the map as if adverts stopped reaching the ingress. *)
-             ignore
-               (Mmt_innet.Resource_map.expire
-                  (Mmt_innet.Control_plane.map control)
-                  ~now:(Mmt_sim.Engine.now engine)))))
+      Mmt_fault.Injector.arm injector
+        (Mmt_fault.Plan.make
+           [ Mmt_fault.Plan.event ~at (Mmt_fault.Plan.Fail_element "buffer-a") ]))
     p.fail_buffer_a_at;
 
   (* Source: mode-0 sender. *)

@@ -265,7 +265,7 @@ module Placement_run = struct
         (* Mean burst length ~5 packets at the requested average rate. *)
         Mmt_sim.Loss.gilbert_elliott
           ~p_good_to_bad:(p.loss /. 4.)
-          ~p_bad_to_good:0.2 ~drop_in_bad:0.9 ~rng:loss_rng
+          ~p_bad_to_good:0.2 ~drop_in_bad:0.9 ~rng:loss_rng ()
       else Mmt_sim.Loss.bernoulli ~drop:p.loss ~corrupt:0. ~rng:loss_rng
     in
     let buf_to_dst =

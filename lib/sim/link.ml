@@ -7,6 +7,7 @@ type event =
   | Loss_dropped
   | Corrupted
   | Delivered
+  | Fault_dropped
 
 type stats = {
   offered : int;
@@ -15,6 +16,8 @@ type stats = {
   queue_drops : int;
   loss_drops : int;
   corrupted : int;
+  fault_drops : int;
+  tampered : int;
   delivered_bytes : int;
   busy : Units.Time.t;
 }
@@ -22,7 +25,7 @@ type stats = {
 type t = {
   engine : Engine.t;
   name : string;
-  rate : Units.Rate.t;
+  mutable rate : Units.Rate.t;
   propagation : Units.Time.t;
   loss : Loss.t;
   queue : Queue_model.t;
@@ -30,11 +33,15 @@ type t = {
   observer : event -> Packet.t -> unit;
   deliver : Packet.t -> unit;
   mutable transmitting : bool;
+  mutable up : bool;
+  mutable tamper : (Packet.t -> bool) option;
   mutable offered : int;
   mutable transmitted : int;
   mutable delivered : int;
   mutable loss_drops : int;
   mutable corrupted : int;
+  mutable fault_drops : int;
+  mutable tampered : int;
   mutable delivered_bytes : int;
   mutable busy : Units.Time.t;
 }
@@ -53,11 +60,15 @@ let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
     observer;
     deliver;
     transmitting = false;
+    up = true;
+    tamper = None;
     offered = 0;
     transmitted = 0;
     delivered = 0;
     loss_drops = 0;
     corrupted = 0;
+    fault_drops = 0;
+    tampered = 0;
     delivered_bytes = 0;
     busy = Units.Time.zero;
   }
@@ -74,18 +85,37 @@ let rec transmit_next t =
         (Engine.schedule_after t.engine ~delay:serialization (fun () ->
              t.transmitted <- t.transmitted + 1;
              t.observer Transmitted packet;
-             (match Loss.decide t.loss with
-             | Loss.Drop ->
-                 t.loss_drops <- t.loss_drops + 1;
-                 t.observer Loss_dropped packet;
-                 (* The link was the packet's last holder: recycle. *)
-                 Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
-             | Loss.Corrupt ->
-                 packet.Packet.corrupted <- true;
-                 t.corrupted <- t.corrupted + 1;
-                 t.observer Corrupted packet;
-                 deliver_after_propagation t packet
-             | Loss.Deliver -> deliver_after_propagation t packet);
+             (if not t.up then begin
+                (* A downed link destroys whatever leaves its
+                   transmitter, like an unplugged fibre. *)
+                t.fault_drops <- t.fault_drops + 1;
+                t.observer Fault_dropped packet;
+                Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+              end
+              else
+                match Loss.decide t.loss with
+                | Loss.Drop ->
+                    t.loss_drops <- t.loss_drops + 1;
+                    t.observer Loss_dropped packet;
+                    (* The link was the packet's last holder: recycle. *)
+                    Option.iter
+                      (fun pool -> Pool.release_packet pool packet)
+                      t.pool
+                | Loss.Corrupt ->
+                    packet.Packet.corrupted <- true;
+                    t.corrupted <- t.corrupted + 1;
+                    t.observer Corrupted packet;
+                    deliver_after_propagation t packet
+                | Loss.Deliver -> (
+                    match t.tamper with
+                    | Some tamper when tamper packet ->
+                        (* Real bits were flipped in the frame: the
+                           packet still arrives; detection is the
+                           receiver's problem (checksums, not oracles). *)
+                        t.tampered <- t.tampered + 1;
+                        t.observer Corrupted packet;
+                        deliver_after_propagation t packet
+                    | Some _ | None -> deliver_after_propagation t packet));
              transmit_next t))
 
 and deliver_after_propagation t packet =
@@ -101,17 +131,28 @@ and deliver_after_propagation t packet =
 let send t packet =
   t.offered <- t.offered + 1;
   t.observer Sent packet;
-  let now = Engine.now t.engine in
-  match Queue_model.enqueue t.queue ~now packet with
-  | `Dropped ->
-      t.observer Queue_dropped packet;
-      Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
-  | `Accepted -> if not t.transmitting then transmit_next t
+  if not t.up then begin
+    t.fault_drops <- t.fault_drops + 1;
+    t.observer Fault_dropped packet;
+    Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+  end
+  else begin
+    let now = Engine.now t.engine in
+    match Queue_model.enqueue t.queue ~now packet with
+    | `Dropped ->
+        t.observer Queue_dropped packet;
+        Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+    | `Accepted -> if not t.transmitting then transmit_next t
+  end
 
 let name t = t.name
 let rate t = t.rate
 let propagation t = t.propagation
 let queue t = t.queue
+let is_up t = t.up
+let set_up t up = t.up <- up
+let set_rate t rate = t.rate <- rate
+let set_tamper t tamper = t.tamper <- tamper
 
 let stats t =
   {
@@ -121,6 +162,8 @@ let stats t =
     queue_drops = Queue_model.overflow_drops t.queue;
     loss_drops = t.loss_drops;
     corrupted = t.corrupted;
+    fault_drops = t.fault_drops;
+    tampered = t.tampered;
     delivered_bytes = t.delivered_bytes;
     busy = t.busy;
   }

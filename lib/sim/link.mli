@@ -14,8 +14,10 @@ type event =
   | Queue_dropped
   | Transmitted  (** finished serialization *)
   | Loss_dropped
-  | Corrupted  (** delivered with the corrupted flag *)
+  | Corrupted  (** delivered corrupted: flagged by the loss model, or
+                   real bits flipped by a fault tamperer *)
   | Delivered
+  | Fault_dropped  (** destroyed because the link was down *)
 
 type stats = {
   offered : int;  (** packets handed to [send] *)
@@ -23,7 +25,9 @@ type stats = {
   delivered : int;  (** packets handed to the delivery callback *)
   queue_drops : int;
   loss_drops : int;
-  corrupted : int;
+  corrupted : int;  (** oracle-flagged by the loss model *)
+  fault_drops : int;  (** destroyed while the link was down *)
+  tampered : int;  (** delivered with genuinely flipped bits *)
   delivered_bytes : int;
   busy : Units.Time.t;  (** cumulative serialization time *)
 }
@@ -56,6 +60,32 @@ val name : t -> string
 val rate : t -> Units.Rate.t
 val propagation : t -> Units.Time.t
 val queue : t -> Queue_model.t
+
+(** {2 Fault hooks}
+
+    The fault-injection layer ({!Mmt_fault}) drives links through
+    these; all default to the healthy state, in which the link
+    behaves exactly as it always did. *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+(** A downed link destroys traffic with [Fault_dropped] accounting:
+    packets offered while down never enter the queue, and packets
+    finishing serialization while down die at the wire.  Queued
+    packets survive a short outage and transmit once the link is
+    back up. *)
+
+val set_rate : t -> Units.Rate.t -> unit
+(** Degrade or restore the serialization rate; takes effect from the
+    next packet to start serializing. *)
+
+val set_tamper : t -> (Packet.t -> bool) option -> unit
+(** Install a corruptor consulted for every packet that survives the
+    loss model.  Returning [true] means it mutated the frame's bytes
+    in place; the packet is delivered (the corrupted oracle flag is
+    NOT set — detection must come from checksums). *)
+
 val stats : t -> stats
 val utilization : t -> over:Units.Time.t -> float
 (** Fraction of [over] the transmitter spent serializing. *)

@@ -9,6 +9,7 @@ type model =
       p_good_to_bad : float;
       p_bad_to_good : float;
       drop_in_bad : float;
+      corrupt_in_bad : float;
       rng : Rng.t;
       mutable bad : bool;
     }
@@ -23,11 +24,17 @@ let bernoulli ~drop ~corrupt ~rng =
     invalid_arg "Loss.bernoulli: bad probabilities";
   Bernoulli { drop; corrupt; rng }
 
-let gilbert_elliott ~p_good_to_bad ~p_bad_to_good ~drop_in_bad ~rng =
+let gilbert_elliott ?(corrupt_in_bad = 0.) ~p_good_to_bad ~p_bad_to_good
+    ~drop_in_bad ~rng () =
   let bad p = p < 0. || p > 1. in
-  if bad p_good_to_bad || bad p_bad_to_good || bad drop_in_bad then
-    invalid_arg "Loss.gilbert_elliott: bad probabilities";
-  Gilbert { p_good_to_bad; p_bad_to_good; drop_in_bad; rng; bad = false }
+  if
+    bad p_good_to_bad || bad p_bad_to_good || bad drop_in_bad
+    || bad corrupt_in_bad
+    || drop_in_bad +. corrupt_in_bad > 1.
+  then invalid_arg "Loss.gilbert_elliott: bad probabilities";
+  Gilbert
+    { p_good_to_bad; p_bad_to_good; drop_in_bad; corrupt_in_bad; rng;
+      bad = false }
 
 let decide t =
   match t with
@@ -43,12 +50,26 @@ let decide t =
         if Rng.bernoulli g.rng ~p:g.p_bad_to_good then g.bad <- false
       end
       else if Rng.bernoulli g.rng ~p:g.p_good_to_bad then g.bad <- true;
-      if g.bad && Rng.bernoulli g.rng ~p:g.drop_in_bad then Drop else Deliver
+      if not g.bad then Deliver
+      else if g.corrupt_in_bad = 0. then
+        (* Keep the historic draw pattern exactly: byte-identity of
+           existing experiment reports depends on the RNG stream. *)
+        if Rng.bernoulli g.rng ~p:g.drop_in_bad then Drop else Deliver
+      else
+        let u = Rng.float g.rng in
+        if u < g.drop_in_bad then Drop
+        else if u < g.drop_in_bad +. g.corrupt_in_bad then Corrupt
+        else Deliver
 
 let describe = function
   | Perfect -> "perfect"
   | Bernoulli { drop; corrupt; _ } ->
       Printf.sprintf "bernoulli(drop=%g, corrupt=%g)" drop corrupt
-  | Gilbert { p_good_to_bad; p_bad_to_good; drop_in_bad; _ } ->
-      Printf.sprintf "gilbert(g->b=%g, b->g=%g, drop|bad=%g)" p_good_to_bad
-        p_bad_to_good drop_in_bad
+  | Gilbert { p_good_to_bad; p_bad_to_good; drop_in_bad; corrupt_in_bad; _ }
+    ->
+      if corrupt_in_bad = 0. then
+        Printf.sprintf "gilbert(g->b=%g, b->g=%g, drop|bad=%g)" p_good_to_bad
+          p_bad_to_good drop_in_bad
+      else
+        Printf.sprintf "gilbert(g->b=%g, b->g=%g, drop|bad=%g, corrupt|bad=%g)"
+          p_good_to_bad p_bad_to_good drop_in_bad corrupt_in_bad

@@ -22,12 +22,18 @@ val bernoulli : drop:float -> corrupt:float -> rng:Rng.t -> t
     either probability is outside [\[0, 1\]] or they sum above 1. *)
 
 val gilbert_elliott :
+  ?corrupt_in_bad:float ->
   p_good_to_bad:float ->
   p_bad_to_good:float ->
   drop_in_bad:float ->
   rng:Rng.t ->
+  unit ->
   t
-(** Two-state burst-loss chain; lossless in the good state. *)
+(** Two-state burst-loss chain; lossless in the good state.  In the
+    bad state each packet is dropped with [drop_in_bad], delivered
+    corrupted with [corrupt_in_bad] (default 0), and delivered clean
+    otherwise.  @raise Invalid_argument if any probability is outside
+    [\[0, 1\]] or [drop_in_bad +. corrupt_in_bad] exceeds 1. *)
 
 val decide : t -> decision
 (** Consume one trial. *)

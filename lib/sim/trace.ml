@@ -8,14 +8,17 @@ type entry = {
   size : Units.Size.t;
 }
 
+type fault_entry = { fault_at : Units.Time.t; what : string }
+
 type t = {
   capacity : int;
   buffer : entry Queue.t;
+  faults : fault_entry Queue.t;
   mutable truncated : int;
 }
 
 let create ?(capacity = 100_000) () =
-  { capacity; buffer = Queue.create (); truncated = 0 }
+  { capacity; buffer = Queue.create (); faults = Queue.create (); truncated = 0 }
 
 let record t ~at ~link event packet =
   if Queue.length t.buffer >= t.capacity then begin
@@ -34,6 +37,23 @@ let record t ~at ~link event packet =
 
 let observer t ~engine ~link event packet =
   record t ~at:(Engine.now engine) ~link event packet
+
+let record_fault t ~at ~what =
+  if Queue.length t.faults < t.capacity then
+    Queue.push { fault_at = at; what } t.faults
+
+let faults t = List.of_seq (Queue.to_seq t.faults)
+let fault_count t = Queue.length t.faults
+
+let render_faults t =
+  let buffer = Buffer.create 256 in
+  Queue.iter
+    (fun f ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%-12s FAULT %s\n" (Units.Time.to_string f.fault_at)
+           f.what))
+    t.faults;
+  Buffer.contents buffer
 
 let entries t = List.of_seq (Queue.to_seq t.buffer)
 
@@ -56,6 +76,7 @@ let event_to_string : Link.event -> string = function
   | Link.Loss_dropped -> "loss-drop"
   | Link.Corrupted -> "corrupted"
   | Link.Delivered -> "delivered"
+  | Link.Fault_dropped -> "fault-drop"
 
 let packet_history t ~packet_id =
   List.filter (fun entry -> entry.packet_id = packet_id) (entries t)

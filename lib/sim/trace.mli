@@ -42,6 +42,21 @@ val event_to_string : Link.event -> string
 val packet_history : t -> packet_id:int -> entry list
 (** Every recorded event for one packet — its journey. *)
 
+(** {2 Fault events}
+
+    Fault injection ({!Mmt_fault}) records what it did to the topology
+    in a separate stream, so a chaos run's report can show the fault
+    timeline next to the packet timeline. *)
+
+type fault_entry = { fault_at : Units.Time.t; what : string }
+
+val record_fault : t -> at:Units.Time.t -> what:string -> unit
+val faults : t -> fault_entry list
+val fault_count : t -> int
+
+val render_faults : t -> string
+(** One line per fault, oldest first. *)
+
 val render : ?limit:int -> t -> string
 (** One line per entry, oldest first; [limit] (default 50) bounds the
     output. *)

@@ -210,6 +210,91 @@ let test_touch_age_in_place () =
   let _, still_aged = Mmt.Header.touch_age_in_place frame ~ext_off ~now:(Units.Time.us 1201.) in
   Alcotest.(check bool) "aged flag latches" true still_aged
 
+(* Checksummed headers ----------------------------------------------------- *)
+
+let checksummed_header =
+  Mmt.Header.with_checksummed
+    (Mmt.Header.create ~sequence:4242
+       ~retransmit_from:(Addr.Ip.of_octets 10 0 1 1)
+       ~experiment ())
+
+let test_checksummed_roundtrip () =
+  let plain =
+    Mmt.Header.create ~sequence:4242
+      ~retransmit_from:(Addr.Ip.of_octets 10 0 1 1)
+      ~experiment ()
+  in
+  Alcotest.(check int) "adds checksum_size"
+    (Mmt.Header.size plain + Mmt.Header.checksum_size)
+    (Mmt.Header.size checksummed_header);
+  check_roundtrip "checksummed" checksummed_header
+
+let test_checksum_verifies_clean () =
+  let frame = Mmt.Header.encode checksummed_header in
+  match Mmt.Header.View.of_frame frame with
+  | Error e -> Alcotest.fail e
+  | Ok view ->
+      Alcotest.(check bool) "has feature" true
+        (Mmt.Header.View.has view Mmt.Feature.Checksummed);
+      Alcotest.(check bool) "sums clean" true (Mmt.Header.View.verify view);
+      Alcotest.(check bool) "raw verify" true
+        (Mmt.Header.verify_in_place frame ~off:0
+           ~size:(Mmt.Header.size checksummed_header))
+
+(* The detection guarantee behind lib/fault's bit-flip corruption: any
+   single-bit flip anywhere in a sealed header is either caught (parse
+   failure or checksum mismatch) or it erased the Checksummed feature
+   bit itself — which a path that requires sealing treats as
+   corruption too (Checksum_verify ~require:true). *)
+let test_single_bit_flips_caught () =
+  let clean = Mmt.Header.encode checksummed_header in
+  for byte = 0 to Bytes.length clean - 1 do
+    for bit = 0 to 7 do
+      let frame = Bytes.copy clean in
+      Bytes.set frame byte
+        (Char.chr (Char.code (Bytes.get frame byte) lxor (1 lsl bit)));
+      let undetected =
+        match Mmt.Header.View.of_frame frame with
+        | Error _ -> false
+        | Ok view ->
+            Mmt.Header.View.has view Mmt.Feature.Checksummed
+            && Mmt.Header.View.verify view
+      in
+      if undetected then
+        Alcotest.failf "flip of byte %d bit %d went undetected" byte bit
+    done
+  done
+
+let test_view_setters_reseal () =
+  let frame = Mmt.Header.encode checksummed_header in
+  match Mmt.Header.View.of_frame frame with
+  | Error e -> Alcotest.fail e
+  | Ok view ->
+      Mmt.Header.View.set_sequence view 99_999;
+      Alcotest.(check int) "sequence updated" 99_999
+        (Mmt.Header.View.sequence view);
+      Alcotest.(check bool) "resealed after set_sequence" true
+        (Mmt.Header.View.verify view);
+      Mmt.Header.View.set_retransmit_from view (Addr.Ip.of_octets 10 9 9 9);
+      Alcotest.(check bool) "resealed after set_retransmit_from" true
+        (Mmt.Header.View.verify view);
+      (* The reseal must leave the header decodable with the new values. *)
+      (match Mmt.Header.decode_bytes frame with
+      | Ok decoded ->
+          Alcotest.(check (option int)) "decoded sequence" (Some 99_999)
+            decoded.Mmt.Header.sequence
+      | Error e -> Alcotest.fail e)
+
+let test_strip_checksummed () =
+  let stripped = Mmt.Header.strip checksummed_header Mmt.Feature.Checksummed in
+  Alcotest.(check bool) "feature gone" false
+    (Mmt.Feature.Set.mem Mmt.Feature.Checksummed
+       stripped.Mmt.Header.features);
+  Alcotest.(check int) "size shrinks"
+    (Mmt.Header.size checksummed_header - Mmt.Header.checksum_size)
+    (Mmt.Header.size stripped);
+  check_roundtrip "stripped still roundtrips" stripped
+
 let qcheck_header_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -284,6 +369,11 @@ let suite =
     Alcotest.test_case "truncation rejected" `Quick test_decode_rejects_truncation;
     Alcotest.test_case "offset_of_age" `Quick test_offset_of_age;
     Alcotest.test_case "touch_age_in_place" `Quick test_touch_age_in_place;
+    Alcotest.test_case "checksummed roundtrip" `Quick test_checksummed_roundtrip;
+    Alcotest.test_case "checksum verifies clean" `Quick test_checksum_verifies_clean;
+    Alcotest.test_case "single-bit flips caught" `Quick test_single_bit_flips_caught;
+    Alcotest.test_case "view setters reseal" `Quick test_view_setters_reseal;
+    Alcotest.test_case "strip checksummed" `Quick test_strip_checksummed;
     QCheck_alcotest.to_alcotest qcheck_header_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_size_matches_encode;
   ]

@@ -210,7 +210,7 @@ let test_loss_bernoulli_validation () =
 let test_loss_gilbert_burstiness () =
   let rng = Rng.create ~seed:9L in
   let model =
-    Sim.Loss.gilbert_elliott ~p_good_to_bad:0.01 ~p_bad_to_good:0.2 ~drop_in_bad:0.8 ~rng
+    Sim.Loss.gilbert_elliott ~p_good_to_bad:0.01 ~p_bad_to_good:0.2 ~drop_in_bad:0.8 ~rng ()
   in
   (* Count runs of consecutive drops: burst loss should produce longer
      runs than independent loss at the same average rate. *)
@@ -225,6 +225,41 @@ let test_loss_gilbert_burstiness () =
   Alcotest.(check bool) "some loss" true (!drops > 0);
   let mean_run = float_of_int !drops /. float_of_int (max 1 !runs) in
   Alcotest.(check bool) "bursty (mean run > 1.5)" true (mean_run > 1.5)
+
+let test_loss_gilbert_corrupt_in_bad () =
+  let rng = Rng.create ~seed:11L in
+  let model =
+    Sim.Loss.gilbert_elliott ~corrupt_in_bad:0.5 ~p_good_to_bad:0.05
+      ~p_bad_to_good:0.1 ~drop_in_bad:0.3 ~rng ()
+  in
+  let drops = ref 0 and corrupts = ref 0 in
+  for _ = 1 to 100_000 do
+    match Sim.Loss.decide model with
+    | Sim.Loss.Drop -> incr drops
+    | Sim.Loss.Corrupt -> incr corrupts
+    | Sim.Loss.Deliver -> ()
+  done;
+  Alcotest.(check bool) "drops in bad state" true (!drops > 0);
+  Alcotest.(check bool) "corruptions in bad state" true (!corrupts > 0);
+  (* corrupt_in_bad (0.5) > drop_in_bad (0.3): corruption dominates. *)
+  Alcotest.(check bool) "corrupts outnumber drops" true (!corrupts > !drops)
+
+let test_loss_gilbert_corrupt_validation () =
+  let rng = Rng.create ~seed:1L in
+  Alcotest.(check bool) "drop + corrupt > 1 rejected" true
+    (match
+       Sim.Loss.gilbert_elliott ~corrupt_in_bad:0.5 ~p_good_to_bad:0.01
+         ~p_bad_to_good:0.2 ~drop_in_bad:0.6 ~rng ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "corrupt_in_bad > 1 rejected" true
+    (match
+       Sim.Loss.gilbert_elliott ~corrupt_in_bad:1.5 ~p_good_to_bad:0.01
+         ~p_bad_to_good:0.2 ~drop_in_bad:0. ~rng ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 (* Links ------------------------------------------------------------------ *)
 
@@ -446,6 +481,10 @@ let suite =
     Alcotest.test_case "loss bernoulli rates" `Quick test_loss_bernoulli_rates;
     Alcotest.test_case "loss validation" `Quick test_loss_bernoulli_validation;
     Alcotest.test_case "loss gilbert bursty" `Quick test_loss_gilbert_burstiness;
+    Alcotest.test_case "loss gilbert corrupt_in_bad" `Quick
+      test_loss_gilbert_corrupt_in_bad;
+    Alcotest.test_case "loss gilbert corrupt validation" `Quick
+      test_loss_gilbert_corrupt_validation;
     Alcotest.test_case "link latency" `Quick test_link_delivers_with_latency;
     Alcotest.test_case "link serialization queueing" `Quick test_link_serializes_back_to_back;
     Alcotest.test_case "link ideal rate" `Quick test_link_zero_rate_is_ideal;

@@ -23,6 +23,7 @@ let () =
       ("pilot", Suite_pilot.suite);
       ("extensions", Suite_extensions.suite);
       ("robustness", Suite_robustness.suite);
+      ("fault", Suite_fault.suite);
       ("fuzz", Suite_fuzz.suite);
       ("experiments", Suite_experiments.suite);
     ]
