@@ -115,6 +115,25 @@ let stamper = Mmt_int.Stamper.create ~node_id:2 ~mode_id:1 ()
 let stamper_element = Mmt_int.Stamper.element stamper
 let int_packet_frame = Bytes.cat int_stamp_frame (Bytes.make 1024 'p')
 
+(* E-F5 facility demux: the facility edge resolves a destination
+   address to a per-flow handler on every packet.  The legacy shape — a
+   per-flow association list probed with [Addr.Ip.equal] — is O(flows)
+   per packet (super-linear work across the facility); the shipped
+   shape decodes the flow id from the address bits and indexes a dense
+   [Flow_table].  Both are measured on the worst case, the last flow. *)
+let facility_flows = 1000
+
+let facility_demux_assoc =
+  List.init facility_flows (fun f -> (Mmt_facility.Address.flow_ip f, f))
+
+let facility_last_ip = Mmt_facility.Address.flow_ip (facility_flows - 1)
+
+let facility_table =
+  Mmt_facility.Flow_table.init ~flows:facility_flows (fun f -> f)
+
+let facility_demux_legacy = "facility edge demux, list scan (1000 flows, legacy)"
+let facility_demux_current = "facility edge demux, classify + flow table"
+
 let view_of_frame frame =
   match Mmt.Header.View.of_frame frame with
   | Ok view -> view
@@ -265,7 +284,52 @@ let bench_tests =
              let engine = Mmt_sim.Engine.create () in
              ignore (Mmt_sim.Engine.schedule engine ~at:Units.Time.zero ignore);
              Mmt_sim.Engine.run engine));
+      Test.make ~name:facility_demux_legacy (Staged.stage (fun () ->
+           ignore
+             (List.find_opt
+                (fun (ip, _) -> Mmt_frame.Addr.Ip.equal ip facility_last_ip)
+                facility_demux_assoc)));
+      Test.make ~name:facility_demux_current (Staged.stage (fun () ->
+           match Mmt_facility.Address.classify facility_last_ip with
+           | Mmt_facility.Address.Flow f ->
+               ignore (Mmt_facility.Flow_table.get facility_table f)
+           | _ -> ()));
     ]
+
+(* E-F5 per-packet cost: one small facility point, wall clock divided
+   by engine events.  Measured outside bechamel — a whole scenario per
+   iteration would blow the quota. *)
+let facility_per_event () =
+  let config =
+    {
+      Mmt_facility.Scenario.default with
+      Mmt_facility.Scenario.flows = 100;
+      duration = Units.Time.ms 1.;
+    }
+  in
+  (* Warm once so allocator/page-cache effects land outside the timing. *)
+  ignore (Mmt_facility.Scenario.run config);
+  let started = Unix.gettimeofday () in
+  let result = Mmt_facility.Scenario.run config in
+  let wall = Unix.gettimeofday () -. started in
+  let events = result.Mmt_facility.Scenario.events in
+  let ns = wall *. 1e9 /. float_of_int events in
+  Printf.printf "facility per-event cost: %.0f ns over %d events (100 flows)\n"
+    ns events;
+  ("facility scenario per-event (100 flows, 1 ms)", ns)
+
+let print_demux_note micro =
+  (* bechamel prefixes every test with its group name *)
+  match
+    (List.assoc_opt ("E-A3/" ^ facility_demux_legacy) micro,
+     List.assoc_opt ("E-A3/" ^ facility_demux_current) micro)
+  with
+  | Some old_ns, Some new_ns when new_ns > 0. ->
+      Printf.printf
+        "facility demux before/after: list scan %.0f ns -> classify + \
+         flow table %.0f ns per packet at %d flows (%.0fx)\n"
+        old_ns new_ns facility_flows (old_ns /. new_ns)
+  | _ -> ()
 
 (* Allocation audit: `Engine.schedule` must not allocate beyond the
    caller's callback.  Measured outside bechamel so the measurement
@@ -458,6 +522,9 @@ let run json jobs quota limit =
   print_endline "### E-A3 — micro-benchmarks";
   print_newline ();
   let micro = run_micro_benchmarks ~quota ~limit () in
+  print_newline ();
+  print_demux_note micro;
+  let micro = micro @ [ facility_per_event () ] in
   print_newline ();
   let alloc_words = check_schedule_allocation () in
   Option.iter

@@ -452,6 +452,87 @@ let chaos_cmd =
           invariants.")
     Term.(const run $ list_flag $ scenario $ fragments $ show_log)
 
+(* `shapeshift facility` ----------------------------------------------------- *)
+
+let facility_cmd =
+  let module Scenario = Mmt_facility.Scenario in
+  let min_flows =
+    Arg.(value & opt int 10 & info [ "min" ] ~docv:"N" ~doc:"Smallest flow count in the sweep.")
+  in
+  let max_flows =
+    Arg.(value & opt int 1000 & info [ "max" ] ~docv:"N" ~doc:"Largest flow count in the sweep.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the sweep's points on $(docv) domains; 0 picks the \
+             machine's recommended count.  Every point is a \
+             self-contained deterministic simulation, so the report is \
+             byte-identical to the sequential sweep.")
+  in
+  let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.") in
+  let duration_ms =
+    Arg.(
+      value & opt float 3.
+      & info [ "duration-ms" ] ~doc:"Workload emission window per point.")
+  in
+  let loss =
+    Arg.(value & opt float 0.002 & info [ "loss" ] ~doc:"WAN drop probability.")
+  in
+  let plan =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "plan" ] ~docv:"FLOWS"
+          ~doc:
+            "Print the static topology plan for $(docv) flows and exit \
+             without simulating.")
+  in
+  let run min_flows max_flows jobs seed duration_ms loss plan =
+    if jobs < 0 then begin
+      Printf.eprintf "shapeshift facility: --jobs must be 0 (auto) or positive\n";
+      2
+    end
+    else begin
+      let base =
+        {
+          Scenario.default with
+          Scenario.duration = Units.Time.ms duration_ms;
+          wan_loss = loss;
+          seed;
+        }
+      in
+      match plan with
+      | Some flows ->
+          print_string (Scenario.describe { base with Scenario.flows });
+          0
+      | None ->
+          if min_flows < 1 || max_flows < min_flows then begin
+            Printf.eprintf
+              "shapeshift facility: need 1 <= --min <= --max (got %d, %d)\n"
+              min_flows max_flows;
+            2
+          end
+          else begin
+            let points = Mmt_facility.Sweep.log_points ~lo:min_flows ~hi:max_flows () in
+            let output, ok = Mmt_experiments.Facility.report ~jobs ~base ~points () in
+            print_string output;
+            print_newline ();
+            if ok then 0 else 1
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "facility"
+       ~doc:
+         "Sweep the facility-scale fan-in generator (E-F5): 10 to ~1000 \
+          mixed-kind elephant flows through an aggregation tree and one \
+          shared WAN bottleneck.")
+    Term.(
+      const run $ min_flows $ max_flows $ jobs $ seed $ duration_ms $ loss $ plan)
+
 (* `shapeshift trace` ----------------------------------------------------------- *)
 
 let trace_cmd =
@@ -578,6 +659,7 @@ let main_cmd =
       catalog_cmd;
       failover_cmd;
       chaos_cmd;
+      facility_cmd;
       trace_cmd;
     ]
 

@@ -1,5 +1,6 @@
 open Mmt_util
 open Mmt_frame
+module Gauge = Mmt_telemetry.Gauge
 
 type config = {
   experiment : Experiment_id.t;
@@ -44,6 +45,7 @@ type stats = {
   last_arrival : Units.Time.t option;
   completion : Units.Time.t option;
   still_missing : int;
+  nak_state_high_water : int;
 }
 
 type gap = { mutable retries : int; mutable last_nak : Units.Time.t option }
@@ -63,6 +65,8 @@ type t = {
   deliver : meta -> bytes -> unit;
   received : (int, unit) Hashtbl.t;
   missing : (int, gap) Hashtbl.t;
+  nak_state : Gauge.t;
+      (* occupancy of [missing]: the receiver's recovery soft state *)
   given_up : (int, unit) Hashtbl.t;
   mutable next_expected : int option;
   mutable retransmit_source : Addr.Ip.t option;
@@ -102,6 +106,7 @@ let create ~env config ~deliver =
     deliver;
     received = Hashtbl.create 4096;
     missing = Hashtbl.create 64;
+    nak_state = Gauge.create ();
     given_up = Hashtbl.create 16;
     next_expected = None;
     retransmit_source = None;
@@ -151,6 +156,8 @@ let send_control t ~dst ~kind payload =
   t.env.Mmt_runtime.Env.send dst (Mmt_runtime.Env.packet t.env wrapped)
 
 (* NAK machinery ------------------------------------------------------- *)
+
+let sample_nak_state t = Gauge.set t.nak_state (Hashtbl.length t.missing)
 
 let rec flush_naks t =
   t.flush_scheduled <- false;
@@ -202,6 +209,7 @@ let rec flush_naks t =
               gap.retries <- gap.retries + 1;
               gap.last_nak <- Some now)
         sorted);
+  sample_nak_state t;
   if Hashtbl.length t.missing > 0 then schedule_flush t t.config.nak_retry_timeout
 
 and schedule_flush t delay =
@@ -245,6 +253,7 @@ and tail_check t =
             t.gaps_detected <- t.gaps_detected + 1
           end
         done;
+        sample_nak_state t;
         t.next_expected <- Some (next_expected + unseen);
         schedule_flush t t.config.nak_delay
       end
@@ -342,6 +351,7 @@ let handle_sequenced t packet header payload seq =
             Hashtbl.replace t.missing gap_seq { retries = 0; last_nak = None };
             t.gaps_detected <- t.gaps_detected + 1
           done;
+          sample_nak_state t;
           schedule_flush t t.config.nak_delay
         end;
         deliver_message t packet header payload ~recovered:false
@@ -354,6 +364,7 @@ let handle_sequenced t packet header payload seq =
                 t.gaps_detected <- t.gaps_detected + 1
               end
             done;
+            sample_nak_state t;
             schedule_flush t t.config.nak_delay
           end;
           t.next_expected <- Some (seq + 1);
@@ -366,6 +377,7 @@ let handle_sequenced t packet header payload seq =
           let recovered = Hashtbl.mem t.missing seq in
           if recovered then begin
             Hashtbl.remove t.missing seq;
+            sample_nak_state t;
             t.recovered <- t.recovered + 1
           end
           else if Hashtbl.mem t.given_up seq then begin
@@ -458,6 +470,7 @@ let stats t =
     last_arrival = t.last_arrival;
     completion = t.completion;
     still_missing = Hashtbl.length t.missing;
+    nak_state_high_water = Gauge.high_water t.nak_state;
   }
 
 let latency_summary t = t.latencies

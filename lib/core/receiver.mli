@@ -74,6 +74,10 @@ type stats = {
   last_arrival : Units.Time.t option;
   completion : Units.Time.t option;
   still_missing : int;
+  nak_state_high_water : int;
+      (** most sequences simultaneously tracked as missing — the
+          receiver-side soft-state footprint a hardware NAK engine
+          would have to provision for *)
 }
 
 type t

@@ -1,4 +1,5 @@
 open Mmt_util
+module Gauge = Mmt_telemetry.Gauge
 
 type stats = {
   stored : int;
@@ -7,6 +8,8 @@ type stats = {
   misses : int;
   occupancy : Units.Size.t;
   entries : int;
+  occupancy_high_water : Units.Size.t;
+  entries_high_water : int;
 }
 
 type entry = { frame : bytes; born : Units.Time.t }
@@ -15,7 +18,8 @@ type t = {
   capacity : int;
   frames : (int, entry) Hashtbl.t;
   order : int Queue.t; (* insertion order of sequence numbers *)
-  mutable bytes : int;
+  bytes : Gauge.t;
+  entries : Gauge.t;
   mutable stored : int;
   mutable evicted : int;
   mutable hits : int;
@@ -27,7 +31,8 @@ let create ~capacity =
     capacity = Units.Size.to_bytes capacity;
     frames = Hashtbl.create 1024;
     order = Queue.create ();
-    bytes = 0;
+    bytes = Gauge.create ();
+    entries = Gauge.create ();
     stored = 0;
     evicted = 0;
     hits = 0;
@@ -42,7 +47,8 @@ let evict_one t =
       | None -> () (* already overwritten; its queue entry was stale *)
       | Some entry ->
           Hashtbl.remove t.frames seq;
-          t.bytes <- t.bytes - Bytes.length entry.frame;
+          Gauge.add t.bytes (-Bytes.length entry.frame);
+          Gauge.add t.entries (-1);
           t.evicted <- t.evicted + 1)
 
 let store t ~seq ~born frame =
@@ -52,15 +58,17 @@ let store t ~seq ~born frame =
   else begin
     (match Hashtbl.find_opt t.frames seq with
     | Some old ->
-        t.bytes <- t.bytes - Bytes.length old.frame;
+        Gauge.add t.bytes (-Bytes.length old.frame);
+        Gauge.add t.entries (-1);
         Hashtbl.remove t.frames seq
     | None -> ());
-    while t.bytes + size > t.capacity do
+    while Gauge.value t.bytes + size > t.capacity do
       evict_one t
     done;
     Hashtbl.replace t.frames seq { frame; born };
     Queue.push seq t.order;
-    t.bytes <- t.bytes + size
+    Gauge.add t.bytes size;
+    Gauge.add t.entries 1
   end
 
 let fetch t ~seq =
@@ -80,8 +88,10 @@ let stats t =
     evicted = t.evicted;
     hits = t.hits;
     misses = t.misses;
-    occupancy = Units.Size.bytes t.bytes;
+    occupancy = Units.Size.bytes (Gauge.value t.bytes);
     entries = Hashtbl.length t.frames;
+    occupancy_high_water = Units.Size.bytes (Gauge.high_water t.bytes);
+    entries_high_water = Gauge.high_water t.entries;
   }
 
 let capacity t = Units.Size.bytes t.capacity

@@ -26,6 +26,10 @@ type stats = {
   misses : int;
   occupancy : Units.Size.t;
   entries : int;
+  occupancy_high_water : Units.Size.t;
+      (** most bytes the buffer ever held at once — the FPGA ring's
+          required depth for this workload *)
+  entries_high_water : int;
 }
 
 val create : capacity:Units.Size.t -> t

@@ -27,6 +27,11 @@ let all =
       run = Challenge6.payload_alerts;
     };
     { id = "E-R1"; title = "robustness: chaos series"; run = Chaos.run };
+    {
+      id = "E-F5";
+      title = "facility: fan-in flow-count sweep (10 -> ~1000)";
+      run = Facility.run;
+    };
   ]
 
 let normalize id =

@@ -1,0 +1,6 @@
+type 'a t = 'a array
+
+let init ~flows f = Array.init flows f
+let get t id = if id < 0 || id >= Array.length t then None else Some t.(id)
+let length = Array.length
+let iter f t = Array.iteri f t

@@ -1,0 +1,18 @@
+(** Dense per-flow state tables.
+
+    At facility scale every per-packet structure keyed by flow must be
+    O(1): a list scan that is invisible at 4 researchers costs a
+    thousand comparisons per packet at a thousand elephants (the
+    super-linear blow-up E-F5 exists to guard against; the bench
+    compares both shapes).  Flow ids are dense small integers by
+    construction ({!Address}), so the table is a plain array behind a
+    bounds-checked interface. *)
+
+type 'a t
+
+val init : flows:int -> (int -> 'a) -> 'a t
+val get : 'a t -> int -> 'a option
+(** O(1); [None] when the id is outside [0, flows). *)
+
+val length : 'a t -> int
+val iter : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,81 @@
+open Mmt_util
+
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.0
+  else begin
+    let sum = ref 0. and sumsq = ref 0. in
+    Array.iter
+      (fun x ->
+        sum := !sum +. x;
+        sumsq := !sumsq +. (x *. x))
+      xs;
+    if !sumsq = 0. then 1.0 else !sum *. !sum /. (float_of_int n *. !sumsq)
+  end
+
+type flow_sample = {
+  kind : string;
+  emitted : int;
+  emitted_bytes : int;
+  delivered : int;
+  delivered_bytes : int;
+  late : int;
+  lost : int;
+  recovered : int;
+  retx_occupancy_hw : int;
+  retx_entries_hw : int;
+  nak_state_hw : int;
+}
+
+type summary = {
+  flows : int;
+  emitted : int;
+  delivered : int;
+  delivered_bytes : int;
+  goodput : Units.Rate.t;
+  fairness : float;
+  deadline_hit_rate : float;
+  lost : int;
+  recovered : int;
+  retx_occupancy_hw : int;
+  retx_entries_hw : int;
+  nak_state_hw : int;
+}
+
+let summarize ~window samples =
+  let total (f : flow_sample -> int) =
+    Array.fold_left (fun acc s -> acc + f s) 0 samples
+  in
+  let max_over (f : flow_sample -> int) =
+    Array.fold_left (fun acc s -> max acc (f s)) 0 samples
+  in
+  let ratios =
+    Array.of_list
+      (Array.fold_left
+         (fun acc (s : flow_sample) ->
+           if s.emitted = 0 then acc
+           else (float_of_int s.delivered /. float_of_int s.emitted) :: acc)
+         [] samples
+      |> List.rev)
+  in
+  let delivered = total (fun s -> s.delivered) in
+  let late = total (fun s -> s.late) in
+  let delivered_bytes = total (fun s -> s.delivered_bytes) in
+  {
+    flows = Array.length samples;
+    emitted = total (fun s -> s.emitted);
+    delivered;
+    delivered_bytes;
+    goodput =
+      (if Units.Time.is_zero window then Units.Rate.zero
+       else Units.Rate.of_size_per_time (Units.Size.bytes delivered_bytes) window);
+    fairness = jain ratios;
+    deadline_hit_rate =
+      (if delivered = 0 then 1.0
+       else float_of_int (delivered - late) /. float_of_int delivered);
+    lost = total (fun s -> s.lost);
+    recovered = total (fun s -> s.recovered);
+    retx_occupancy_hw = max_over (fun s -> s.retx_occupancy_hw);
+    retx_entries_hw = max_over (fun s -> s.retx_entries_hw);
+    nak_state_hw = max_over (fun s -> s.nak_state_hw);
+  }

@@ -1,0 +1,52 @@
+(** Facility-scale metrics (E-F5).
+
+    The sweep judges a facility run on four axes: how much data the
+    shared infrastructure actually moved (aggregate goodput), how
+    evenly it moved it (Jain's fairness index over per-flow delivery
+    ratios), whether it moved it in time (deadline hit-rate), and how
+    much transport soft state that cost (retransmission-buffer and
+    receiver NAK-map occupancy high-water marks, read straight from
+    the transport's own gauges). *)
+
+open Mmt_util
+
+val jain : float array -> float
+(** Jain's fairness index: [(Σx)² / (n·Σx²)].  1.0 is perfectly fair,
+    [1/n] is one flow taking everything.  Conventions: an empty vector
+    and an all-zero vector are both 1.0 (nothing was shared unevenly),
+    so a single flow is always 1.0. *)
+
+type flow_sample = {
+  kind : string;  (** workload label, e.g. "bulk" *)
+  emitted : int;  (** fragments the workload handed to the sender *)
+  emitted_bytes : int;
+  delivered : int;
+  delivered_bytes : int;  (** wire bytes at the receiver *)
+  late : int;
+  lost : int;
+  recovered : int;
+  retx_occupancy_hw : int;  (** retx-buffer byte high-water mark *)
+  retx_entries_hw : int;
+  nak_state_hw : int;  (** receiver missing-map entry high-water mark *)
+}
+
+type summary = {
+  flows : int;
+  emitted : int;
+  delivered : int;
+  delivered_bytes : int;
+  goodput : Units.Rate.t;  (** delivered wire bytes over the run window *)
+  fairness : float;  (** Jain over per-flow delivery ratios *)
+  deadline_hit_rate : float;  (** 1.0 when nothing was delivered *)
+  lost : int;
+  recovered : int;
+  retx_occupancy_hw : int;  (** max over flows *)
+  retx_entries_hw : int;
+  nak_state_hw : int;
+}
+
+val summarize : window:Units.Time.t -> flow_sample array -> summary
+(** Delivery ratio is [delivered/emitted] per flow — normalization
+    that keeps heterogeneous offered rates (bulk vs telemetry) from
+    reading as unfairness.  Flows that emitted nothing are excluded
+    from the fairness vector. *)

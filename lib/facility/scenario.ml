@@ -1,0 +1,525 @@
+open Mmt_util
+
+type kind = Bulk | Burst | Telemetry
+
+type config = {
+  flows : int;
+  sinks : int;
+  degree : int;
+  duration : Units.Time.t;
+  bulk_rate : Units.Rate.t;
+  telemetry_rate : Units.Rate.t;
+  wan_rate : Units.Rate.t;
+  wan_rtt : Units.Time.t;
+  wan_loss : float;
+  sink_rate : Units.Rate.t;
+  source_link_rate : Units.Rate.t;
+  agg_headroom : float;
+  deadline_budget : Units.Time.t;
+  nak_delay : Units.Time.t;
+  nak_retry_timeout : Units.Time.t;
+  max_nak_retries : int;
+  buffer_capacity : Units.Size.t;
+  seed : int64;
+}
+
+let default =
+  {
+    flows = 100;
+    sinks = 4;
+    degree = 8;
+    duration = Units.Time.ms 10.;
+    bulk_rate = Units.Rate.mbps 400.;
+    telemetry_rate = Units.Rate.mbps 100.;
+    wan_rate = Units.Rate.gbps 200.;
+    wan_rtt = Units.Time.ms 13.;
+    wan_loss = 0.002;
+    sink_rate = Units.Rate.gbps 100.;
+    source_link_rate = Units.Rate.gbps 10.;
+    agg_headroom = 1.25;
+    deadline_budget = Units.Time.ms 40.;
+    nak_delay = Units.Time.ms 1.;
+    nak_retry_timeout = Units.Time.ms 20.;
+    max_nak_retries = 8;
+    buffer_capacity = Units.Size.mib 16;
+    seed = 42L;
+  }
+
+(* Mix pattern: ½ bulk, ⅙ burst, ⅓ telemetry. *)
+let mix_pattern = [| Bulk; Bulk; Telemetry; Bulk; Burst; Telemetry |]
+let kind_of_flow f = mix_pattern.(f mod Array.length mix_pattern)
+
+let kind_label = function
+  | Bulk -> "bulk"
+  | Burst -> "burst"
+  | Telemetry -> "telemetry"
+
+(* Burst sources are Poisson photon-event trains; their nominal
+   (capacity-planning) rate is events/s * fragments/event * fragment
+   bytes.  Kept in sync with [workload_config] below. *)
+let burst_event_rate_hz = 1000.
+let burst_fragments_per_event = 8
+let burst_payload = Units.Size.bytes 4096
+let bulk_payload = Units.Size.bytes 7168
+let telemetry_payload = Units.Size.bytes 1024
+
+let fragment_wire payload =
+  Mmt_daq.Fragment.header_size + Mmt_daq.Fragment.subheader_size
+  + Units.Size.to_bytes payload
+
+let nominal_rate config = function
+  | Bulk -> config.bulk_rate
+  | Telemetry -> config.telemetry_rate
+  | Burst ->
+      Units.Rate.bps
+        (burst_event_rate_hz
+        *. float_of_int burst_fragments_per_event
+        *. float_of_int (8 * fragment_wire burst_payload))
+
+let levels ~flows ~degree =
+  if flows < 1 then invalid_arg "Scenario.levels: flows must be positive";
+  if degree < 2 then invalid_arg "Scenario.levels: degree must be >= 2";
+  let rec go count acc =
+    if count <= 1 then List.rev acc
+    else
+      let parents = (count + degree - 1) / degree in
+      go parents (parents :: acc)
+  in
+  go flows []
+
+let offered_nominal config =
+  let total = ref Units.Rate.zero in
+  for f = 0 to config.flows - 1 do
+    total := Units.Rate.add !total (nominal_rate config (kind_of_flow f))
+  done;
+  !total
+
+let describe config =
+  let buf = Buffer.create 1024 in
+  let bulk = ref 0 and burst = ref 0 and telemetry = ref 0 in
+  for f = 0 to config.flows - 1 do
+    match kind_of_flow f with
+    | Bulk -> incr bulk
+    | Burst -> incr burst
+    | Telemetry -> incr telemetry
+  done;
+  Printf.bprintf buf
+    "facility scenario: %d flows (%d bulk / %d burst / %d telemetry) -> %d sinks\n"
+    config.flows !bulk !burst !telemetry config.sinks;
+  Printf.bprintf buf "fan-in tree: degree %d, switches per level: %s\n"
+    config.degree
+    (match levels ~flows:config.flows ~degree:config.degree with
+    | [] -> "none (single flow feeds the edge directly)"
+    | counts -> String.concat " -> " (List.map string_of_int counts));
+  let offered = offered_nominal config in
+  Printf.bprintf buf "wan: %s, rtt %s, loss %.3g%%; offered (nominal) %s (%.2fx wan)\n"
+    (Units.Rate.to_string config.wan_rate)
+    (Units.Time.to_string config.wan_rtt)
+    (config.wan_loss *. 100.)
+    (Units.Rate.to_string offered)
+    (Units.Rate.to_bps offered /. Units.Rate.to_bps config.wan_rate);
+  Printf.bprintf buf "emission window %s, edge deadline budget %s, seed %Ld\n"
+    (Units.Time.to_string config.duration)
+    (Units.Time.to_string config.deadline_budget)
+    config.seed;
+  let shown = min config.flows 8 in
+  for f = 0 to shown - 1 do
+    Printf.bprintf buf "  flow %4d %-9s %s -> %s (sink %s, buffer %s)\n" f
+      (kind_label (kind_of_flow f))
+      (Mmt_frame.Addr.Ip.to_string (Address.source_ip f))
+      (Mmt_frame.Addr.Ip.to_string (Address.flow_ip f))
+      (Mmt_frame.Addr.Ip.to_string (Address.sink_ip (f mod config.sinks)))
+      (Mmt_frame.Addr.Ip.to_string (Address.buffer_ip f))
+  done;
+  if config.flows > shown then
+    Printf.bprintf buf "  ... %d more flows, same pattern\n" (config.flows - shown);
+  Buffer.contents buf
+
+type result = {
+  summary : Metrics.summary;
+  samples : Metrics.flow_sample array;
+  sim_time : Units.Time.t;
+  events : int;
+}
+
+(* Encapsulation destination of a frame, for switch routing. *)
+let frame_dst frame =
+  match Mmt.Encap.locate frame with
+  | Ok (Mmt.Encap.Over_ipv4 { dst; _ }, _) -> Some dst
+  | Ok _ | Error _ -> None
+
+let experiment_of_flow f =
+  (* The 8-bit slice field cannot hold a facility's flow count, so the
+     flow id lives in the 24-bit experiment field. *)
+  Mmt.Experiment_id.make ~experiment:(0x0F5000 + f) ~slice:0
+
+(* Per-kind workload shapes: the catalog provides the fragment cadence
+   (scaled to the per-flow nominal rate), the profile provides the
+   burstiness. *)
+let workload_config kind =
+  let open Mmt_daq in
+  match kind with
+  | Bulk ->
+      let catalog = Experiment.find Experiment.Dune in
+      {
+        Workload.experiment = catalog;
+        scale =
+          Units.Rate.to_bps (Units.Rate.mbps 400.)
+          /. Units.Rate.to_bps catalog.Experiment.daq_rate;
+        profile = Workload.Steady;
+        payload = Workload.Synthetic bulk_payload;
+        run = 1;
+        slice = 0;
+      }
+  | Burst ->
+      let catalog = Experiment.find Experiment.Vera_rubin in
+      {
+        Workload.experiment = catalog;
+        scale = 1e-3 (* unused by the Poisson profile, must be positive *);
+        profile =
+          Workload.Poisson_events
+            {
+              mean_rate_hz = burst_event_rate_hz;
+              fragments_per_event = burst_fragments_per_event;
+            };
+        payload = Workload.Synthetic burst_payload;
+        run = 1;
+        slice = 0;
+      }
+  | Telemetry ->
+      let catalog = Experiment.find Experiment.Mu2e in
+      {
+        Workload.experiment = catalog;
+        scale =
+          Units.Rate.to_bps (Units.Rate.mbps 100.)
+          /. Units.Rate.to_bps catalog.Experiment.daq_rate;
+        profile = Workload.Steady;
+        payload = Workload.Synthetic telemetry_payload;
+        run = 1;
+        slice = 0;
+      }
+
+let run config =
+  if config.flows < 1 then invalid_arg "Scenario.run: flows must be positive";
+  if config.sinks < 1 then invalid_arg "Scenario.run: sinks must be positive";
+  let engine = Mmt_sim.Engine.create () in
+  let topo = Mmt_sim.Topology.create ~engine () in
+  let fresh_id () = Mmt_sim.Topology.fresh_packet_id topo in
+  let master = Rng.create ~seed:config.seed in
+  let loss_rng = Rng.split master in
+  let flow_rngs = Array.make config.flows master in
+  for f = 0 to config.flows - 1 do
+    flow_rngs.(f) <- Rng.split master
+  done;
+
+  (* Nodes ------------------------------------------------------------ *)
+  let sources =
+    Array.init config.flows (fun f ->
+        Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "src%d" f))
+  in
+  let level_counts = levels ~flows:config.flows ~degree:config.degree in
+  let agg_levels =
+    List.mapi
+      (fun l count ->
+        Array.init count (fun i ->
+            Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "agg%d_%d" l i)))
+      level_counts
+  in
+  let edge_in = Mmt_sim.Topology.add_node topo ~name:"edge-in" in
+  let edge_out = Mmt_sim.Topology.add_node topo ~name:"edge-out" in
+  let sinks =
+    Array.init config.sinks (fun m ->
+        Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "sink%d" m))
+  in
+
+  (* Aggregation-link sizing: nominal load below each switch, with
+     headroom, so the shared WAN stays the bottleneck by design. *)
+  let flow_nominal =
+    Array.init config.flows (fun f ->
+        Units.Rate.to_bps (nominal_rate config (kind_of_flow f)))
+  in
+  let group_sums values count =
+    let sums = Array.make count 0. in
+    Array.iteri
+      (fun i v ->
+        let parent = i / config.degree in
+        sums.(parent) <- sums.(parent) +. v)
+      values;
+    sums
+  in
+  let uplink_rate load_bps =
+    Units.Rate.bps
+      (Float.max
+         (Units.Rate.to_bps config.source_link_rate)
+         (load_bps *. config.agg_headroom))
+  in
+
+  (* Links: sources -> leaf switches -> ... -> root -> edge-in (or the
+     edge directly when a single flow needs no tree). *)
+  let source_links =
+    match agg_levels with
+    | [] ->
+        Array.init config.flows (fun f ->
+            Mmt_sim.Topology.connect topo ~src:sources.(f) ~dst:edge_in
+              ~rate:config.source_link_rate ~propagation:(Units.Time.us 2.) ())
+    | leaves :: _ ->
+        Array.init config.flows (fun f ->
+            Mmt_sim.Topology.connect topo ~src:sources.(f)
+              ~dst:leaves.(f / config.degree) ~rate:config.source_link_rate
+              ~propagation:(Units.Time.us 2.) ())
+  in
+  (* Wire each aggregation level's uplinks to the next level (or the
+     edge for the root), and install plain forwarding handlers. *)
+  let rec wire_levels sums nodes_list =
+    match nodes_list with
+    | [] -> ()
+    | level :: rest ->
+        Array.iteri
+          (fun i node ->
+            let dst =
+              match rest with next :: _ -> next.(i / config.degree) | [] -> edge_in
+            in
+            let link =
+              Mmt_sim.Topology.connect topo ~src:node ~dst
+                ~rate:(uplink_rate sums.(i))
+                ~propagation:(Units.Time.us 5.) ()
+            in
+            Mmt_sim.Node.set_handler node (Mmt_sim.Link.send link))
+          level;
+        let next_sums =
+          match rest with
+          | next :: _ -> group_sums sums (Array.length next)
+          | [] -> [||]
+        in
+        wire_levels next_sums rest
+  in
+  (match agg_levels with
+  | [] -> ()
+  | leaves :: _ ->
+      wire_levels (group_sums flow_nominal (Array.length leaves)) agg_levels);
+
+  (* The shared WAN: one impaired data link, one clean reverse link. *)
+  let half_rtt = Units.Time.scale config.wan_rtt 0.5 in
+  let wan_loss =
+    if config.wan_loss = 0. then Mmt_sim.Loss.perfect
+    else Mmt_sim.Loss.bernoulli ~drop:config.wan_loss ~corrupt:0. ~rng:loss_rng
+  in
+  let wan_data =
+    Mmt_sim.Topology.connect topo ~src:edge_in ~dst:edge_out ~rate:config.wan_rate
+      ~propagation:half_rtt ~loss:wan_loss ()
+  in
+  let wan_reverse =
+    Mmt_sim.Topology.connect topo ~src:edge_out ~dst:edge_in ~rate:config.wan_rate
+      ~propagation:half_rtt ()
+  in
+  let sink_links =
+    Array.init config.sinks (fun m ->
+        Mmt_sim.Topology.connect topo ~src:edge_out ~dst:sinks.(m)
+          ~rate:config.sink_rate ~propagation:(Units.Time.us 20.) ())
+  in
+
+  (* Facility edge (source side): per-flow mode rewriters and
+     retransmission buffers, demultiplexed by flow id in O(1). *)
+  let buffers =
+    Flow_table.init ~flows:config.flows (fun f ->
+        let router =
+          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send wan_data) ()
+        in
+        let env =
+          Mmt_pilot.Router.env router ~engine ~fresh_id
+            ~local_ip:(Address.buffer_ip f)
+        in
+        Mmt.Buffer_host.create ~env ~capacity:config.buffer_capacity ())
+  in
+  let rewriters =
+    Flow_table.init ~flows:config.flows (fun f ->
+        let mode =
+          Mmt.Mode.make
+            ~name:(Printf.sprintf "mode1/facility-wan/%d" f)
+            ~reliable:(Address.buffer_ip f)
+            ~deadline_budget:(config.deadline_budget, Mmt_frame.Addr.Ip.any)
+            ()
+        in
+        let buffer = Option.get (Flow_table.get buffers f) in
+        Mmt_innet.Mode_rewriter.create ~mode
+          ~on_rewrite:(fun ~seq ~born frame ->
+            match seq with
+            | Some seq -> Mmt.Buffer_host.store buffer ~seq ~born frame
+            | None -> ())
+          ())
+  in
+  let ingress_handlers =
+    Flow_table.init ~flows:config.flows (fun f ->
+        let element =
+          Mmt_innet.Mode_rewriter.element (Option.get (Flow_table.get rewriters f))
+        in
+        fun packet ->
+          match
+            element.Mmt_innet.Element.process ~now:(Mmt_sim.Engine.now engine)
+              packet
+          with
+          | Mmt_innet.Element.Forward p -> Mmt_sim.Link.send wan_data p
+          | Mmt_innet.Element.Replicate ps ->
+              List.iter (Mmt_sim.Link.send wan_data) ps
+          | Mmt_innet.Element.Discard _ -> ())
+  in
+  let nak_handlers =
+    Flow_table.init ~flows:config.flows (fun f ->
+        Mmt.Buffer_host.on_packet (Option.get (Flow_table.get buffers f)))
+  in
+  let edge_in_route packet =
+    match frame_dst (Mmt_sim.Packet.frame packet) with
+    | None -> None
+    | Some dst -> (
+        match Address.classify dst with
+        | Address.Flow f -> Flow_table.get ingress_handlers f
+        | Address.Buffer f -> Flow_table.get nak_handlers f
+        | _ -> None)
+  in
+  let _edge_in_switch =
+    Mmt_innet.Switch.attach ~engine ~node:edge_in
+      ~profile:Mmt_innet.Switch.tofino2 ~elements:[] ~route:edge_in_route ()
+  in
+
+  (* Facility edge (sink side): route each flow to its sink host. *)
+  let edge_out_route packet =
+    match frame_dst (Mmt_sim.Packet.frame packet) with
+    | None -> None
+    | Some dst -> (
+        match Address.classify dst with
+        | Address.Flow f when f < config.flows ->
+            Some (Mmt_sim.Link.send sink_links.(f mod config.sinks))
+        | _ -> None)
+  in
+  let _edge_out_switch =
+    Mmt_innet.Switch.attach ~engine ~node:edge_out
+      ~profile:Mmt_innet.Switch.tofino2 ~elements:[] ~route:edge_out_route ()
+  in
+
+  (* Receivers: one per flow, on the flow's sink host; NAKs and other
+     control ride the clean reverse WAN back to the edge. *)
+  let receivers =
+    Flow_table.init ~flows:config.flows (fun f ->
+        let router =
+          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send wan_reverse) ()
+        in
+        let env =
+          Mmt_pilot.Router.env router ~engine ~fresh_id
+            ~local_ip:(Address.flow_ip f)
+        in
+        Mmt.Receiver.create ~env
+          {
+            Mmt.Receiver.experiment = experiment_of_flow f;
+            nak_delay = config.nak_delay;
+            nak_retry_timeout = config.nak_retry_timeout;
+            max_nak_retries = config.max_nak_retries;
+            expected_total = None;
+          }
+          ~deliver:(fun _meta _payload -> ()))
+  in
+  Array.iter
+    (fun sink_node ->
+      Mmt_sim.Node.set_handler sink_node (fun packet ->
+          match frame_dst (Mmt_sim.Packet.frame packet) with
+          | Some dst -> (
+              match Address.classify dst with
+              | Address.Flow f -> (
+                  match Flow_table.get receivers f with
+                  | Some receiver -> Mmt.Receiver.on_packet receiver packet
+                  | None -> ())
+              | _ -> ())
+          | None -> ()))
+    sinks;
+
+  (* Sources: mode-0 senders fed by the per-kind workload shapes. *)
+  let workloads =
+    Flow_table.init ~flows:config.flows (fun f ->
+        let router =
+          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send source_links.(f)) ()
+        in
+        let env =
+          Mmt_pilot.Router.env router ~engine ~fresh_id
+            ~local_ip:(Address.source_ip f)
+        in
+        let sender =
+          Mmt.Sender.create ~env
+            {
+              Mmt.Sender.experiment = experiment_of_flow f;
+              destination = Address.flow_ip f;
+              encap =
+                Mmt.Encap.Over_ipv4
+                  {
+                    src = Address.source_ip f;
+                    dst = Address.flow_ip f;
+                    dscp = 0;
+                    ttl = 64;
+                  };
+              deadline_budget = None;
+              backpressure_to = None;
+              pace = None;
+              padding = 0;
+            }
+        in
+        Mmt_daq.Workload.start ~engine ~rng:flow_rngs.(f)
+          (workload_config (kind_of_flow f))
+          ~emit:(fun fragment ->
+            Mmt.Sender.send sender (Mmt_daq.Fragment.encode fragment))
+          ~until:config.duration)
+  in
+
+  (* Run to quiescence; the cap is a safety bound well past the worst
+     NAK-retry chain, not a working deadline. *)
+  Mmt_sim.Engine.run
+    ~until:(Units.Time.add config.duration (Units.Time.seconds 1.))
+    engine;
+
+  let samples =
+    Array.init config.flows (fun f ->
+        let w = Mmt_daq.Workload.stats (Option.get (Flow_table.get workloads f)) in
+        let r = Mmt.Receiver.stats (Option.get (Flow_table.get receivers f)) in
+        let b = Mmt.Buffer_host.stats (Option.get (Flow_table.get buffers f)) in
+        {
+          Metrics.kind = kind_label (kind_of_flow f);
+          emitted = w.Mmt_daq.Workload.fragments_emitted;
+          emitted_bytes = w.Mmt_daq.Workload.bytes_emitted;
+          delivered = r.Mmt.Receiver.delivered;
+          delivered_bytes = r.Mmt.Receiver.delivered_bytes;
+          late = r.Mmt.Receiver.late;
+          lost = r.Mmt.Receiver.lost + r.Mmt.Receiver.still_missing;
+          recovered = r.Mmt.Receiver.recovered;
+          retx_occupancy_hw =
+            Units.Size.to_bytes
+              b.Mmt.Buffer_host.buffer.Mmt.Retx_buffer.occupancy_high_water;
+          retx_entries_hw =
+            b.Mmt.Buffer_host.buffer.Mmt.Retx_buffer.entries_high_water;
+          nak_state_hw = r.Mmt.Receiver.nak_state_high_water;
+        })
+  in
+  (* Goodput window: first to last arrival across every flow.  The
+     engine clock is useless here — [run ~until] advances it to the
+     drain cap even when the queue empties early. *)
+  let window =
+    let first = ref None and last = ref None in
+    Flow_table.iter
+      (fun _ receiver ->
+        let r = Mmt.Receiver.stats receiver in
+        (match r.Mmt.Receiver.first_arrival with
+        | Some t ->
+            first :=
+              Some (match !first with None -> t | Some f -> Units.Time.min f t)
+        | None -> ());
+        match r.Mmt.Receiver.last_arrival with
+        | Some t ->
+            last := Some (match !last with None -> t | Some l -> Units.Time.max l t)
+        | None -> ())
+      receivers;
+    match (!first, !last) with
+    | Some f, Some l -> Units.Time.diff l f
+    | _ -> Units.Time.zero
+  in
+  {
+    summary = Metrics.summarize ~window samples;
+    samples;
+    sim_time = window;
+    events = Mmt_sim.Engine.processed engine;
+  }

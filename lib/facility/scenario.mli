@@ -1,0 +1,78 @@
+(** Facility-scale fan-in scenario generator.
+
+    Assembles the paper's setting — many detector front-ends
+    shape-shifting elephant flows into shared event builders across a
+    WAN (§ 2) — as one deterministic simulation: N sources of mixed
+    workload shape (LArTPC-like bulk, photon-burst, steady telemetry)
+    feed a fan-in aggregation tree of configurable degree, cross one
+    shared WAN bottleneck at the facility edge where per-flow
+    mode-0 → mode-1 rewriters and retransmission buffers live, and land
+    on M sink hosts running one MMT receiver per flow.
+
+    Everything is derived from the config (including every [Rng]
+    stream), so equal configs produce byte-identical topologies and
+    reports — the property the E-F5 sweep's sequential-vs-parallel
+    check rests on. *)
+
+open Mmt_util
+
+type kind = Bulk | Burst | Telemetry
+
+type config = {
+  flows : int;
+  sinks : int;
+  degree : int;  (** fan-in per aggregation switch *)
+  duration : Units.Time.t;  (** workload emission window *)
+  bulk_rate : Units.Rate.t;  (** per-flow nominal rate of a bulk source *)
+  telemetry_rate : Units.Rate.t;
+  wan_rate : Units.Rate.t;  (** the shared bottleneck *)
+  wan_rtt : Units.Time.t;
+  wan_loss : float;
+  sink_rate : Units.Rate.t;  (** edge -> sink-host last hop *)
+  source_link_rate : Units.Rate.t;
+  agg_headroom : float;
+      (** aggregation uplinks are provisioned at subtree nominal load
+          times this factor, so contention concentrates at the WAN *)
+  deadline_budget : Units.Time.t;  (** applied by the edge rewriters *)
+  nak_delay : Units.Time.t;
+  nak_retry_timeout : Units.Time.t;
+  max_nak_retries : int;
+  buffer_capacity : Units.Size.t;  (** per-flow retransmission buffer *)
+  seed : int64;
+}
+
+val default : config
+
+val kind_of_flow : int -> kind
+(** Deterministic mix assignment: a repeating
+    bulk/bulk/telemetry/bulk/burst/telemetry pattern (½ bulk, ⅙ burst,
+    ⅓ telemetry). *)
+
+val kind_label : kind -> string
+
+val nominal_rate : config -> kind -> Units.Rate.t
+(** Capacity-planning rate of one flow of [kind] (§ 2.1: DAQ traffic
+    has "a regular shape (size and arrival rate)"). *)
+
+val levels : flows:int -> degree:int -> int list
+(** Aggregation-switch counts per tree level, leaves first, ending in
+    the single root that feeds the facility edge. *)
+
+val describe : config -> string
+(** The full static topology plan, rendered deterministically —
+    compared byte-for-byte by the determinism tests. *)
+
+type result = {
+  summary : Metrics.summary;
+  samples : Metrics.flow_sample array;  (** indexed by flow id *)
+  sim_time : Units.Time.t;
+      (** first-to-last arrival span across all flows — the goodput
+          window (the engine clock is pinned to the drain cap by
+          [run ~until], so it can't serve as one) *)
+  events : int;  (** engine events processed *)
+}
+
+val run : config -> result
+(** Build the scenario on a fresh engine, run it to completion (with a
+    one-second drain cap past [duration] as a safety bound), and read
+    the metrics back from the endpoints' own statistics. *)

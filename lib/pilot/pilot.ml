@@ -318,24 +318,10 @@ let build config =
     let frame = Mmt_sim.Packet.frame packet in
     match frame_address frame with
     | Some (Some dst, _) ->
-        if
-          Mmt_frame.Addr.Ip.equal dst Address.dtn1_ip
-          || Mmt_frame.Addr.Ip.equal dst Address.sensor_ip
-        then Some (Mmt_sim.Link.send sw_to_d1)
-        else if Mmt_frame.Addr.Ip.equal dst Address.dtn2_ip then
-          Some (Mmt_sim.Link.send sw_to_d2)
-        else begin
-          (* researcher addresses *)
-          let rec find i links =
-            match links with
-            | [] -> None
-            | link :: rest ->
-                if Mmt_frame.Addr.Ip.equal dst (Address.researcher_ip i) then
-                  Some (Mmt_sim.Link.send link)
-                else find (i + 1) rest
-          in
-          find 0 researcher_links
-        end
+        (* router_sw already holds every destination (DTNs, sensor,
+           researchers); an O(1) lookup replaces the old linear scan
+           over researcher links that cost O(consumers) per packet. *)
+        Router.find router_sw dst
     | Some (None, _) -> Some (Mmt_sim.Link.send sw_to_d2)
     | None -> None
   in

@@ -9,6 +9,7 @@ type t = {
 let create ?default () = { table = Hashtbl.create 8; default; unrouted = 0 }
 
 let add t ip sink = Hashtbl.replace t.table ip sink
+let find t ip = Hashtbl.find_opt t.table ip
 
 let send t ip packet =
   match Hashtbl.find_opt t.table ip with

@@ -12,6 +12,12 @@ type t
 val create : ?default:(Mmt_sim.Packet.t -> unit) -> unit -> t
 val add : t -> Addr.Ip.t -> (Mmt_sim.Packet.t -> unit) -> unit
 val send : t -> Addr.Ip.t -> Mmt_sim.Packet.t -> unit
+
+(** O(1) table lookup without the default fallback or unrouted
+    accounting — the shape switch [route] callbacks need.  Replaces the
+    per-packet linear scans that degraded super-linearly with fan-out
+    (every data packet paid O(consumers) at the switch). *)
+val find : t -> Addr.Ip.t -> (Mmt_sim.Packet.t -> unit) option
 val unrouted : t -> int
 
 val env :

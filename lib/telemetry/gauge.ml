@@ -1,0 +1,11 @@
+type t = { mutable value : int; mutable high_water : int }
+
+let create () = { value = 0; high_water = 0 }
+
+let set t v =
+  t.value <- v;
+  if v > t.high_water then t.high_water <- v
+
+let add t delta = set t (t.value + delta)
+let value t = t.value
+let high_water t = t.high_water

@@ -1,0 +1,24 @@
+(** High-water-mark gauges over integer quantities.
+
+    A gauge tracks the current value of some occupancy — bytes in a
+    retransmission buffer, open gaps in a receiver's NAK map — together
+    with the highest value it ever reached.  Facility-scale experiments
+    (E-F5) read the high-water mark directly from the transport's own
+    soft state instead of re-deriving it from event logs, so the metric
+    stays honest as the implementation changes. *)
+
+type t
+
+val create : unit -> t
+(** A gauge at zero with a zero high-water mark. *)
+
+val set : t -> int -> unit
+(** Replace the current value, raising the high-water mark if the new
+    value exceeds it. *)
+
+val add : t -> int -> unit
+(** [add t delta] adjusts the current value by [delta] (which may be
+    negative); the high-water mark only ever rises. *)
+
+val value : t -> int
+val high_water : t -> int

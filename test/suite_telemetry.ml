@@ -35,8 +35,21 @@ let test_flow_meter_empty_series () =
     (List.length (Mmt_telemetry.Flow_meter.series meter));
   Alcotest.(check int) "no bytes" 0 (Mmt_telemetry.Flow_meter.total_bytes meter)
 
+let test_gauge_high_water () =
+  let g = Mmt_telemetry.Gauge.create () in
+  Alcotest.(check int) "starts at zero" 0 (Mmt_telemetry.Gauge.value g);
+  Mmt_telemetry.Gauge.set g 5;
+  Mmt_telemetry.Gauge.add g 3;
+  Alcotest.(check int) "value tracks" 8 (Mmt_telemetry.Gauge.value g);
+  Alcotest.(check int) "high water rises" 8 (Mmt_telemetry.Gauge.high_water g);
+  Mmt_telemetry.Gauge.set g 2;
+  Mmt_telemetry.Gauge.add g (-2);
+  Alcotest.(check int) "value falls" 0 (Mmt_telemetry.Gauge.value g);
+  Alcotest.(check int) "high water holds" 8 (Mmt_telemetry.Gauge.high_water g)
+
 let suite =
   [
+    Alcotest.test_case "gauge high-water mark" `Quick test_gauge_high_water;
     Alcotest.test_case "flow meter rejects zero bin" `Quick
       test_flow_meter_rejects_zero_bin;
     Alcotest.test_case "flow meter zero-fills empty bins" `Quick

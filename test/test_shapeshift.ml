@@ -26,4 +26,5 @@ let () =
       ("fault", Suite_fault.suite);
       ("fuzz", Suite_fuzz.suite);
       ("experiments", Suite_experiments.suite);
+      ("facility", Suite_facility.suite);
     ]
