@@ -331,6 +331,89 @@ let print_demux_note micro =
         old_ns new_ns facility_flows (old_ns /. new_ns)
   | _ -> ()
 
+(* E-F5 sharded vs sequential: the largest sweep point, run whole on
+   one engine and cut at its WAN-class links onto 4 domains.  The
+   results must match field for field; the gate holds the sharded
+   wall-clock to the sequential one (near-linear scaling needs real
+   cores — this machine may have one — but the barrier overhead must
+   never make sharding a pessimization). *)
+let run_sharded_facility () =
+  let flows = 1000 in
+  let shards = 4 in
+  let config =
+    {
+      Mmt_facility.Scenario.default with
+      Mmt_facility.Scenario.flows;
+      duration = Units.Time.ms 3.;
+    }
+  in
+  let time f =
+    let started = Unix.gettimeofday () in
+    let result = f () in
+    (result, Unix.gettimeofday () -. started)
+  in
+  let seq, seq_wall = time (fun () -> Mmt_facility.Scenario.run config) in
+  let sh, sh_wall =
+    time (fun () -> Mmt_facility.Scenario.run ~shards config)
+  in
+  let identical =
+    seq.Mmt_facility.Scenario.summary = sh.Mmt_facility.Scenario.summary
+    && seq.Mmt_facility.Scenario.samples = sh.Mmt_facility.Scenario.samples
+    && seq.Mmt_facility.Scenario.sim_time = sh.Mmt_facility.Scenario.sim_time
+    && seq.Mmt_facility.Scenario.events = sh.Mmt_facility.Scenario.events
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "sharded E-F5 (%d flows): sequential %.2f s, %d shards %.2f s (%.2fx), \
+     %d core(s), results %s\n"
+    flows seq_wall shards sh_wall (seq_wall /. sh_wall) cores
+    (if identical then "identical" else "DIFFER");
+  (flows, shards, cores, seq_wall, sh_wall, identical)
+
+(* Allocation audit for the sharded runner: a barrier crossing must
+   not allocate.  Two idle components trade 10k windows with almost no
+   events, so per-window allocation on this domain is the barrier
+   machinery's own (the one-off Domain.spawn cost amortizes away). *)
+let check_barrier_allocation () =
+  let windows = 10_000 in
+  let build topo =
+    let a = Mmt_sim.Topology.add_node topo ~name:"a" in
+    let b = Mmt_sim.Topology.add_node topo ~name:"b" in
+    ignore
+      (Mmt_sim.Topology.connect topo ~src:a ~dst:b
+         ~rate:(Units.Rate.gbps 10.) ~propagation:(Units.Time.ms 2.) ());
+    ignore
+      (Mmt_sim.Topology.connect topo ~src:b ~dst:a
+         ~rate:(Units.Rate.gbps 10.) ~propagation:(Units.Time.ms 2.) ());
+    (* One no-op event per 5 ms on each shard: every window moves the
+       clock, none moves a packet. *)
+    let ea = Mmt_sim.Topology.node_engine topo a in
+    let eb = Mmt_sim.Topology.node_engine topo b in
+    for i = 0 to windows - 1 do
+      let at = Units.Time.of_int_ns (i * 5_000_000) in
+      ignore (Mmt_sim.Engine.schedule ea ~at ignore);
+      ignore (Mmt_sim.Engine.schedule eb ~at ignore)
+    done
+  in
+  let make () =
+    match Mmt_sim.Shard.build ~shards:2 build with
+    | _, (), Some runner -> runner
+    | _, (), None -> failwith "bench: barrier audit fell back to sequential"
+  in
+  Mmt_sim.Shard.run (make ()) (* warm: domain and allocator startup *);
+  let runner = make () in
+  (* Counters read around the run only — construction may allocate,
+     the window loop may not (Domain.spawn's one-off cost amortizes
+     over the 10k windows). *)
+  let before = Gc.minor_words () in
+  Mmt_sim.Shard.run runner;
+  let after = Gc.minor_words () in
+  let words_per_window = (after -. before) /. float_of_int windows in
+  Printf.printf "barrier crossing allocation: %.3f minor words/window %s\n"
+    words_per_window
+    (if words_per_window < 0.5 then "(allocation-free)" else "(ALLOCATES)");
+  words_per_window
+
 (* Allocation audit: `Engine.schedule` must not allocate beyond the
    caller's callback.  Measured outside bechamel so the measurement
    itself cannot allocate between the two counter reads. *)
@@ -461,8 +544,12 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sweep =
+let write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sharded
+    ~barrier_words ~sweep =
   let results, sequential_wall, parallel, _ = sweep in
+  let sh_flows, sh_shards, sh_cores, sh_seq_wall, sh_wall, sh_identical =
+    sharded
+  in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -478,6 +565,19 @@ let write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sweep =
         (Printf.sprintf "    \"%s\": %.1f%s\n" (json_escape name) ns
            (if i = n - 1 then "" else ",")))
     micro;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"sharded\": {\n";
+  Buffer.add_string buf (Printf.sprintf "    \"flows\": %d,\n" sh_flows);
+  Buffer.add_string buf (Printf.sprintf "    \"shards\": %d,\n" sh_shards);
+  Buffer.add_string buf (Printf.sprintf "    \"cores\": %d,\n" sh_cores);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"sequential_wall_s\": %.3f,\n" sh_seq_wall);
+  Buffer.add_string buf (Printf.sprintf "    \"sharded_wall_s\": %.3f,\n" sh_wall);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"results_identical\": %b,\n" sh_identical);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"barrier_alloc_minor_words_per_window\": %.3f\n"
+       barrier_words);
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"sweep\": {\n";
   Buffer.add_string buf
@@ -526,11 +626,18 @@ let run json jobs quota limit =
   print_demux_note micro;
   let micro = micro @ [ facility_per_event () ] in
   print_newline ();
+  let sharded = run_sharded_facility () in
+  let barrier_words = check_barrier_allocation () in
+  print_newline ();
   let alloc_words = check_schedule_allocation () in
   Option.iter
-    (fun path -> write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sweep)
+    (fun path ->
+      write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sharded
+        ~barrier_words ~sweep)
     json;
   let _, _, _, all_ok = sweep in
+  let _, _, _, _, _, sharded_identical = sharded in
+  let all_ok = all_ok && sharded_identical in
   if all_ok then begin
     print_endline "ALL SHAPE CHECKS PASSED";
     0

@@ -126,7 +126,19 @@ let pilot_cmd =
       & info [ "int" ]
           ~doc:"Stamp in-band telemetry along the path and print the per-hop breakdown.")
   in
-  let run profile fragments loss corrupt researchers deadline_ms seed int_flag =
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Cut the topology at its WAN links and run the pieces on \
+             $(docv) domains; 0 picks the machine's recommended count.  \
+             Deterministic: the results are byte-identical to the \
+             sequential run (which remains the default, and the \
+             fallback when the topology yields fewer than two pieces).")
+  in
+  let run profile fragments loss corrupt researchers deadline_ms seed int_flag
+      shards =
     let config =
       {
         Mmt_pilot.Pilot.default_config with
@@ -140,7 +152,15 @@ let pilot_cmd =
         seed;
       }
     in
-    let pilot = Mmt_pilot.Pilot.build config in
+    if shards < 0 then begin
+      Printf.eprintf "shapeshift pilot: --shards must be 0 (auto) or positive\n";
+      2
+    end
+    else begin
+    let shards =
+      if shards = 0 then Mmt_util.Task_pool.recommended_jobs () else shards
+    in
+    let pilot = Mmt_pilot.Pilot.build ~shards config in
     Mmt_pilot.Pilot.run pilot;
     let r = Mmt_pilot.Pilot.results pilot in
     let receiver = r.Mmt_pilot.Pilot.receiver in
@@ -173,6 +193,8 @@ let pilot_cmd =
         row (Printf.sprintf "researcher %d delivered" i)
           (string_of_int stats.Mmt.Receiver.delivered))
       r.Mmt_pilot.Pilot.researcher_stats;
+    if shards > 1 then
+      row "shards engaged" (string_of_int (Mmt_pilot.Pilot.nshards pilot));
     Table.print table;
     Option.iter
       (fun collector ->
@@ -180,12 +202,13 @@ let pilot_cmd =
         print_string (Mmt_int.Collector.render collector))
       (Mmt_pilot.Pilot.int_collector pilot);
     if receiver.Mmt.Receiver.delivered = r.Mmt_pilot.Pilot.emitted then 0 else 1
+    end
   in
   Cmd.v
     (Cmd.info "pilot" ~doc:"Run the Fig. 4 pilot topology with custom parameters.")
     Term.(
       const run $ profile_arg $ fragments $ loss $ corrupt $ researchers
-      $ deadline_ms $ seed $ int_flag)
+      $ deadline_ms $ seed $ int_flag $ shards)
 
 (* `shapeshift telemetry` ---------------------------------------------------- *)
 
@@ -472,6 +495,19 @@ let facility_cmd =
              self-contained deterministic simulation, so the report is \
              byte-identical to the sequential sweep.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Additionally parallelize $(i,within) each point: cut the \
+             facility topology at its WAN-class links (the metro uplinks \
+             and the shared WAN) and run the detector halls on $(docv) \
+             domains; 0 picks the machine's recommended count.  Composes \
+             with --jobs, and like it changes no byte of the report.  \
+             Prefer --jobs when there are many points and --shards when \
+             one huge point dominates.")
+  in
   let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~doc:"Simulation seed.") in
   let duration_ms =
     Arg.(
@@ -490,12 +526,20 @@ let facility_cmd =
             "Print the static topology plan for $(docv) flows and exit \
              without simulating.")
   in
-  let run min_flows max_flows jobs seed duration_ms loss plan =
+  let run min_flows max_flows jobs shards seed duration_ms loss plan =
     if jobs < 0 then begin
       Printf.eprintf "shapeshift facility: --jobs must be 0 (auto) or positive\n";
       2
     end
+    else if shards < 0 then begin
+      Printf.eprintf
+        "shapeshift facility: --shards must be 0 (auto) or positive\n";
+      2
+    end
     else begin
+      let shards =
+        if shards = 0 then Mmt_util.Task_pool.recommended_jobs () else shards
+      in
       let base =
         {
           Scenario.default with
@@ -517,7 +561,9 @@ let facility_cmd =
           end
           else begin
             let points = Mmt_facility.Sweep.log_points ~lo:min_flows ~hi:max_flows () in
-            let output, ok = Mmt_experiments.Facility.report ~jobs ~base ~points () in
+            let output, ok =
+              Mmt_experiments.Facility.report ~jobs ~shards ~base ~points ()
+            in
             print_string output;
             print_newline ();
             if ok then 0 else 1
@@ -531,7 +577,8 @@ let facility_cmd =
           mixed-kind elephant flows through an aggregation tree and one \
           shared WAN bottleneck.")
     Term.(
-      const run $ min_flows $ max_flows $ jobs $ seed $ duration_ms $ loss $ plan)
+      const run $ min_flows $ max_flows $ jobs $ shards $ seed $ duration_ms
+      $ loss $ plan)
 
 (* `shapeshift trace` ----------------------------------------------------------- *)
 

@@ -11,8 +11,9 @@ let default_points = Sweep.log_points ~lo:10 ~hi:1000 ()
 
 let pct x = Printf.sprintf "%.2f%%" (100. *. x)
 
-let report ?(jobs = 1) ?(base = default_base) ?(points = default_points) () =
-  let results = Sweep.run ~jobs ~base ~points () in
+let report ?(jobs = 1) ?(shards = 1) ?(base = default_base)
+    ?(points = default_points) () =
+  let results = Sweep.run ~jobs ~shards ~base ~points () in
   let table =
     Table.create
       ~title:

@@ -7,12 +7,17 @@
 
 val report :
   ?jobs:int ->
+  ?shards:int ->
   ?base:Mmt_facility.Scenario.config ->
   ?points:int list ->
   unit ->
   string * bool
-(** Render the sweep (optionally across domains — output is
-    byte-identical to the sequential run) plus the shape checks. *)
+(** Render the sweep (optionally across domains — [jobs] parallelizes
+    over sweep points, [shards] parallelizes within each point; output
+    is byte-identical to the sequential run either way) plus the shape
+    checks.  The determinism check re-runs the first point on a plain
+    sequential engine, so a sharded sweep is cross-checked against
+    sequential execution on every invocation. *)
 
 val run : unit -> string * bool
 (** The registry entry: [report] with the default configuration. *)

@@ -4,6 +4,7 @@ type kind = Bulk | Burst | Telemetry
 
 type config = {
   flows : int;
+  sites : int;
   sinks : int;
   degree : int;
   duration : Units.Time.t;
@@ -26,6 +27,7 @@ type config = {
 let default =
   {
     flows = 100;
+    sites = 4;
     sinks = 4;
     degree = 8;
     duration = Units.Time.ms 10.;
@@ -76,6 +78,25 @@ let nominal_rate config = function
         *. float_of_int burst_fragments_per_event
         *. float_of_int (8 * fragment_wire burst_payload))
 
+(* Geographic partition of the facility: flows live at [sites]
+   detector halls in contiguous blocks, split as evenly as the counts
+   allow.  Each hall runs its own fan-in tree and hosts the per-flow
+   rewriters and retransmission buffers for its block at a site-edge
+   switch, joined to the shared facility edge by a metro-distance
+   uplink.  The metro hop is WAN-class by the simulator's standards
+   (>= {!Mmt_sim.Link.cut_threshold}), which is exactly what lets the
+   sharded runner put every hall on its own domain. *)
+let metro_propagation = Units.Time.ms 2.
+
+let site_spans config =
+  if config.sites < 1 then invalid_arg "Scenario: sites must be positive";
+  let sites = Stdlib.min config.sites config.flows in
+  let base = config.flows / sites and rem = config.flows mod sites in
+  Array.init sites (fun s ->
+      let start = (s * base) + Stdlib.min s rem in
+      let count = base + (if s < rem then 1 else 0) in
+      (start, count))
+
 let levels ~flows ~degree =
   if flows < 1 then invalid_arg "Scenario.levels: flows must be positive";
   if degree < 2 then invalid_arg "Scenario.levels: degree must be >= 2";
@@ -106,10 +127,16 @@ let describe config =
   Printf.bprintf buf
     "facility scenario: %d flows (%d bulk / %d burst / %d telemetry) -> %d sinks\n"
     config.flows !bulk !burst !telemetry config.sinks;
-  Printf.bprintf buf "fan-in tree: degree %d, switches per level: %s\n"
+  let spans = site_spans config in
+  Printf.bprintf buf "sites: %d (flows per site: %s), metro uplink %s\n"
+    (Array.length spans)
+    (String.concat "/"
+       (Array.to_list (Array.map (fun (_, count) -> string_of_int count) spans)))
+    (Units.Time.to_string metro_propagation);
+  Printf.bprintf buf "fan-in tree per site: degree %d, switches per level: %s\n"
     config.degree
-    (match levels ~flows:config.flows ~degree:config.degree with
-    | [] -> "none (single flow feeds the edge directly)"
+    (match levels ~flows:(snd spans.(0)) ~degree:config.degree with
+    | [] -> "none (single flow feeds the site edge directly)"
     | counts -> String.concat " -> " (List.map string_of_int counts));
   let offered = offered_nominal config in
   Printf.bprintf buf "wan: %s, rtt %s, loss %.3g%%; offered (nominal) %s (%.2fx wan)\n"
@@ -199,12 +226,33 @@ let workload_config kind =
         slice = 0;
       }
 
-let run config =
-  if config.flows < 1 then invalid_arg "Scenario.run: flows must be positive";
-  if config.sinks < 1 then invalid_arg "Scenario.run: sinks must be positive";
-  let engine = Mmt_sim.Engine.create () in
-  let topo = Mmt_sim.Topology.create ~engine () in
-  let fresh_id () = Mmt_sim.Topology.fresh_packet_id topo in
+(* Everything [run] needs to read results back after the engines have
+   drained. *)
+type built = {
+  workloads : Mmt_daq.Workload.t Flow_table.t;
+  receivers : Mmt.Receiver.t Flow_table.t;
+  buffers : Mmt.Buffer_host.t Flow_table.t;
+}
+
+(* Construct the whole facility inside [topo].  This same function
+   serves the sequential engine and every sharded configuration: the
+   topology decides which engine each node lives on
+   ({!Mmt_sim.Topology.node_engine}), and each component is attached
+   to its own node's engine.  Identical construction order across
+   modes is what pins down identical cut-edge ids and identical
+   per-engine scheduling order — the byte-identity the E-F5
+   determinism tests check. *)
+let build config topo =
+  let spans = site_spans config in
+  let nsites = Array.length spans in
+  let site_of = Array.make config.flows 0 in
+  Array.iteri
+    (fun s (start, count) ->
+      for f = start to start + count - 1 do
+        site_of.(f) <- s
+      done)
+    spans;
+
   let master = Rng.create ~seed:config.seed in
   let loss_rng = Rng.split master in
   let flow_rngs = Array.make config.flows master in
@@ -212,19 +260,29 @@ let run config =
     flow_rngs.(f) <- Rng.split master
   done;
 
-  (* Nodes ------------------------------------------------------------ *)
-  let sources =
-    Array.init config.flows (fun f ->
-        Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "src%d" f))
-  in
-  let level_counts = levels ~flows:config.flows ~degree:config.degree in
-  let agg_levels =
-    List.mapi
-      (fun l count ->
-        Array.init count (fun i ->
-            Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "agg%d_%d" l i)))
-      level_counts
-  in
+  (* Nodes, site-major: a hall's sources, aggregation tree and
+     site-edge switch are one cut component; the shared edge and the
+     sink side follow. *)
+  let placeholder = Mmt_sim.Node.create ~name:"_" in
+  let sources = Array.make config.flows placeholder in
+  let sedges = Array.make nsites placeholder in
+  let site_levels = Array.make nsites [] in
+  for s = 0 to nsites - 1 do
+    let start, count = spans.(s) in
+    for f = start to start + count - 1 do
+      sources.(f) <-
+        Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "src%d" f)
+    done;
+    site_levels.(s) <-
+      List.mapi
+        (fun l n ->
+          Array.init n (fun i ->
+              Mmt_sim.Topology.add_node topo
+                ~name:(Printf.sprintf "s%d_agg%d_%d" s l i)))
+        (levels ~flows:count ~degree:config.degree);
+    sedges.(s) <-
+      Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "site-edge%d" s)
+  done;
   let edge_in = Mmt_sim.Topology.add_node topo ~name:"edge-in" in
   let edge_out = Mmt_sim.Topology.add_node topo ~name:"edge-out" in
   let sinks =
@@ -254,49 +312,73 @@ let run config =
          (load_bps *. config.agg_headroom))
   in
 
-  (* Links: sources -> leaf switches -> ... -> root -> edge-in (or the
-     edge directly when a single flow needs no tree). *)
-  let source_links =
-    match agg_levels with
+  (* Per-site links: sources -> leaf switches -> ... -> root -> the
+     site edge (or the site edge directly when one flow needs no
+     tree), then the metro-distance duplex pair to the facility edge. *)
+  let source_links = Array.make config.flows None in
+  let metro_up = Array.make nsites None in
+  let metro_down = Array.make nsites None in
+  for s = 0 to nsites - 1 do
+    let start, count = spans.(s) in
+    let site_nominal = Array.sub flow_nominal start count in
+    (match site_levels.(s) with
     | [] ->
-        Array.init config.flows (fun f ->
-            Mmt_sim.Topology.connect topo ~src:sources.(f) ~dst:edge_in
-              ~rate:config.source_link_rate ~propagation:(Units.Time.us 2.) ())
+        source_links.(start) <-
+          Some
+            (Mmt_sim.Topology.connect topo ~src:sources.(start)
+               ~dst:sedges.(s) ~rate:config.source_link_rate
+               ~propagation:(Units.Time.us 2.) ())
     | leaves :: _ ->
-        Array.init config.flows (fun f ->
-            Mmt_sim.Topology.connect topo ~src:sources.(f)
-              ~dst:leaves.(f / config.degree) ~rate:config.source_link_rate
-              ~propagation:(Units.Time.us 2.) ())
-  in
-  (* Wire each aggregation level's uplinks to the next level (or the
-     edge for the root), and install plain forwarding handlers. *)
-  let rec wire_levels sums nodes_list =
-    match nodes_list with
+        for f = start to start + count - 1 do
+          source_links.(f) <-
+            Some
+              (Mmt_sim.Topology.connect topo ~src:sources.(f)
+                 ~dst:leaves.((f - start) / config.degree)
+                 ~rate:config.source_link_rate
+                 ~propagation:(Units.Time.us 2.) ())
+        done);
+    (* Wire each aggregation level's uplinks to the next level (or the
+       site edge for the root), and install plain forwarding handlers. *)
+    let rec wire_levels sums nodes_list =
+      match nodes_list with
+      | [] -> ()
+      | level :: rest ->
+          Array.iteri
+            (fun i node ->
+              let dst =
+                match rest with
+                | next :: _ -> next.(i / config.degree)
+                | [] -> sedges.(s)
+              in
+              let link =
+                Mmt_sim.Topology.connect topo ~src:node ~dst
+                  ~rate:(uplink_rate sums.(i))
+                  ~propagation:(Units.Time.us 5.) ()
+              in
+              Mmt_sim.Node.set_handler node (Mmt_sim.Link.send link))
+            level;
+          let next_sums =
+            match rest with
+            | next :: _ -> group_sums sums (Array.length next)
+            | [] -> [||]
+          in
+          wire_levels next_sums rest
+    in
+    (match site_levels.(s) with
     | [] -> ()
-    | level :: rest ->
-        Array.iteri
-          (fun i node ->
-            let dst =
-              match rest with next :: _ -> next.(i / config.degree) | [] -> edge_in
-            in
-            let link =
-              Mmt_sim.Topology.connect topo ~src:node ~dst
-                ~rate:(uplink_rate sums.(i))
-                ~propagation:(Units.Time.us 5.) ()
-            in
-            Mmt_sim.Node.set_handler node (Mmt_sim.Link.send link))
-          level;
-        let next_sums =
-          match rest with
-          | next :: _ -> group_sums sums (Array.length next)
-          | [] -> [||]
-        in
-        wire_levels next_sums rest
-  in
-  (match agg_levels with
-  | [] -> ()
-  | leaves :: _ ->
-      wire_levels (group_sums flow_nominal (Array.length leaves)) agg_levels);
+    | leaves :: _ as all ->
+        wire_levels (group_sums site_nominal (Array.length leaves)) all);
+    let site_load = Array.fold_left ( +. ) 0. site_nominal in
+    let up, down =
+      Mmt_sim.Topology.duplex topo ~a:sedges.(s) ~b:edge_in
+        ~rate:(uplink_rate site_load) ~propagation:metro_propagation ()
+    in
+    metro_up.(s) <- Some up;
+    metro_down.(s) <- Some down
+  done;
+  let source_links = Array.map Option.get source_links in
+  let metro_up = Array.map Option.get metro_up in
+  let metro_down = Array.map Option.get metro_down in
 
   (* The shared WAN: one impaired data link, one clean reverse link. *)
   let half_rtt = Units.Time.scale config.wan_rtt 0.5 in
@@ -318,15 +400,22 @@ let run config =
           ~rate:config.sink_rate ~propagation:(Units.Time.us 20.) ())
   in
 
-  (* Facility edge (source side): per-flow mode rewriters and
-     retransmission buffers, demultiplexed by flow id in O(1). *)
+  (* Site edge (source side): per-flow mode rewriters and
+     retransmission buffers live at their flow's hall, demultiplexed
+     by flow id in O(1).  Retransmissions and rewritten traffic ride
+     the metro uplink; the facility edge forwards them onto the WAN. *)
+  let sedge_ids =
+    Array.init nsites (fun s -> Mmt_sim.Topology.id_source topo sedges.(s))
+  in
   let buffers =
     Flow_table.init ~flows:config.flows (fun f ->
+        let s = site_of.(f) in
+        let engine = Mmt_sim.Topology.node_engine topo sedges.(s) in
         let router =
-          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send wan_data) ()
+          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send metro_up.(s)) ()
         in
         let env =
-          Mmt_pilot.Router.env router ~engine ~fresh_id
+          Mmt_pilot.Router.env router ~engine ~fresh_id:sedge_ids.(s)
             ~local_ip:(Address.buffer_ip f)
         in
         Mmt.Buffer_host.create ~env ~capacity:config.buffer_capacity ())
@@ -350,6 +439,9 @@ let run config =
   in
   let ingress_handlers =
     Flow_table.init ~flows:config.flows (fun f ->
+        let s = site_of.(f) in
+        let engine = Mmt_sim.Topology.node_engine topo sedges.(s) in
+        let uplink = metro_up.(s) in
         let element =
           Mmt_innet.Mode_rewriter.element (Option.get (Flow_table.get rewriters f))
         in
@@ -358,27 +450,52 @@ let run config =
             element.Mmt_innet.Element.process ~now:(Mmt_sim.Engine.now engine)
               packet
           with
-          | Mmt_innet.Element.Forward p -> Mmt_sim.Link.send wan_data p
+          | Mmt_innet.Element.Forward p -> Mmt_sim.Link.send uplink p
           | Mmt_innet.Element.Replicate ps ->
-              List.iter (Mmt_sim.Link.send wan_data) ps
+              List.iter (Mmt_sim.Link.send uplink) ps
           | Mmt_innet.Element.Discard _ -> ())
   in
   let nak_handlers =
     Flow_table.init ~flows:config.flows (fun f ->
         Mmt.Buffer_host.on_packet (Option.get (Flow_table.get buffers f)))
   in
+  for s = 0 to nsites - 1 do
+    let start, count = spans.(s) in
+    let local f = f >= start && f < start + count in
+    let sedge_route packet =
+      match frame_dst (Mmt_sim.Packet.frame packet) with
+      | None -> None
+      | Some dst -> (
+          match Address.classify dst with
+          | Address.Flow f when local f -> Flow_table.get ingress_handlers f
+          | Address.Buffer f when local f -> Flow_table.get nak_handlers f
+          | _ -> None)
+    in
+    ignore
+      (Mmt_innet.Switch.attach
+         ~engine:(Mmt_sim.Topology.node_engine topo sedges.(s))
+         ~node:sedges.(s) ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
+         ~route:sedge_route ())
+  done;
+
+  (* Facility edge: rewritten site traffic goes out the WAN; NAKs
+     coming back off the WAN go down the owning site's metro link. *)
   let edge_in_route packet =
     match frame_dst (Mmt_sim.Packet.frame packet) with
     | None -> None
     | Some dst -> (
         match Address.classify dst with
-        | Address.Flow f -> Flow_table.get ingress_handlers f
-        | Address.Buffer f -> Flow_table.get nak_handlers f
+        | Address.Flow f when f < config.flows ->
+            Some (Mmt_sim.Link.send wan_data)
+        | Address.Buffer f when f < config.flows ->
+            Some (Mmt_sim.Link.send metro_down.(site_of.(f)))
         | _ -> None)
   in
   let _edge_in_switch =
-    Mmt_innet.Switch.attach ~engine ~node:edge_in
-      ~profile:Mmt_innet.Switch.tofino2 ~elements:[] ~route:edge_in_route ()
+    Mmt_innet.Switch.attach
+      ~engine:(Mmt_sim.Topology.node_engine topo edge_in)
+      ~node:edge_in ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
+      ~route:edge_in_route ()
   in
 
   (* Facility edge (sink side): route each flow to its sink host. *)
@@ -392,19 +509,26 @@ let run config =
         | _ -> None)
   in
   let _edge_out_switch =
-    Mmt_innet.Switch.attach ~engine ~node:edge_out
-      ~profile:Mmt_innet.Switch.tofino2 ~elements:[] ~route:edge_out_route ()
+    Mmt_innet.Switch.attach
+      ~engine:(Mmt_sim.Topology.node_engine topo edge_out)
+      ~node:edge_out ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
+      ~route:edge_out_route ()
   in
 
   (* Receivers: one per flow, on the flow's sink host; NAKs and other
      control ride the clean reverse WAN back to the edge. *)
+  let sink_ids =
+    Array.init config.sinks (fun m -> Mmt_sim.Topology.id_source topo sinks.(m))
+  in
   let receivers =
     Flow_table.init ~flows:config.flows (fun f ->
+        let sink = f mod config.sinks in
+        let engine = Mmt_sim.Topology.node_engine topo sinks.(sink) in
         let router =
           Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send wan_reverse) ()
         in
         let env =
-          Mmt_pilot.Router.env router ~engine ~fresh_id
+          Mmt_pilot.Router.env router ~engine ~fresh_id:sink_ids.(sink)
             ~local_ip:(Address.flow_ip f)
         in
         Mmt.Receiver.create ~env
@@ -434,11 +558,13 @@ let run config =
   (* Sources: mode-0 senders fed by the per-kind workload shapes. *)
   let workloads =
     Flow_table.init ~flows:config.flows (fun f ->
+        let engine = Mmt_sim.Topology.node_engine topo sources.(f) in
         let router =
           Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send source_links.(f)) ()
         in
         let env =
-          Mmt_pilot.Router.env router ~engine ~fresh_id
+          Mmt_pilot.Router.env router ~engine
+            ~fresh_id:(Mmt_sim.Topology.id_source topo sources.(f))
             ~local_ip:(Address.source_ip f)
         in
         let sender =
@@ -466,12 +592,27 @@ let run config =
             Mmt.Sender.send sender (Mmt_daq.Fragment.encode fragment))
           ~until:config.duration)
   in
+  { workloads; receivers; buffers }
 
+let run ?(shards = 1) config =
+  if config.flows < 1 then invalid_arg "Scenario.run: flows must be positive";
+  if config.sinks < 1 then invalid_arg "Scenario.run: sinks must be positive";
+  let topo, { workloads; receivers; buffers }, runner =
+    Mmt_sim.Shard.build ~shards (build config)
+  in
   (* Run to quiescence; the cap is a safety bound well past the worst
      NAK-retry chain, not a working deadline. *)
-  Mmt_sim.Engine.run
-    ~until:(Units.Time.add config.duration (Units.Time.seconds 1.))
-    engine;
+  let until = Units.Time.add config.duration (Units.Time.seconds 1.) in
+  let events =
+    match runner with
+    | None ->
+        let engine = Mmt_sim.Topology.engine topo in
+        Mmt_sim.Engine.run ~until engine;
+        Mmt_sim.Engine.processed engine
+    | Some r ->
+        Mmt_sim.Shard.run ~until r;
+        Mmt_sim.Shard.events r
+  in
 
   let samples =
     Array.init config.flows (fun f ->
@@ -517,9 +658,4 @@ let run config =
     | Some f, Some l -> Units.Time.diff l f
     | _ -> Units.Time.zero
   in
-  {
-    summary = Metrics.summarize ~window samples;
-    samples;
-    sim_time = window;
-    events = Mmt_sim.Engine.processed engine;
-  }
+  { summary = Metrics.summarize ~window samples; samples; sim_time = window; events }

@@ -4,15 +4,22 @@
     shape-shifting elephant flows into shared event builders across a
     WAN (§ 2) — as one deterministic simulation: N sources of mixed
     workload shape (LArTPC-like bulk, photon-burst, steady telemetry)
-    feed a fan-in aggregation tree of configurable degree, cross one
-    shared WAN bottleneck at the facility edge where per-flow
-    mode-0 → mode-1 rewriters and retransmission buffers live, and land
-    on M sink hosts running one MMT receiver per flow.
+    spread over geographically distributed detector halls ([sites]),
+    each hall fanning its block of flows into an aggregation tree of
+    configurable degree and hosting that block's mode-0 → mode-1
+    rewriters and retransmission buffers at a site-edge switch.  Halls
+    join the facility edge over metro-distance uplinks; all traffic
+    crosses one shared WAN bottleneck and lands on M sink hosts
+    running one MMT receiver per flow.
 
     Everything is derived from the config (including every [Rng]
     stream), so equal configs produce byte-identical topologies and
     reports — the property the E-F5 sweep's sequential-vs-parallel
-    check rests on. *)
+    check rests on.  The metro uplinks are WAN-class by the
+    simulator's cut rule ({!Mmt_sim.Link.cut_threshold}), so [run
+    ~shards] can put every hall, the facility edge and the sink side
+    on their own domains ({!Mmt_sim.Shard}) with byte-identical
+    results. *)
 
 open Mmt_util
 
@@ -20,6 +27,9 @@ type kind = Bulk | Burst | Telemetry
 
 type config = {
   flows : int;
+  sites : int;
+      (** detector halls; flows split over them in contiguous,
+          near-even blocks (capped at one site per flow) *)
   sinks : int;
   degree : int;  (** fan-in per aggregation switch *)
   duration : Units.Time.t;  (** workload emission window *)
@@ -56,7 +66,12 @@ val nominal_rate : config -> kind -> Units.Rate.t
 
 val levels : flows:int -> degree:int -> int list
 (** Aggregation-switch counts per tree level, leaves first, ending in
-    the single root that feeds the facility edge. *)
+    the single root that feeds the site edge. *)
+
+val site_spans : config -> (int * int) array
+(** Per-site [(first_flow, flow_count)] blocks: contiguous, near-even,
+    never empty (the site count is capped at the flow count).
+    @raise Invalid_argument if [sites < 1]. *)
 
 val describe : config -> string
 (** The full static topology plan, rendered deterministically —
@@ -69,10 +84,18 @@ type result = {
       (** first-to-last arrival span across all flows — the goodput
           window (the engine clock is pinned to the drain cap by
           [run ~until], so it can't serve as one) *)
-  events : int;  (** engine events processed *)
+  events : int;  (** engine events processed, summed over shards *)
 }
 
-val run : config -> result
-(** Build the scenario on a fresh engine, run it to completion (with a
+val run : ?shards:int -> config -> result
+(** Build the scenario on fresh engines, run it to completion (with a
     one-second drain cap past [duration] as a safety bound), and read
-    the metrics back from the endpoints' own statistics. *)
+    the metrics back from the endpoints' own statistics.
+
+    [shards] (default 1) asks for domain-per-shard parallel execution
+    via {!Mmt_sim.Shard}: the topology is cut at its WAN-class links
+    (metro uplinks and the WAN itself) and the halls run in parallel.
+    Results are byte-identical at every shard count — [run ~shards:n]
+    changes wall-clock time, never the simulation.  Counts above the
+    number of cut components fold back; [shards <= 1] runs the plain
+    sequential engine. *)

@@ -63,6 +63,7 @@ type int_state = {
 type t = {
   config : config;
   engine : Mmt_sim.Engine.t;
+  runner : Mmt_sim.Shard.t option;
   topo : Mmt_sim.Topology.t;
   sender : Mmt.Sender.t;
   workloads : Mmt_daq.Workload.t list;
@@ -108,10 +109,12 @@ let receiver_config config =
     expected_total = Some (config.fragment_count * max 1 config.slices);
   }
 
-let build config =
-  let engine = Mmt_sim.Engine.create () in
-  let topo = Mmt_sim.Topology.create ~engine () in
-  let fresh_id () = Mmt_sim.Topology.fresh_packet_id topo in
+(* Build the pilot against whatever topology it is given — a plain
+   single-engine one or a sharded one.  Every component schedules on
+   its own node's engine ({!Mmt_sim.Topology.node_engine}) and draws
+   packet ids from its node's allocator, so the same function serves
+   both the sequential path and {!Mmt_sim.Shard.build}'s two passes. *)
+let construct config topo =
   let rng = Rng.create ~seed:config.seed in
   let loss_rng_a = Rng.split rng in
   let loss_rng_b = Rng.split rng in
@@ -126,6 +129,10 @@ let build config =
     List.init config.researchers (fun i ->
         Mmt_sim.Topology.add_node topo ~name:(Printf.sprintf "researcher%d" i))
   in
+  let e_sensor = Mmt_sim.Topology.node_engine topo sensor in
+  let e_d1 = Mmt_sim.Topology.node_engine topo dtn1 in
+  let e_sw = Mmt_sim.Topology.node_engine topo tofino in
+  let e_d2 = Mmt_sim.Topology.node_engine topo dtn2 in
 
   (* Links.  Data direction carries the WAN impairments; the control
      (reverse) direction is clean, NAK retries cover the rest. *)
@@ -214,7 +221,11 @@ let build config =
   List.iteri
     (fun i _ -> Router.add router_d1 (Address.researcher_ip i) (Mmt_sim.Link.send d1_to_sw))
     researchers;
-  let env_d1 = Router.env router_d1 ~engine ~fresh_id ~local_ip:Address.dtn1_ip in
+  let env_d1 =
+    Router.env router_d1 ~engine:e_d1
+      ~fresh_id:(Mmt_sim.Topology.id_source topo dtn1)
+      ~local_ip:Address.dtn1_ip
+  in
   let buffer =
     Mmt.Buffer_host.create ~env:env_d1 ~capacity:(Units.Size.mib 256)
       ~upstream:Address.sensor_ip ()
@@ -251,7 +262,7 @@ let build config =
     | None -> None
   in
   let dtn1_switch =
-    Mmt_innet.Switch.attach ~engine ~node:dtn1 ~profile:p.Profile.nic
+    Mmt_innet.Switch.attach ~engine:e_d1 ~node:dtn1 ~profile:p.Profile.nic
       ~elements:
         (Mmt_innet.Mode_rewriter.element rewriter
         :: int_element (fun state -> state.dtn1_stamper))
@@ -268,7 +279,8 @@ let build config =
     (fun i link -> Router.add router_sw (Address.researcher_ip i) (Mmt_sim.Link.send link))
     researcher_links;
   let env_sw =
-    Router.env router_sw ~engine ~fresh_id
+    Router.env router_sw ~engine:e_sw
+      ~fresh_id:(Mmt_sim.Topology.id_source topo tofino)
       ~local_ip:(Mmt_frame.Addr.Ip.of_octets 10 0 2 1)
   in
   let age_tracker = Mmt_innet.Age_tracker.create () in
@@ -326,7 +338,7 @@ let build config =
     | None -> None
   in
   let tofino_switch =
-    Mmt_innet.Switch.attach ~engine ~node:tofino ~profile:p.Profile.switch
+    Mmt_innet.Switch.attach ~engine:e_sw ~node:tofino ~profile:p.Profile.switch
       ~elements:tofino_elements ~route:tofino_route ()
   in
 
@@ -335,7 +347,11 @@ let build config =
   let router_d2 = Router.create () in
   Router.add router_d2 Address.dtn1_ip (Mmt_sim.Link.send d2_to_sw);
   Router.add router_d2 Address.sensor_ip (Mmt_sim.Link.send d2_to_sw);
-  let env_d2 = Router.env router_d2 ~engine ~fresh_id ~local_ip:Address.dtn2_ip in
+  let env_d2 =
+    Router.env router_d2 ~engine:e_d2
+      ~fresh_id:(Mmt_sim.Topology.id_source topo dtn2)
+      ~local_ip:Address.dtn2_ip
+  in
   let event_builder =
     Mmt_daq.Event_builder.create
       ~slices:(List.init (max 1 config.slices) Fun.id)
@@ -348,12 +364,12 @@ let build config =
         | Ok fragment ->
             ignore
               (Mmt_daq.Event_builder.add event_builder
-                 ~now:(Mmt_sim.Engine.now engine) fragment)
+                 ~now:(Mmt_sim.Engine.now e_d2) fragment)
         | Error _ -> ())
   in
   let to_receiver packet =
     ignore
-      (Mmt_sim.Engine.schedule_after engine ~delay:p.Profile.host_overhead
+      (Mmt_sim.Engine.schedule_after e_d2 ~delay:p.Profile.host_overhead
          (fun () -> Mmt.Receiver.on_packet receiver packet))
   in
   (match int_state with
@@ -361,7 +377,7 @@ let build config =
       (* The smartNIC hosts the INT sink: strip the stack and digest it
          before the packet crosses into the host. *)
       ignore
-        (Mmt_innet.Switch.attach ~engine ~node:dtn2 ~profile:p.Profile.nic
+        (Mmt_innet.Switch.attach ~engine:e_d2 ~node:dtn2 ~profile:p.Profile.nic
            ~elements:[ Mmt_int.Sink.element state.sink ]
            ~route:(fun _packet -> Some to_receiver)
            ())
@@ -373,7 +389,10 @@ let build config =
       (fun i node ->
         let router = Router.create ~default:ignore () in
         let env =
-          Router.env router ~engine ~fresh_id ~local_ip:(Address.researcher_ip i)
+          Router.env router
+            ~engine:(Mmt_sim.Topology.node_engine topo node)
+            ~fresh_id:(Mmt_sim.Topology.id_source topo node)
+            ~local_ip:(Address.researcher_ip i)
         in
         let r =
           Mmt.Receiver.create ~env
@@ -387,7 +406,11 @@ let build config =
 
   (* Sensor: mode-0 sender fed by the DAQ workload. *)
   let router_s = Router.create ~default:(Mmt_sim.Link.send s_to_d1) () in
-  let env_s = Router.env router_s ~engine ~fresh_id ~local_ip:Address.sensor_ip in
+  let env_s =
+    Router.env router_s ~engine:e_sensor
+      ~fresh_id:(Mmt_sim.Topology.id_source topo sensor)
+      ~local_ip:Address.sensor_ip
+  in
   let sender =
     Mmt.Sender.create ~env:env_s
       {
@@ -432,7 +455,7 @@ let build config =
   let until = Units.Time.scale interval (float_of_int (config.fragment_count - 1)) in
   let workloads =
     List.init (max 1 config.slices) (fun slice ->
-        Mmt_daq.Workload.start ~engine
+        Mmt_daq.Workload.start ~engine:e_sensor
           ~rng:(Rng.split workload_rng)
           (workload_config slice)
           ~emit:(fun fragment ->
@@ -442,7 +465,8 @@ let build config =
 
   {
     config;
-    engine;
+    engine = Mmt_sim.Topology.engine topo;
+    runner = None;
     topo;
     sender;
     workloads;
@@ -461,7 +485,26 @@ let build config =
     int_state;
   }
 
-let run t = Mmt_sim.Engine.run t.engine
+let build ?(shards = 1) config =
+  let _topo, t, runner = Mmt_sim.Shard.build ~shards (construct config) in
+  { t with runner }
+
+let run t =
+  match t.runner with
+  | Some runner -> Mmt_sim.Shard.run runner
+  | None -> Mmt_sim.Engine.run t.engine
+
+let nshards t =
+  match t.runner with Some runner -> Mmt_sim.Shard.nshards runner | None -> 1
+
+(* End-of-run clock.  [Engine.now] is unusable in sharded mode (window
+   caps advance each shard's clock past its last event), so both paths
+   read the last executed event's timestamp — identical values, by the
+   determinism contract. *)
+let finished_at t =
+  match t.runner with
+  | Some runner -> Mmt_sim.Shard.last_event_at runner
+  | None -> Mmt_sim.Engine.last_event_at t.engine
 
 type results = {
   emitted : int;
@@ -483,8 +526,8 @@ type results = {
 }
 
 let results t =
-  ignore
-    (Mmt_daq.Event_builder.sweep t.event_builder ~now:(Mmt_sim.Engine.now t.engine));
+  let finished_at = finished_at t in
+  ignore (Mmt_daq.Event_builder.sweep t.event_builder ~now:finished_at);
   {
     emitted =
       List.fold_left
@@ -505,7 +548,7 @@ let results t =
     researcher_stats = List.map Mmt.Receiver.stats t.researcher_receivers;
     backpressure_stats = Option.map Mmt_innet.Backpressure_monitor.stats t.bp_monitor;
     events = Mmt_daq.Event_builder.stats t.event_builder;
-    finished_at = Mmt_sim.Engine.now t.engine;
+    finished_at;
   }
 
 let receiver (t : t) = t.receiver

@@ -58,9 +58,22 @@ val default_config : config
 
 type t
 
-val build : config -> t
+val build : ?shards:int -> config -> t
+(** Construct the pilot.  [shards] (default 1) asks for domain-per-core
+    parallel execution: the topology is cut at its WAN links (all at or
+    above {!Mmt_sim.Link.cut_threshold}) and the resulting components —
+    {e sensor+DTN 1}, {e switch}, {e DTN 2}, and each researcher — are
+    spread over up to [shards] engines via {!Mmt_sim.Shard.build}.
+    Results are byte-identical to the sequential run.  Falls back to
+    sequential when [shards < 2] or the cut yields fewer than two
+    components (e.g. a sub-millisecond [wan_rtt]). *)
+
 val run : t -> unit
-(** Drive the simulation to quiescence. *)
+(** Drive the simulation to quiescence — on one engine, or on one
+    domain per shard when [build] was given [~shards]. *)
+
+val nshards : t -> int
+(** Engines actually engaged: 1 after a sequential fallback. *)
 
 type results = {
   emitted : int;  (** across all slices *)
@@ -86,7 +99,11 @@ val results : t -> results
 val receiver : t -> Mmt.Receiver.t
 val researcher_receivers : t -> Mmt.Receiver.t list
 val config : t -> config
+
 val engine : t -> Mmt_sim.Engine.t
+(** Shard 0's engine.  Sequential builds have exactly one engine, so
+    callers that schedule extra probes here should build without
+    [~shards]. *)
 
 val int_nodes : (int * string) list
 (** INT node ids used by the topology: dtn1 = 1, tofino2 = 2,

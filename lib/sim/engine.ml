@@ -34,8 +34,19 @@ type t = {
   mutable next_seq : int;
   mutable live : int;
   mutable processed : int;
+  mutable last_at : int; (* ns timestamp of the last executed event *)
   mutable cancelled_in_heap : int;
 }
+
+(* The (at, seq) key space is split into two lanes.  Ordinary events
+   draw seq from a counter starting at [boundary_seq_limit], so any
+   caller-supplied key below the limit sorts ahead of every ordinary
+   event at the same instant.  Boundary links (see {!Link}) use that
+   low lane with keys derived from (edge id, per-edge FIFO seq) — a
+   total order both the sequential engine and the sharded runner
+   ({!Shard}) can compute identically, which is what makes sharded
+   execution byte-for-byte equal to sequential execution. *)
+let boundary_seq_limit = 1 lsl 60
 
 type handle = int
 (* [(slot lsl 31) lor generation]: immediate, so scheduling returns
@@ -67,9 +78,10 @@ let create () =
     s_free;
     free_head = 0;
     clock = 0;
-    next_seq = 0;
+    next_seq = boundary_seq_limit;
     live = 0;
     processed = 0;
+    last_at = 0;
     cancelled_in_heap = 0;
   }
 
@@ -149,24 +161,36 @@ let free_slot t slot =
   t.s_free.(slot) <- t.free_head;
   t.free_head <- slot
 
-let schedule t ~at fn =
-  let at = Stdlib.max (Units.Time.to_ns at) t.clock in
+(* Shared tail of [schedule] and [schedule_boundary]: push (at, seq)
+   into the heap with callback [fn]. *)
+let schedule_keyed t ~at ~seq fn =
   let slot = alloc_slot t in
   t.s_fn.(slot) <- fn;
   (* Heap arrays share capacity with the slot table and at most one
      slot per heap entry is live, so after [alloc_slot] there is room. *)
   let i = t.size in
   t.h_at.(i) <- at;
-  t.h_seq.(i) <- t.next_seq;
+  t.h_seq.(i) <- seq;
   t.h_slot.(i) <- slot;
   t.size <- i + 1;
-  t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   sift_up t i;
   (slot lsl 31) lor t.s_gen.(slot)
 
+let schedule t ~at fn =
+  let at = Stdlib.max (Units.Time.to_ns at) t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  schedule_keyed t ~at ~seq fn
+
 let schedule_after t ~delay fn =
   schedule t ~at:(Units.Time.add (now t) delay) fn
+
+let schedule_boundary t ~at ~key fn =
+  if key < 0 || key >= boundary_seq_limit then
+    invalid_arg "Engine.schedule_boundary: key outside the boundary lane";
+  let at = Stdlib.max (Units.Time.to_ns at) t.clock in
+  schedule_keyed t ~at ~seq:key fn
 
 (* Remove the root; returns its slot.  The caller decides whether the
    event runs or was dead weight. *)
@@ -221,51 +245,57 @@ let cancel t handle =
 
 let pending t = t.live
 let processed t = t.processed
+let last_event_at t = Units.Time.of_int_ns t.last_at
 
-let step t =
-  let rec next () =
-    if t.size = 0 then false
-    else begin
-      let at = t.h_at.(0) in
-      let slot = pop t in
-      let fn = t.s_fn.(slot) in
-      if fn == cancelled_fn then begin
-        t.cancelled_in_heap <- t.cancelled_in_heap - 1;
-        free_slot t slot;
-        next ()
-      end
-      else begin
-        t.clock <- at;
-        t.live <- t.live - 1;
-        t.processed <- t.processed + 1;
-        free_slot t slot;
-        fn ();
-        true
-      end
+let next_event_ns t = if t.size = 0 then max_int else t.h_at.(0)
+
+(* Top-level recursion (not a local [rec] closure): [step] and [run]
+   sit on the per-event hot path, and a closure capturing [t] would be
+   allocated on every call. *)
+let rec step t =
+  if t.size = 0 then false
+  else begin
+    let at = t.h_at.(0) in
+    let slot = pop t in
+    let fn = t.s_fn.(slot) in
+    if fn == cancelled_fn then begin
+      t.cancelled_in_heap <- t.cancelled_in_heap - 1;
+      free_slot t slot;
+      step t
     end
-  in
-  next ()
+    else begin
+      t.clock <- at;
+      t.last_at <- at;
+      t.live <- t.live - 1;
+      t.processed <- t.processed + 1;
+      free_slot t slot;
+      fn ();
+      true
+    end
+  end
+
+let rec run_loop t limit =
+  if t.size > 0 then begin
+    let slot = t.h_slot.(0) in
+    if t.s_fn.(slot) == cancelled_fn then begin
+      ignore (pop t);
+      t.cancelled_in_heap <- t.cancelled_in_heap - 1;
+      free_slot t slot;
+      run_loop t limit
+    end
+    else if t.h_at.(0) <= limit then begin
+      ignore (step t);
+      run_loop t limit
+    end
+  end
+
+let run_ns t limit =
+  run_loop t limit;
+  if limit <> max_int && t.clock < limit then t.clock <- limit
 
 let run ?until t =
-  let limit =
-    match until with None -> max_int | Some l -> Units.Time.to_ns l
-  in
-  let rec loop () =
-    if t.size > 0 then begin
-      let slot = t.h_slot.(0) in
-      if t.s_fn.(slot) == cancelled_fn then begin
-        ignore (pop t);
-        t.cancelled_in_heap <- t.cancelled_in_heap - 1;
-        free_slot t slot;
-        loop ()
-      end
-      else if t.h_at.(0) <= limit then begin
-        ignore (step t);
-        loop ()
-      end
-    end
-  in
-  loop ();
   match until with
-  | Some l when t.clock < Units.Time.to_ns l -> t.clock <- Units.Time.to_ns l
-  | _ -> ()
+  | None -> run_ns t max_int
+  | Some l -> run_ns t (Units.Time.to_ns l)
+
+let run_until t ~until = run_ns t (Units.Time.to_ns until)

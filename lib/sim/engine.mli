@@ -1,9 +1,23 @@
 (** Deterministic discrete-event simulation engine.
 
-    Events are closures keyed by (time, insertion sequence): two events
-    scheduled for the same instant fire in the order they were
-    scheduled, so runs are exactly reproducible.  Time is
-    {!Mmt_util.Units.Time} (unboxed integer nanoseconds).
+    Events are closures keyed by (time, sequence): two events scheduled
+    for the same instant fire in sequence order, so runs are exactly
+    reproducible.  Time is {!Mmt_util.Units.Time} (unboxed integer
+    nanoseconds).
+
+    The sequence space has two lanes.  Ordinary events ({!schedule})
+    draw sequence numbers from a counter that starts above every
+    possible boundary key, so among themselves they fire in the order
+    they were scheduled.  Boundary events ({!schedule_boundary}) carry
+    a caller-chosen key below that counter's floor, so at any given
+    instant every boundary event fires before every ordinary event,
+    ordered among themselves by key alone.  The point of the low lane:
+    a boundary key is derived from data both the sequential engine and
+    the sharded runner ({!Shard}) compute identically — (cut-edge id,
+    per-edge FIFO sequence) — whereas the ordinary counter reflects
+    global scheduling order, which only exists in a single-engine run.
+    This is what makes a sharded run byte-identical to a sequential
+    one.
 
     The queue is a structure-of-arrays binary heap: timestamps and
     sequence numbers live in parallel [int] arrays, callbacks in one
@@ -38,6 +52,22 @@ val schedule : t -> at:Units.Time.t -> (unit -> unit) -> handle
 
 val schedule_after : t -> delay:Units.Time.t -> (unit -> unit) -> handle
 
+val boundary_seq_limit : int
+(** Exclusive upper bound of the boundary lane: every
+    {!schedule_boundary} key lies in [\[0, boundary_seq_limit)], and
+    ordinary sequence numbers start at [boundary_seq_limit]. *)
+
+val schedule_boundary : t -> at:Units.Time.t -> key:int -> (unit -> unit) -> handle
+(** [schedule_boundary t ~at ~key fn] schedules [fn] in the boundary
+    lane: at instant [at] it fires before every ordinary event
+    scheduled for [at], and boundary events at the same instant fire
+    in increasing [key] order.  Keys must be unique per (engine,
+    instant) — {!Link} guarantees this by packing (cut-edge id,
+    per-edge FIFO sequence) into the key.  Used by boundary links in
+    sequential runs and by the sharded runner's mailbox injection, so
+    both produce the same execution order.
+    @raise Invalid_argument if [key] is outside the boundary lane. *)
+
 val cancel : t -> handle -> unit
 (** [cancel t h] — [h] must come from this engine.  Cancelled events
     are skipped; cancelling twice is harmless, as is cancelling an
@@ -52,11 +82,28 @@ val pending : t -> int
 val processed : t -> int
 (** Events executed so far. *)
 
+val last_event_at : t -> Units.Time.t
+(** Timestamp of the most recently executed event (zero before any
+    event has run).  Unlike {!now}, this is never advanced by
+    [run ~until]'s clock clamp, so it reads the same whether the run
+    was windowed by the sharded runner or executed in one piece. *)
+
+val next_event_ns : t -> int
+(** Nanosecond timestamp of the earliest queued entry, or [max_int]
+    when the queue is empty.  The root may be a cancelled entry, in
+    which case this is a lower bound on the next live event — still
+    safe for the sharded runner's conservative window computation,
+    which only ever needs "no event runs before this time". *)
+
 val run : ?until:Units.Time.t -> t -> unit
 (** Execute events in order until the queue empties, or until the next
     event lies strictly beyond [until] (clock then advances to [until]).
     Re-entrant scheduling from inside events is the normal mode of
     operation. *)
+
+val run_until : t -> until:Units.Time.t -> unit
+(** [run ~until] without the option box: the sharded runner calls this
+    once per time window, and a barrier crossing must not allocate. *)
 
 val step : t -> bool
 (** Execute exactly one event; [false] when the queue is empty. *)

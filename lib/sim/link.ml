@@ -22,6 +22,16 @@ type stats = {
   busy : Units.Time.t;
 }
 
+(* Links whose propagation is at least this long are "boundary" links:
+   their deliveries are scheduled in the engine's boundary sequence
+   lane under a (cut-edge id, FIFO seq) key instead of the global
+   scheduling counter.  The threshold marks where the sharded runner
+   may cut a topology — the propagation delay is then the conservative
+   lookahead that makes cross-shard windows safe — and boundary links
+   use the keyed lane in *every* mode, sharded or not, so that
+   same-instant tie-breaking is identical everywhere. *)
+let cut_threshold = Units.Time.ms 1.
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -32,6 +42,9 @@ type t = {
   pool : Pool.t option;
   observer : event -> Packet.t -> unit;
   deliver : Packet.t -> unit;
+  boundary : int; (* cut-edge id, or -1 for an ordinary link *)
+  mutable next_eseq : int; (* per-edge FIFO sequence for boundary keys *)
+  mutable exit : (at:Units.Time.t -> key:int -> Packet.t -> unit) option;
   mutable transmitting : bool;
   mutable up : bool;
   mutable tamper : (Packet.t -> bool) option;
@@ -48,7 +61,7 @@ type t = {
 
 let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
     ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4) ())
-    ?pool ?(observer = fun _ _ -> ()) ~deliver () =
+    ?pool ?(observer = fun _ _ -> ()) ?(boundary = -1) ~deliver () =
   {
     engine;
     name;
@@ -59,6 +72,9 @@ let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
     pool;
     observer;
     deliver;
+    boundary;
+    next_eseq = 0;
+    exit = None;
     transmitting = false;
     up = true;
     tamper = None;
@@ -118,15 +134,37 @@ let rec transmit_next t =
                     | Some _ | None -> deliver_after_propagation t packet));
              transmit_next t))
 
+and deliver_now t packet =
+  t.delivered <- t.delivered + 1;
+  t.delivered_bytes <-
+    t.delivered_bytes + Units.Size.to_bytes (Packet.wire_size packet);
+  packet.Packet.hops <- packet.Packet.hops + 1;
+  t.observer Delivered packet;
+  t.deliver packet
+
 and deliver_after_propagation t packet =
-  ignore
-    (Engine.schedule_after t.engine ~delay:t.propagation (fun () ->
-         t.delivered <- t.delivered + 1;
-         t.delivered_bytes <-
-           t.delivered_bytes + Units.Size.to_bytes (Packet.wire_size packet);
-         packet.Packet.hops <- packet.Packet.hops + 1;
-         t.observer Delivered packet;
-         t.deliver packet))
+  if t.boundary < 0 then
+    ignore
+      (Engine.schedule_after t.engine ~delay:t.propagation (fun () ->
+           deliver_now t packet))
+  else begin
+    (* Boundary link: the delivery key is (cut-edge id, per-edge FIFO
+       sequence) — data that does not depend on which engine runs the
+       delivery, so a sequential run and a sharded run order
+       same-instant deliveries identically.  When a shard runner has
+       installed an exit hook the packet leaves through its mailbox
+       instead of this engine's heap; the receiving shard re-schedules
+       it under the same (at, key). *)
+    let at = Units.Time.add (Engine.now t.engine) t.propagation in
+    let key = (t.boundary lsl 40) lor t.next_eseq in
+    t.next_eseq <- t.next_eseq + 1;
+    match t.exit with
+    | Some exit -> exit ~at ~key packet
+    | None ->
+        ignore
+          (Engine.schedule_boundary t.engine ~at ~key (fun () ->
+               deliver_now t packet))
+  end
 
 let send t packet =
   t.offered <- t.offered + 1;
@@ -149,6 +187,12 @@ let name t = t.name
 let rate t = t.rate
 let propagation t = t.propagation
 let queue t = t.queue
+let is_boundary t = t.boundary >= 0
+let boundary_id t = t.boundary
+let set_boundary_exit t exit =
+  if t.boundary < 0 then
+    invalid_arg ("Link.set_boundary_exit: " ^ t.name ^ " is not a boundary link");
+  t.exit <- exit
 let is_up t = t.up
 let set_up t up = t.up <- up
 let set_rate t rate = t.rate <- rate

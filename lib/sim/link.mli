@@ -3,7 +3,16 @@
     A link owns an output queue, a transmitter that serializes packets
     at the link rate, an impairment model applied as packets leave the
     wire, and a fixed propagation delay.  Delivery invokes a callback —
-    the topology layer wires callbacks to node handlers. *)
+    the topology layer wires callbacks to node handlers.
+
+    Links whose propagation delay reaches {!cut_threshold} are
+    {e boundary} links: the topology gives each a cut-edge id, and
+    their deliveries are scheduled in the engine's boundary sequence
+    lane ({!Engine.schedule_boundary}) under a key packed from
+    (cut-edge id, per-edge FIFO sequence).  That keyed order is
+    mode-independent, which is what lets the sharded runner
+    ({!Shard}) cut a topology at these links and still reproduce the
+    sequential run byte for byte. *)
 
 open Mmt_util
 
@@ -32,6 +41,12 @@ type stats = {
   busy : Units.Time.t;  (** cumulative serialization time *)
 }
 
+val cut_threshold : Units.Time.t
+(** Propagation delay (1 ms) at or above which a link is treated as a
+    boundary link.  Anything this slow dwarfs intra-site switching
+    latencies, so cutting a topology there gives the sharded runner a
+    conservative lookahead window that costs nothing in fidelity. *)
+
 val create :
   engine:Engine.t ->
   name:string ->
@@ -41,6 +56,7 @@ val create :
   ?queue:Queue_model.t ->
   ?pool:Pool.t ->
   ?observer:(event -> Packet.t -> unit) ->
+  ?boundary:int ->
   deliver:(Packet.t -> unit) ->
   unit ->
   t
@@ -50,7 +66,9 @@ val create :
     tracing taps into it.  With [pool], frames of packets the link
     destroys (queue drops and loss drops) are recycled after the
     observer has seen the event; delivered packets belong to the
-    receiver. *)
+    receiver.  [boundary] is the link's cut-edge id ([-1], the
+    default, marks an ordinary link); {!Topology.connect} assigns ids
+    in creation order to every link at or above {!cut_threshold}. *)
 
 val send : t -> Packet.t -> unit
 (** Enqueue for transmission; drops (with accounting) if the queue is
@@ -85,6 +103,34 @@ val set_tamper : t -> (Packet.t -> bool) option -> unit
     loss model.  Returning [true] means it mutated the frame's bytes
     in place; the packet is delivered (the corrupted oracle flag is
     NOT set — detection must come from checksums). *)
+
+(** {2 Sharding hooks}
+
+    Used by {!Shard} to route a boundary link's deliveries through a
+    cross-shard mailbox; plain sequential runs never touch these. *)
+
+val is_boundary : t -> bool
+(** Whether the link's propagation reached {!cut_threshold} at
+    construction (equivalently: it holds a cut-edge id). *)
+
+val boundary_id : t -> int
+(** The link's cut-edge id, or [-1] for an ordinary link. *)
+
+val set_boundary_exit :
+  t -> (at:Units.Time.t -> key:int -> Packet.t -> unit) option -> unit
+(** Install (or clear) the exit hook.  With a hook installed, packets
+    finishing propagation are handed to it — carrying the same arrival
+    time and boundary-lane key a sequential run would have scheduled —
+    instead of entering this engine's heap.  The sharded runner's hook
+    pushes into the edge's mailbox; the receiving shard re-schedules
+    under the identical [(at, key)] via {!deliver_now}.
+    @raise Invalid_argument on a non-boundary link. *)
+
+val deliver_now : t -> Packet.t -> unit
+(** Complete a delivery immediately: account it, bump the packet's hop
+    count, notify the observer, and invoke the delivery callback.
+    Only the sharded runner calls this, from the boundary event it
+    schedules on the receiving shard's engine. *)
 
 val stats : t -> stats
 val utilization : t -> over:Units.Time.t -> float

@@ -3,7 +3,17 @@
 
     Topologies in this reproduction are the paper's: linear
     sensor → DTN → switch → DTN chains with optional fan-out to
-    downstream researchers (Fig. 1, Fig. 4). *)
+    downstream researchers (Fig. 1, Fig. 4), and the facility
+    generator's multi-site fan-in trees.
+
+    A topology can span several engines.  {!create} is the ordinary
+    single-engine form; {!create_sharded} places every node on one of
+    N engines (one per shard) and every link on its source node's
+    engine.  Links at or above {!Link.cut_threshold} receive a
+    cut-edge id in creation order — in {e every} mode, so their
+    keyed delivery order is identical whether the topology runs on one
+    engine or many — and they are the only links allowed to cross
+    shards. *)
 
 open Mmt_util
 
@@ -15,15 +25,52 @@ val create : engine:Engine.t -> ?trace:Trace.t -> ?pool:Pool.t -> unit -> t
     link recycles the frames of packets it drops into it (see
     {!Link.create}). *)
 
+val create_sharded :
+  engines:Engine.t array ->
+  assign:(string -> int) ->
+  ?pools:Pool.t array ->
+  unit ->
+  t
+(** A topology spread over one engine per shard.  [assign] maps a node
+    name to its shard (consulted once, at {!add_node}); [pools], when
+    given, supplies one frame pool per shard so each domain recycles
+    frames without sharing pool state.  Tracing is unavailable in
+    sharded mode.
+    @raise Invalid_argument if [engines] is empty or [pools] has a
+    different length. *)
+
 val engine : t -> Engine.t
+(** Shard 0's engine — the only engine of a {!create}d topology. *)
+
+val nshards : t -> int
+
+val node_engine : t -> Node.t -> Engine.t
+(** The engine of the shard [node] lives on.  Components attached to
+    [node] must schedule their events here. *)
+
+val shard_of_node : t -> Node.t -> int
+
 val trace : t -> Trace.t option
 val pool : t -> Pool.t option
+(** Shard 0's frame pool, if any. *)
+
+val pool_of_shard : t -> int -> Pool.t option
 
 val fresh_packet_id : t -> int
-(** Globally unique (per topology) packet identity. *)
+(** Unique (per topology) packet identity, drawn from shard 0's
+    counter.  Sequential callers use this; sharded construction sites
+    use {!id_source} so each domain draws from its own counter. *)
+
+val id_source : t -> Node.t -> unit -> int
+(** [id_source t node] is an allocator of topology-unique packet ids
+    safe to call from [node]'s shard: shard [s] draws ids in the
+    residue class [s mod nshards], so no counter is shared between
+    domains.  Ids are pure identity — nothing orders on them — so the
+    different numbering of a sharded run does not affect reports. *)
 
 val add_node : t -> name:string -> Node.t
-(** @raise Invalid_argument on duplicate names. *)
+(** @raise Invalid_argument on duplicate names, or (sharded) when
+    [assign] returns an out-of-range shard. *)
 
 val find_node : t -> string -> Node.t
 (** @raise Not_found for unknown names. *)
@@ -38,7 +85,13 @@ val connect :
   ?queue:Queue_model.t ->
   unit ->
   Link.t
-(** Unidirectional [src -> dst] link delivering into [dst]'s handler. *)
+(** Unidirectional [src -> dst] link delivering into [dst]'s handler.
+    The link lives on [src]'s engine.  Links with [propagation] at or
+    above {!Link.cut_threshold} are created as boundary links with the
+    next cut-edge id.
+    @raise Invalid_argument if [src] and [dst] sit on different shards
+    and [propagation] is below the cut threshold — only WAN-class
+    links may cross shards. *)
 
 val duplex :
   t ->
@@ -59,3 +112,8 @@ val links : t -> Link.t list
 
 val nodes : t -> Node.t list
 (** All nodes in creation order. *)
+
+val edges : t -> (Node.t * Node.t * Link.t) list
+(** All links with their endpoints, in creation order.  The sharded
+    runner walks this to find the cut edges whose mailboxes it must
+    wire. *)

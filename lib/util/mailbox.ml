@@ -1,0 +1,59 @@
+(* Single-producer single-consumer message buffer with phase-separated
+   access: the producer pushes while the consumer is parked, the
+   consumer drains while the producer is parked, and the hand-off
+   between phases happens under the caller's synchronization (the
+   sharded runner's barrier mutex).  There are no atomics here on
+   purpose — the barrier's mutex acquire/release publishes every write,
+   and keeping the arrays plain keeps push allocation-free once the
+   buffer has reached its working-set capacity. *)
+
+type 'a t = {
+  mutable at : int array;
+  mutable key : int array;
+  mutable v : 'a array;
+  dummy : 'a;
+  mutable len : int;
+}
+
+let initial_capacity = 16
+
+let create ~dummy =
+  {
+    at = Array.make initial_capacity 0;
+    key = Array.make initial_capacity 0;
+    v = Array.make initial_capacity dummy;
+    dummy;
+    len = 0;
+  }
+
+let length t = t.len
+
+let grow t =
+  let cap = 2 * Array.length t.at in
+  let extend_int a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  t.at <- extend_int t.at;
+  t.key <- extend_int t.key;
+  let v = Array.make cap t.dummy in
+  Array.blit t.v 0 v 0 t.len;
+  t.v <- v
+
+let push t ~at ~key v =
+  if t.len = Array.length t.at then grow t;
+  let i = t.len in
+  t.at.(i) <- at;
+  t.key.(i) <- key;
+  t.v.(i) <- v;
+  t.len <- i + 1
+
+let drain t f =
+  let n = t.len in
+  for i = 0 to n - 1 do
+    let v = t.v.(i) in
+    t.v.(i) <- t.dummy;
+    f ~at:t.at.(i) ~key:t.key.(i) v
+  done;
+  t.len <- 0

@@ -1,0 +1,40 @@
+(** Single-producer single-consumer message buffer for the sharded
+    simulation runner.
+
+    One mailbox carries the in-flight packets of one cross-shard link:
+    the sending shard {!push}es (timestamp, key, value) triples as its
+    transmitter finishes packets during a time window, and the
+    receiving shard {!drain}s them at the next barrier, re-scheduling
+    each as a boundary event on its own engine.
+
+    There is deliberately no locking here.  Correctness rests on a
+    phase discipline the runner enforces: within any window exactly one
+    domain touches the mailbox (the producer between barriers, the
+    consumer at the barrier), and the barrier's mutex provides the
+    happens-before edge that publishes the producer's writes to the
+    consumer.  Keeping the arrays plain in turn keeps {!push}
+    allocation-free at steady state — the structure-of-arrays layout
+    stores timestamps and keys as immediate ints.
+
+    Entries drain in push order, which for a single link is
+    (timestamp, FIFO sequence) order — the same total order the
+    boundary-lane key encodes, so draining preserves determinism. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated value cells so drained messages do not keep
+    their payloads alive. *)
+
+val push : 'a t -> at:int -> key:int -> 'a -> unit
+(** Append one message.  [at] is the delivery timestamp in
+    nanoseconds; [key] is the boundary-lane sequence key (see
+    {!Mmt_sim.Engine.schedule_boundary} — packed by the link from its
+    cut-edge id and per-edge FIFO sequence). *)
+
+val drain : 'a t -> (at:int -> key:int -> 'a -> unit) -> unit
+(** Visit every buffered message in push order, then clear the
+    mailbox.  The callback typically re-schedules the message as a
+    boundary event on the consuming shard's engine. *)
+
+val length : 'a t -> int

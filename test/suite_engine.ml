@@ -298,6 +298,54 @@ let qcheck_event_order =
       in
       result = sorted)
 
+let test_boundary_lane_orders_before_ordinary () =
+  (* At one instant: boundary events fire first (their keys sit below
+     the ordinary lane's floor), ordered by key — not by insertion —
+     while ordinary events keep FIFO among themselves. *)
+  let engine = Engine.create () in
+  let at = Units.Time.us 5. in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  ignore (Engine.schedule engine ~at (mark "ord1"));
+  ignore (Engine.schedule_boundary engine ~at ~key:7 (mark "key7"));
+  ignore (Engine.schedule engine ~at (mark "ord2"));
+  ignore (Engine.schedule_boundary engine ~at ~key:3 (mark "key3"));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "boundary lane first, by key; ordinary lane FIFO"
+    [ "key3"; "key7"; "ord1"; "ord2" ]
+    (List.rev !order)
+
+let test_boundary_key_validation () =
+  let engine = Engine.create () in
+  let invalid key =
+    Alcotest.check_raises
+      (Printf.sprintf "key %d rejected" key)
+      (Invalid_argument "Engine.schedule_boundary: key outside the boundary lane")
+      (fun () ->
+        ignore
+          (Engine.schedule_boundary engine ~at:Units.Time.zero ~key (fun () -> ())))
+  in
+  invalid (-1);
+  invalid (1 lsl 60);
+  (* The lane edges are usable. *)
+  ignore (Engine.schedule_boundary engine ~at:Units.Time.zero ~key:0 (fun () -> ()));
+  ignore
+    (Engine.schedule_boundary engine ~at:Units.Time.zero
+       ~key:((1 lsl 60) - 1)
+       (fun () -> ()));
+  Engine.run engine;
+  Alcotest.(check int) "both ran" 2 (Engine.processed engine)
+
+let test_last_event_at_survives_clamp () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule engine ~at:(Units.Time.us 3.) (fun () -> ()));
+  Engine.run ~until:(Units.Time.ms 1.) engine;
+  Alcotest.check time "clock clamped to the horizon" (Units.Time.ms 1.)
+    (Engine.now engine);
+  Alcotest.check time "last event time preserved" (Units.Time.us 3.)
+    (Engine.last_event_at engine)
+
 let suite =
   [
     Alcotest.test_case "time order" `Quick test_runs_in_time_order;
@@ -316,5 +364,11 @@ let suite =
       test_compaction_preserves_order;
     Alcotest.test_case "fuzz vs reference model" `Quick
       test_fuzz_matches_reference_model;
+    Alcotest.test_case "boundary lane ordering" `Quick
+      test_boundary_lane_orders_before_ordinary;
+    Alcotest.test_case "boundary key validation" `Quick
+      test_boundary_key_validation;
+    Alcotest.test_case "last_event_at vs clock clamp" `Quick
+      test_last_event_at_survives_clamp;
     QCheck_alcotest.to_alcotest qcheck_event_order;
   ]

@@ -118,6 +118,29 @@ let test_run_seed_matters () =
     (a.Scenario.events = b.Scenario.events
     && a.Scenario.samples = b.Scenario.samples)
 
+let test_run_sharded_identical () =
+  let config = { small with Scenario.flows = 23 } in
+  let seq = Scenario.run config in
+  List.iter
+    (fun shards ->
+      let sh = Scenario.run ~shards config in
+      let label = Printf.sprintf "shards=%d" shards in
+      Alcotest.(check bool) (label ^ ": summaries equal") true
+        (seq.Scenario.summary = sh.Scenario.summary);
+      Alcotest.(check bool) (label ^ ": per-flow samples equal") true
+        (seq.Scenario.samples = sh.Scenario.samples);
+      Alcotest.(check int) (label ^ ": event counts equal") seq.Scenario.events
+        sh.Scenario.events)
+    [ 2; 3; 4 ]
+
+let test_sweep_sharded_identical () =
+  let base = { Scenario.default with Scenario.duration = Units.Time.ms 1. } in
+  let points = [ 10; 30 ] in
+  let seq, seq_ok = Mmt_experiments.Facility.report ~jobs:1 ~base ~points () in
+  let sh, sh_ok = Mmt_experiments.Facility.report ~shards:4 ~base ~points () in
+  Alcotest.(check string) "sequential vs --shards 4 byte-identical" seq sh;
+  Alcotest.(check bool) "verdicts agree" seq_ok sh_ok
+
 let test_sweep_parallel_identical () =
   let base = { Scenario.default with Scenario.duration = Units.Time.ms 1. } in
   let points = [ 10; 30 ] in
@@ -143,4 +166,8 @@ let suite =
       test_run_seed_matters;
     Alcotest.test_case "sweep: sequential vs parallel identical" `Quick
       test_sweep_parallel_identical;
+    Alcotest.test_case "run: sequential vs shards 2..4 identical" `Quick
+      test_run_sharded_identical;
+    Alcotest.test_case "sweep: sequential vs sharded identical" `Quick
+      test_sweep_sharded_identical;
   ]

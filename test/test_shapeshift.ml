@@ -25,6 +25,7 @@ let () =
       ("robustness", Suite_robustness.suite);
       ("fault", Suite_fault.suite);
       ("fuzz", Suite_fuzz.suite);
+      ("sharded", Suite_sharded.suite);
       ("experiments", Suite_experiments.suite);
       ("facility", Suite_facility.suite);
     ]

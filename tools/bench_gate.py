@@ -4,8 +4,13 @@
 Compares a fresh `bench --json` run against the committed baseline and
 fails (exit 1) when any shared micro-benchmark slowed down by more than
 RATIO, when the parallel sweep is slower than the sequential one (the
-regression this gate exists to keep out), or when `Engine.schedule`
-started allocating.
+regression this gate exists to keep out), when `Engine.schedule` or a
+shard barrier crossing started allocating, when the sharded E-F5 run
+stops being byte-identical to the sequential one, or when sharded
+execution is slower than the machine can excuse: on a box with at
+least as many cores as shards it must beat sequential (with headroom);
+on a smaller box OCaml's stop-the-world minor collections serialize
+the domains, so only a sanity bound applies.
 
 Usage: bench_gate.py BASELINE.json CURRENT.json
 """
@@ -16,6 +21,8 @@ import sys
 RATIO = 1.5  # fail when current > baseline * RATIO + SLACK_NS
 SLACK_NS = 25.0  # absolute headroom so sub-50ns ops don't flap on noise
 SWEEP_HEADROOM = 1.15  # parallel may not exceed sequential by more than this
+SHARDED_HEADROOM = 1.15  # sharded vs sequential, when cores >= shards
+SHARDED_SANITY = 6.0  # sharded vs sequential, when the box is core-starved
 
 
 def main() -> int:
@@ -57,6 +64,33 @@ def main() -> int:
     if alloc is not None and alloc >= 0.5:
         failures.append(
             f"Engine.schedule allocates ({alloc:.2f} minor words/event)"
+        )
+
+    sharded = current.get("sharded", {})
+    if sharded.get("results_identical") is False:
+        failures.append("sharded E-F5 results differ from sequential")
+    seq_wall = sharded.get("sequential_wall_s")
+    sh_wall = sharded.get("sharded_wall_s")
+    if seq_wall is not None and sh_wall is not None:
+        cores = sharded.get("cores", 1)
+        shards = sharded.get("shards", 0)
+        if cores >= shards:
+            if sh_wall > seq_wall * SHARDED_HEADROOM:
+                failures.append(
+                    f"sharded E-F5 {sh_wall:.2f} s slower than sequential "
+                    f"{seq_wall:.2f} s with {cores} cores for {shards} shards"
+                )
+        elif sh_wall > seq_wall * SHARDED_SANITY:
+            failures.append(
+                f"sharded E-F5 {sh_wall:.2f} s exceeds the core-starved "
+                f"sanity bound ({SHARDED_SANITY}x sequential "
+                f"{seq_wall:.2f} s on {cores} core(s))"
+            )
+    barrier = sharded.get("barrier_alloc_minor_words_per_window")
+    if barrier is not None and barrier >= 0.5:
+        failures.append(
+            f"shard barrier crossing allocates "
+            f"({barrier:.2f} minor words/window)"
         )
 
     shared = sorted(set(base_micro) & set(cur_micro))
