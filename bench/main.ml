@@ -414,6 +414,124 @@ let check_barrier_allocation () =
     (if words_per_window < 0.5 then "(allocation-free)" else "(ALLOCATES)");
   words_per_window
 
+(* Forward-path cost: the ring-buffer packet path end to end.  A
+   steady-state send -> link -> deliver loop over ring-slot packets:
+   each iteration acquires a slot (recycled frame), pushes it down a
+   pooled link, and the delivery retires it back into the ring.  The
+   per-packet wall-clock must stay within 2x the raw engine event cost
+   and the loop must not touch the minor heap. *)
+let check_forward_path () =
+  let engine = Mmt_sim.Engine.create () in
+  let ring = Mmt_sim.Ring.create () in
+  let pool = Mmt_sim.Ring.pool ring in
+  let delivered = ref 0 in
+  let link =
+    Mmt_sim.Link.create ~engine ~name:"fwd" ~rate:(Units.Rate.gbps 100.)
+      ~propagation:(Units.Time.us 1.) ~pool ~ring
+      ~deliver:(fun p ->
+        incr delivered;
+        Mmt_sim.Ring.in_packet_done ring p)
+      ()
+  in
+  let forward i =
+    let p =
+      Mmt_sim.Ring.in_packet ring ~id:i ~born:(Mmt_sim.Engine.now engine) 1024
+    in
+    Mmt_sim.Link.send link p;
+    Mmt_sim.Engine.run engine
+  in
+  (* Warm: ring arena, pool fill, engine heap growth. *)
+  for i = 0 to 9_999 do
+    forward i
+  done;
+  let n = 100_000 in
+  let before_words = Gc.minor_words () in
+  let started = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    forward i
+  done;
+  let wall = Unix.gettimeofday () -. started in
+  let after_words = Gc.minor_words () in
+  let ns = wall *. 1e9 /. float_of_int n in
+  let words = (after_words -. before_words) /. float_of_int n in
+  let rstats = Mmt_sim.Ring.stats ring in
+  let pstats = Mmt_sim.Pool.stats pool in
+  let recycle_ratio =
+    if pstats.Mmt_sim.Pool.acquired = 0 then 0.
+    else
+      float_of_int pstats.Mmt_sim.Pool.recycled
+      /. float_of_int pstats.Mmt_sim.Pool.acquired
+  in
+  Printf.printf
+    "forward path (ring slot -> link -> deliver -> retire): %.0f ns, %.3f \
+     minor words/packet %s\n"
+    ns words
+    (if words < 0.5 then "(allocation-free)" else "(ALLOCATES)");
+  Printf.printf
+    "forward-path ring: %d slots, %d acquires, %d retired, %d overflow; pool \
+     recycle ratio %.3f\n"
+    rstats.Mmt_sim.Ring.capacity rstats.Mmt_sim.Ring.acquired
+    rstats.Mmt_sim.Ring.retired rstats.Mmt_sim.Ring.overflow recycle_ratio;
+  (ns, words, rstats, recycle_ratio)
+
+(* E-F4 pilot allocation audit: the whole pilot (senders, links,
+   rewriter, INT path, receiver, event builder) with pools on vs off.
+   Pooling must cut minor-heap traffic and the ring must account for
+   (and retire) the packets it handed out. *)
+let pilot_audit_config =
+  {
+    Mmt_pilot.Pilot.default_config with
+    Mmt_pilot.Pilot.fragment_count = 1500;
+    payload = Mmt_daq.Workload.Synthetic (Units.Size.bytes 4096);
+    wan_loss = 0.003;
+    wan_corrupt = 0.001;
+    int_telemetry = true;
+  }
+
+let check_pilot_allocation () =
+  let measure ~pooling =
+    let pilot = Mmt_pilot.Pilot.build ~pooling pilot_audit_config in
+    Gc.full_major ();
+    let before = Gc.minor_words () in
+    Mmt_pilot.Pilot.run pilot;
+    let after = Gc.minor_words () in
+    (after -. before, pilot)
+  in
+  ignore (measure ~pooling:true) (* warm *);
+  let pooled_words, pilot = measure ~pooling:true in
+  let plain_words, _ = measure ~pooling:false in
+  let events = Mmt_sim.Engine.processed (Mmt_pilot.Pilot.engine pilot) in
+  let delivered =
+    (Mmt_pilot.Pilot.results pilot).Mmt_pilot.Pilot.receiver
+      .Mmt.Receiver.delivered
+  in
+  let ring =
+    match Mmt_pilot.Pilot.ring_stats pilot with s :: _ -> Some s | [] -> None
+  in
+  let recycle_ratio =
+    match ring with
+    | Some r when r.Mmt_sim.Ring.acquired > 0 ->
+        float_of_int r.Mmt_sim.Ring.retired
+        /. float_of_int r.Mmt_sim.Ring.acquired
+    | Some _ | None -> 0.
+  in
+  Printf.printf
+    "E-F4 pilot minor words: pooled %.2e, pool-off %.2e (%.2fx less), %.1f \
+     words/event pooled over %d events, %d delivered\n"
+    pooled_words plain_words
+    (if pooled_words > 0. then plain_words /. pooled_words else 0.)
+    (pooled_words /. float_of_int events)
+    events delivered;
+  (match ring with
+  | Some r ->
+      Printf.printf
+        "E-F4 pilot ring: %d acquires, %d retired (recycle ratio %.3f), %d \
+         in use at quiescence, %d overflow, %d detached\n"
+        r.Mmt_sim.Ring.acquired r.Mmt_sim.Ring.retired recycle_ratio
+        r.Mmt_sim.Ring.in_use r.Mmt_sim.Ring.overflow r.Mmt_sim.Ring.detached
+  | None -> ());
+  (pooled_words, plain_words, events, delivered, ring, recycle_ratio)
+
 (* Allocation audit: `Engine.schedule` must not allocate beyond the
    caller's callback.  Measured outside bechamel so the measurement
    itself cannot allocate between the two counter reads. *)
@@ -545,16 +663,67 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sharded
-    ~barrier_words ~sweep =
+    ~barrier_words ~forward ~pilot_audit ~sweep =
   let results, sequential_wall, parallel, _ = sweep in
   let sh_flows, sh_shards, sh_cores, sh_seq_wall, sh_wall, sh_identical =
     sharded
+  in
+  let fwd_ns, fwd_words, (fwd_ring : Mmt_sim.Ring.stats), fwd_recycle =
+    forward
+  in
+  let pa_pooled, pa_plain, pa_events, pa_delivered, pa_ring, pa_recycle =
+    pilot_audit
+  in
+  let gc = Gc.get () in
+  let ring_json (r : Mmt_sim.Ring.stats) =
+    Printf.sprintf
+      "{ \"capacity\": %d, \"acquired\": %d, \"retired\": %d, \
+       \"double_done\": %d, \"overflow\": %d, \"detached\": %d, \
+       \"in_use\": %d }"
+      r.Mmt_sim.Ring.capacity r.Mmt_sim.Ring.acquired
+      r.Mmt_sim.Ring.retired r.Mmt_sim.Ring.double_done
+      r.Mmt_sim.Ring.overflow r.Mmt_sim.Ring.detached r.Mmt_sim.Ring.in_use
   in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"config\": { \"quota_s\": %g, \"limit\": %d, \"jobs\": %d },\n"
        quota limit jobs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"gc\": { \"minor_heap_kb\": %d, \"space_overhead\": %d },\n"
+       (gc.Gc.minor_heap_size * Sys.word_size / 8 / 1024)
+       gc.Gc.space_overhead);
+  Buffer.add_string buf "  \"forward\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"ns_per_packet\": %.1f,\n" fwd_ns);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"alloc_minor_words_per_packet\": %.3f,\n" fwd_words);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"pool_recycle_ratio\": %.4f,\n" fwd_recycle);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"ring\": %s\n" (ring_json fwd_ring));
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"pilot_audit\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"minor_words_pooled\": %.0f,\n" pa_pooled);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"minor_words_plain\": %.0f,\n" pa_plain);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"minor_words_per_event_pooled\": %.2f,\n"
+       (pa_pooled /. float_of_int pa_events));
+  Buffer.add_string buf (Printf.sprintf "    \"events\": %d,\n" pa_events);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"delivered\": %d,\n" pa_delivered);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"ring_recycle_ratio\": %.4f%s\n" pa_recycle
+       (if pa_ring = None then "" else ","));
+  Option.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"ring\": %s\n" (ring_json r)))
+    pa_ring;
+  Buffer.add_string buf "  },\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"schedule_alloc_minor_words\": %.3f,\n" alloc_words);
   Buffer.add_string buf "  \"micro_ns\": {\n";
@@ -629,11 +798,14 @@ let run json jobs quota limit =
   let sharded = run_sharded_facility () in
   let barrier_words = check_barrier_allocation () in
   print_newline ();
+  let forward = check_forward_path () in
+  let pilot_audit = check_pilot_allocation () in
+  print_newline ();
   let alloc_words = check_schedule_allocation () in
   Option.iter
     (fun path ->
       write_json ~path ~quota ~limit ~jobs ~micro ~alloc_words ~sharded
-        ~barrier_words ~sweep)
+        ~barrier_words ~forward ~pilot_audit ~sweep)
     json;
   let _, _, _, all_ok = sweep in
   let _, _, _, _, _, sharded_identical = sharded in

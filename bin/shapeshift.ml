@@ -137,8 +137,17 @@ let pilot_cmd =
              sequential run (which remains the default, and the \
              fallback when the topology yields fewer than two pieces).")
   in
+  let no_pool =
+    Arg.(
+      value & flag
+      & info [ "no-pool" ]
+          ~doc:
+            "Disable the preallocated packet rings (pure-GC allocation).  \
+             Pooling changes the allocator only: the results are \
+             byte-identical either way.")
+  in
   let run profile fragments loss corrupt researchers deadline_ms seed int_flag
-      shards =
+      shards no_pool =
     let config =
       {
         Mmt_pilot.Pilot.default_config with
@@ -160,7 +169,7 @@ let pilot_cmd =
     let shards =
       if shards = 0 then Mmt_util.Task_pool.recommended_jobs () else shards
     in
-    let pilot = Mmt_pilot.Pilot.build ~shards config in
+    let pilot = Mmt_pilot.Pilot.build ~shards ~pooling:(not no_pool) config in
     Mmt_pilot.Pilot.run pilot;
     let r = Mmt_pilot.Pilot.results pilot in
     let receiver = r.Mmt_pilot.Pilot.receiver in
@@ -208,7 +217,7 @@ let pilot_cmd =
     (Cmd.info "pilot" ~doc:"Run the Fig. 4 pilot topology with custom parameters.")
     Term.(
       const run $ profile_arg $ fragments $ loss $ corrupt $ researchers
-      $ deadline_ms $ seed $ int_flag $ shards)
+      $ deadline_ms $ seed $ int_flag $ shards $ no_pool)
 
 (* `shapeshift telemetry` ---------------------------------------------------- *)
 
@@ -526,7 +535,27 @@ let facility_cmd =
             "Print the static topology plan for $(docv) flows and exit \
              without simulating.")
   in
-  let run min_flows max_flows jobs shards seed duration_ms loss plan =
+  let no_pool =
+    Arg.(
+      value & flag
+      & info [ "no-pool" ]
+          ~doc:
+            "Disable the preallocated packet rings (pure-GC allocation).  \
+             Pooling changes the allocator only: the report is \
+             byte-identical either way.")
+  in
+  let gc_minor_kb =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-minor-kb" ] ~docv:"KIB"
+          ~doc:
+            "Per-domain minor-heap size in KiB for the run (restored \
+             afterwards).  Bigger minor heaps amortize OCaml 5's \
+             stop-the-world minor collections across shard windows.")
+  in
+  let run min_flows max_flows jobs shards seed duration_ms loss plan no_pool
+      gc_minor_kb =
     if jobs < 0 then begin
       Printf.eprintf "shapeshift facility: --jobs must be 0 (auto) or positive\n";
       2
@@ -561,8 +590,18 @@ let facility_cmd =
           end
           else begin
             let points = Mmt_facility.Sweep.log_points ~lo:min_flows ~hi:max_flows () in
+            let gc =
+              Option.map
+                (fun kb ->
+                  {
+                    Mmt_sim.Shard.minor_heap_kb = Some kb;
+                    space_overhead = None;
+                  })
+                gc_minor_kb
+            in
             let output, ok =
-              Mmt_experiments.Facility.report ~jobs ~shards ~base ~points ()
+              Mmt_experiments.Facility.report ~jobs ~shards
+                ~pooling:(not no_pool) ?gc ~base ~points ()
             in
             print_string output;
             print_newline ();
@@ -578,7 +617,7 @@ let facility_cmd =
           shared WAN bottleneck.")
     Term.(
       const run $ min_flows $ max_flows $ jobs $ shards $ seed $ duration_ms
-      $ loss $ plan)
+      $ loss $ plan $ no_pool $ gc_minor_kb)
 
 (* `shapeshift trace` ----------------------------------------------------------- *)
 

@@ -36,19 +36,30 @@ let store t ~seq ~born frame = Retx_buffer.store t.buffer ~seq ~born frame
 let resend t ~requester (entry : Retx_buffer.entry) =
   (* Preserve the original birth time: a recovered message's latency is
      end-to-end, not resend-to-delivery. *)
-  let frame =
-    match t.pool with
-    | None -> Bytes.copy entry.Retx_buffer.frame
-    | Some pool ->
-        let src = entry.Retx_buffer.frame in
-        let out = Mmt_sim.Pool.acquire pool (Bytes.length src) in
-        Bytes.blit src 0 out 0 (Bytes.length src);
-        out
-  in
+  let src = entry.Retx_buffer.frame in
+  let len = Bytes.length src in
   let packet =
-    Mmt_sim.Packet.create
-      ~id:(t.env.Mmt_runtime.Env.fresh_id ())
-      ~born:entry.Retx_buffer.born frame
+    match t.env.Mmt_runtime.Env.ring with
+    | Some ring ->
+        let p =
+          Mmt_sim.Ring.in_packet ring
+            ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+            ~born:entry.Retx_buffer.born len
+        in
+        Bytes.blit src 0 (Mmt_sim.Packet.frame p) 0 len;
+        p
+    | None ->
+        let frame =
+          match t.pool with
+          | None -> Bytes.copy src
+          | Some pool ->
+              let out = Mmt_sim.Pool.acquire pool len in
+              Bytes.blit src 0 out 0 len;
+              out
+        in
+        Mmt_sim.Packet.create
+          ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+          ~born:entry.Retx_buffer.born frame
   in
   t.frames_resent <- t.frames_resent + 1;
   t.env.Mmt_runtime.Env.send requester packet
@@ -103,25 +114,27 @@ let handle_nak t nak =
   escalate t ~requester:nak.Control.Nak.requester (List.rev !missing)
 
 let on_packet t packet =
-  if not packet.Mmt_sim.Packet.corrupted then
-    match Encap.strip (Mmt_sim.Packet.frame packet) with
-    | Error _ -> ()
-    | Ok (_encap, mmt_frame) -> (
-        match Header.decode_bytes mmt_frame with
-        | Error _ -> ()
-        | Ok header -> (
-            match header.Header.kind with
-            | Feature.Kind.Nak -> (
-                let payload =
-                  Bytes.sub mmt_frame (Header.size header)
-                    (Bytes.length mmt_frame - Header.size header)
-                in
-                match Control.Nak.decode payload with
-                | Error _ -> ()
-                | Ok nak -> handle_nak t nak)
-            | Feature.Kind.Data | Feature.Kind.Deadline_exceeded
-            | Feature.Kind.Backpressure | Feature.Kind.Buffer_advert ->
-                ()))
+  (if not packet.Mmt_sim.Packet.corrupted then
+     match Encap.strip (Mmt_sim.Packet.frame packet) with
+     | Error _ -> ()
+     | Ok (_encap, mmt_frame) -> (
+         match Header.decode_bytes mmt_frame with
+         | Error _ -> ()
+         | Ok header -> (
+             match header.Header.kind with
+             | Feature.Kind.Nak -> (
+                 let payload =
+                   Bytes.sub mmt_frame (Header.size header)
+                     (Bytes.length mmt_frame - Header.size header)
+                 in
+                 match Control.Nak.decode payload with
+                 | Error _ -> ()
+                 | Ok nak -> handle_nak t nak)
+             | Feature.Kind.Data | Feature.Kind.Deadline_exceeded
+             | Feature.Kind.Backpressure | Feature.Kind.Buffer_advert ->
+                 ())));
+  (* The buffer host consumes whatever reaches it (NAKs and strays). *)
+  Mmt_runtime.Env.retire t.env packet
 
 let advert t ~rtt_hint =
   {

@@ -6,16 +6,19 @@ type t =
   | Over_ethernet of { src : Addr.Mac.t; dst : Addr.Mac.t }
   | Over_ipv4 of { src : Addr.Ip.t; dst : Addr.Ip.t; dscp : int; ttl : int }
 
-let wrap t mmt_frame =
+let overhead = function
+  | Raw -> 0
+  | Over_ethernet _ -> Ethernet.header_size
+  | Over_ipv4 _ -> Ipv4.header_size
+
+let wrap_into t ~mmt_length out =
   match t with
-  | Raw -> mmt_frame
+  | Raw -> ()
   | Over_ethernet { src; dst } ->
-      let w = Cursor.Writer.create (Ethernet.header_size + Bytes.length mmt_frame) in
-      Ethernet.write w { Ethernet.src; dst; ethertype = Ethernet.ethertype_mmt };
-      Cursor.Writer.bytes w mmt_frame;
-      Cursor.Writer.contents w
+      let w = Cursor.Writer.over out in
+      Ethernet.write w { Ethernet.src; dst; ethertype = Ethernet.ethertype_mmt }
   | Over_ipv4 { src; dst; dscp; ttl } ->
-      let w = Cursor.Writer.create (Ipv4.header_size + Bytes.length mmt_frame) in
+      let w = Cursor.Writer.over out in
       Ipv4.write w
         {
           Ipv4.dscp;
@@ -23,10 +26,18 @@ let wrap t mmt_frame =
           protocol = Ipv4.protocol_mmt;
           src;
           dst;
-          payload_length = Bytes.length mmt_frame;
-        };
-      Cursor.Writer.bytes w mmt_frame;
-      Cursor.Writer.contents w
+          payload_length = mmt_length;
+        }
+
+let wrap t mmt_frame =
+  match t with
+  | Raw -> mmt_frame
+  | _ ->
+      let off = overhead t in
+      let out = Bytes.create (off + Bytes.length mmt_frame) in
+      wrap_into t ~mmt_length:(Bytes.length mmt_frame) out;
+      Bytes.blit mmt_frame 0 out off (Bytes.length mmt_frame);
+      out
 
 let locate frame =
   if Bytes.length frame = 0 then Error "empty frame"
@@ -87,10 +98,8 @@ let strip frame =
   | Ok (encap, off) ->
       Ok (encap, Bytes.sub frame off (Bytes.length frame - off))
 
-let rewrap ~old_frame ~mmt_offset new_mmt =
-  let out = Bytes.create (mmt_offset + Bytes.length new_mmt) in
+let rewrap_into ~old_frame ~mmt_offset ~mmt_length out =
   Bytes.blit old_frame 0 out 0 mmt_offset;
-  Bytes.blit new_mmt 0 out mmt_offset (Bytes.length new_mmt);
   (* Fix the IPv4 total length + checksum if an IPv4 header ends exactly
      at the transport offset. *)
   let ip_off =
@@ -99,13 +108,18 @@ let rewrap ~old_frame ~mmt_offset new_mmt =
       Some Ethernet.header_size
     else None
   in
-  (match ip_off with
+  match ip_off with
   | Some off when Char.code (Bytes.get out off) = 0x45 ->
-      Bytes.set_uint16_be out (off + 2) (Ipv4.header_size + Bytes.length new_mmt);
+      Bytes.set_uint16_be out (off + 2) (Ipv4.header_size + mmt_length);
       Bytes.set_uint16_be out (off + 10) 0;
       let csum = Cursor.checksum out ~off ~len:Ipv4.header_size in
       Bytes.set_uint16_be out (off + 10) csum
-  | _ -> ());
+  | _ -> ()
+
+let rewrap ~old_frame ~mmt_offset new_mmt =
+  let out = Bytes.create (mmt_offset + Bytes.length new_mmt) in
+  Bytes.blit new_mmt 0 out mmt_offset (Bytes.length new_mmt);
+  rewrap_into ~old_frame ~mmt_offset ~mmt_length:(Bytes.length new_mmt) out;
   out
 
 let describe = function

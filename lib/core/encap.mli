@@ -26,6 +26,16 @@ val wrap : t -> bytes -> bytes
 (** Prepend the encapsulation headers to an MMT frame
     (header ++ payload). *)
 
+val overhead : t -> int
+(** Byte length of the encapsulation prefix {!wrap} prepends. *)
+
+val wrap_into : t -> mmt_length:int -> bytes -> unit
+(** Serialize the encapsulation header for an [mmt_length]-byte
+    transport frame at offset 0 of a caller-owned buffer (at least
+    [overhead t + mmt_length] long).  The caller blits the transport
+    frame at [overhead t]; together with a pool buffer this is the
+    allocation-free counterpart of {!wrap}. *)
+
 val locate : bytes -> (t * int, string) result
 (** [locate frame] identifies the encapsulation and returns the byte
     offset of the transport header. *)
@@ -39,5 +49,14 @@ val rewrap : old_frame:bytes -> mmt_offset:int -> bytes -> bytes
     and replaces everything from [mmt_offset] with [new_mmt] — how an
     element swaps a grown or shrunk transport header without touching
     the outer routing. *)
+
+val rewrap_into :
+  old_frame:bytes -> mmt_offset:int -> mmt_length:int -> bytes -> unit
+(** Allocation-free counterpart of {!rewrap}: copy [old_frame]'s
+    encapsulation prefix into a caller-owned buffer of length
+    [mmt_offset + mmt_length] and apply the IPv4 length/checksum fix.
+    The caller blits the [mmt_length]-byte replacement transport frame
+    at [mmt_offset] (before or after — the fix touches only the
+    prefix). *)
 
 val describe : t -> string

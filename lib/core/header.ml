@@ -680,23 +680,30 @@ module View = struct
     Bytes.set_uint16_be v.frame (v.base + 2) (data land 0xFFFF);
     reseal v
 
-  let strip_int v =
-    need v.off_int "strip_int";
+  let stripped_int_length v =
+    need v.off_int "stripped_int_length";
+    Bytes.length v.frame - v.base - int_ext_size
+
+  let strip_int_into v out ~off =
+    need v.off_int "strip_int_into";
     let frame_len = Bytes.length v.frame in
     let head_len = v.off_int - v.base in
     let tail_off = v.off_int + int_ext_size in
     let tail_len = frame_len - tail_off in
-    let out = Bytes.create (head_len + tail_len) in
-    Bytes.blit v.frame v.base out 0 head_len;
-    Bytes.blit v.frame tail_off out head_len tail_len;
+    Bytes.blit v.frame v.base out off head_len;
+    Bytes.blit v.frame tail_off out (off + head_len) tail_len;
     let data =
       Feature.encode_config_data ~kind:v.kind
         (Feature.Set.remove Feature.Int_telemetry v.features)
     in
-    Bytes.set out 1 (Char.chr ((data lsr 16) land 0xFF));
-    Bytes.set_uint16_be out 2 (data land 0xFFFF);
+    Bytes.set out (off + 1) (Char.chr ((data lsr 16) land 0xFF));
+    Bytes.set_uint16_be out (off + 2) (data land 0xFFFF);
     if v.off_checksum >= 0 then
-      seal_in_place out ~off:0 ~size:(v.size - int_ext_size);
+      seal_in_place out ~off ~size:(v.size - int_ext_size)
+
+  let strip_int v =
+    let out = Bytes.create (stripped_int_length v) in
+    strip_int_into v out ~off:0;
     out
 end
 

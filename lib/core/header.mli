@@ -307,6 +307,15 @@ module View : sig
       removed and its feature bit cleared — two blits and a two-byte
       patch, no decode.  The INT extension is the last extension, so
       the strip is a contiguous cut. *)
+
+  val stripped_int_length : t -> int
+  (** Byte length {!strip_int} would return — lets a caller size a
+      pool buffer before {!strip_int_into}. *)
+
+  val strip_int_into : t -> bytes -> off:int -> unit
+  (** {!strip_int} written at [off] of a caller-owned buffer (e.g. a
+      pool frame with the encapsulation prefix already in place), so
+      the per-packet strip at an INT sink allocates nothing. *)
 end
 
 val equal : t -> t -> bool

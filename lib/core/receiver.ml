@@ -392,7 +392,7 @@ let handle_sequenced t packet header payload seq =
   end
   end
 
-let on_packet t packet =
+let consume t packet =
   if packet.Mmt_sim.Packet.corrupted then t.corrupted <- t.corrupted + 1
   else
     match Encap.strip (Mmt_sim.Packet.frame packet) with
@@ -444,6 +444,13 @@ let on_packet t packet =
             | Feature.Kind.Backpressure ->
                 (* Control traffic not for the data sink. *)
                 ())))
+
+let on_packet t packet =
+  consume t packet;
+  (* The receiver is the end of the line on every path — delivery,
+     duplicate, corruption, control — everything it needs outlives the
+     packet (payloads are copied out, stats are scalars). *)
+  Mmt_runtime.Env.retire t.env packet
 
 let stats t =
   {

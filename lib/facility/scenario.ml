@@ -243,6 +243,12 @@ type built = {
    per-engine scheduling order — the byte-identity the E-F5
    determinism tests check. *)
 let build config topo =
+  (* Shard-local packet arenas: every router, switch and element on a
+     node recycles through that node's shard ring. *)
+  let node_ring node =
+    Mmt_sim.Topology.ring_of_shard topo (Mmt_sim.Topology.shard_of_node topo node)
+  in
+  let node_pool node = Option.map Mmt_sim.Ring.pool (node_ring node) in
   let spans = site_spans config in
   let nsites = Array.length spans in
   let site_of = Array.make config.flows 0 in
@@ -412,7 +418,10 @@ let build config topo =
         let s = site_of.(f) in
         let engine = Mmt_sim.Topology.node_engine topo sedges.(s) in
         let router =
-          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send metro_up.(s)) ()
+          Mmt_pilot.Router.create
+            ~default:(Mmt_sim.Link.send metro_up.(s))
+            ?ring:(node_ring sedges.(s))
+            ()
         in
         let env =
           Mmt_pilot.Router.env router ~engine ~fresh_id:sedge_ids.(s)
@@ -431,6 +440,7 @@ let build config topo =
         in
         let buffer = Option.get (Flow_table.get buffers f) in
         Mmt_innet.Mode_rewriter.create ~mode
+          ?pool:(node_pool sedges.(site_of.(f)))
           ~on_rewrite:(fun ~seq ~born frame ->
             match seq with
             | Some seq -> Mmt.Buffer_host.store buffer ~seq ~born frame
@@ -442,6 +452,7 @@ let build config topo =
         let s = site_of.(f) in
         let engine = Mmt_sim.Topology.node_engine topo sedges.(s) in
         let uplink = metro_up.(s) in
+        let ring = node_ring sedges.(s) in
         let element =
           Mmt_innet.Mode_rewriter.element (Option.get (Flow_table.get rewriters f))
         in
@@ -453,7 +464,10 @@ let build config topo =
           | Mmt_innet.Element.Forward p -> Mmt_sim.Link.send uplink p
           | Mmt_innet.Element.Replicate ps ->
               List.iter (Mmt_sim.Link.send uplink) ps
-          | Mmt_innet.Element.Discard _ -> ())
+          | Mmt_innet.Element.Discard _ -> (
+              match ring with
+              | Some ring -> Mmt_sim.Ring.in_packet_done ring packet
+              | None -> ()))
   in
   let nak_handlers =
     Flow_table.init ~flows:config.flows (fun f ->
@@ -474,8 +488,8 @@ let build config topo =
     ignore
       (Mmt_innet.Switch.attach
          ~engine:(Mmt_sim.Topology.node_engine topo sedges.(s))
-         ~node:sedges.(s) ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
-         ~route:sedge_route ())
+         ~node:sedges.(s) ~profile:Mmt_innet.Switch.tofino2
+         ?ring:(node_ring sedges.(s)) ~elements:[] ~route:sedge_route ())
   done;
 
   (* Facility edge: rewritten site traffic goes out the WAN; NAKs
@@ -494,8 +508,8 @@ let build config topo =
   let _edge_in_switch =
     Mmt_innet.Switch.attach
       ~engine:(Mmt_sim.Topology.node_engine topo edge_in)
-      ~node:edge_in ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
-      ~route:edge_in_route ()
+      ~node:edge_in ~profile:Mmt_innet.Switch.tofino2
+      ?ring:(node_ring edge_in) ~elements:[] ~route:edge_in_route ()
   in
 
   (* Facility edge (sink side): route each flow to its sink host. *)
@@ -511,8 +525,8 @@ let build config topo =
   let _edge_out_switch =
     Mmt_innet.Switch.attach
       ~engine:(Mmt_sim.Topology.node_engine topo edge_out)
-      ~node:edge_out ~profile:Mmt_innet.Switch.tofino2 ~elements:[]
-      ~route:edge_out_route ()
+      ~node:edge_out ~profile:Mmt_innet.Switch.tofino2
+      ?ring:(node_ring edge_out) ~elements:[] ~route:edge_out_route ()
   in
 
   (* Receivers: one per flow, on the flow's sink host; NAKs and other
@@ -525,7 +539,10 @@ let build config topo =
         let sink = f mod config.sinks in
         let engine = Mmt_sim.Topology.node_engine topo sinks.(sink) in
         let router =
-          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send wan_reverse) ()
+          Mmt_pilot.Router.create
+            ~default:(Mmt_sim.Link.send wan_reverse)
+            ?ring:(node_ring sinks.(sink))
+            ()
         in
         let env =
           Mmt_pilot.Router.env router ~engine ~fresh_id:sink_ids.(sink)
@@ -543,6 +560,12 @@ let build config topo =
   in
   Array.iter
     (fun sink_node ->
+      let ring = node_ring sink_node in
+      let retire packet =
+        match ring with
+        | Some ring -> Mmt_sim.Ring.in_packet_done ring packet
+        | None -> ()
+      in
       Mmt_sim.Node.set_handler sink_node (fun packet ->
           match frame_dst (Mmt_sim.Packet.frame packet) with
           | Some dst -> (
@@ -550,9 +573,9 @@ let build config topo =
               | Address.Flow f -> (
                   match Flow_table.get receivers f with
                   | Some receiver -> Mmt.Receiver.on_packet receiver packet
-                  | None -> ())
-              | _ -> ())
-          | None -> ()))
+                  | None -> retire packet)
+              | _ -> retire packet)
+          | None -> retire packet))
     sinks;
 
   (* Sources: mode-0 senders fed by the per-kind workload shapes. *)
@@ -560,7 +583,10 @@ let build config topo =
     Flow_table.init ~flows:config.flows (fun f ->
         let engine = Mmt_sim.Topology.node_engine topo sources.(f) in
         let router =
-          Mmt_pilot.Router.create ~default:(Mmt_sim.Link.send source_links.(f)) ()
+          Mmt_pilot.Router.create
+            ~default:(Mmt_sim.Link.send source_links.(f))
+            ?ring:(node_ring sources.(f))
+            ()
         in
         let env =
           Mmt_pilot.Router.env router ~engine
@@ -594,11 +620,11 @@ let build config topo =
   in
   { workloads; receivers; buffers }
 
-let run ?(shards = 1) config =
+let run ?(shards = 1) ?(pooling = true) ?gc config =
   if config.flows < 1 then invalid_arg "Scenario.run: flows must be positive";
   if config.sinks < 1 then invalid_arg "Scenario.run: sinks must be positive";
   let topo, { workloads; receivers; buffers }, runner =
-    Mmt_sim.Shard.build ~shards (build config)
+    Mmt_sim.Shard.build ~shards ~pooling (build config)
   in
   (* Run to quiescence; the cap is a safety bound well past the worst
      NAK-retry chain, not a working deadline. *)
@@ -607,10 +633,20 @@ let run ?(shards = 1) config =
     match runner with
     | None ->
         let engine = Mmt_sim.Topology.engine topo in
-        Mmt_sim.Engine.run ~until engine;
+        (match gc with
+        | None -> Mmt_sim.Engine.run ~until engine
+        | Some tuning ->
+            (* Same GC parameters a sharded run's domains would get,
+               restored afterwards. *)
+            let saved = Gc.get () in
+            Fun.protect
+              ~finally:(fun () -> Gc.set saved)
+              (fun () ->
+                Mmt_sim.Shard.apply_gc tuning;
+                Mmt_sim.Engine.run ~until engine));
         Mmt_sim.Engine.processed engine
     | Some r ->
-        Mmt_sim.Shard.run ~until r;
+        Mmt_sim.Shard.run ~until ?gc r;
         Mmt_sim.Shard.events r
   in
 

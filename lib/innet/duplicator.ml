@@ -24,8 +24,15 @@ let program =
       ];
   }
 
-let copy_frame t frame =
+(* Frame pool for scratch and (ring-less) consumer copies: an explicit
+   [pool] wins, else the environment ring's pool. *)
+let scratch_pool t =
   match t.pool with
+  | Some _ as p -> p
+  | None -> Mmt_runtime.Env.pool t.env
+
+let copy_frame t frame =
+  match scratch_pool t with
   | None -> Bytes.copy frame
   | Some pool ->
       let out = Mmt_sim.Pool.acquire pool (Bytes.length frame) in
@@ -73,15 +80,31 @@ let process t ~now:_ packet =
     List.iter
       (fun consumer ->
         let copy =
-          Mmt_sim.Packet.clone packet
-            ~id:(t.env.Mmt_runtime.Env.fresh_id ())
-            ~frame:(copy_frame t marked)
+          match t.env.Mmt_runtime.Env.ring with
+          | Some ring ->
+              (* Slot-allocated copy: record and frame both come from
+                 the ring, so the fan-out is allocation-free. *)
+              let len = Bytes.length marked in
+              let p =
+                Mmt_sim.Ring.in_packet ring
+                  ~padding:packet.Mmt_sim.Packet.padding
+                  ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+                  ~born:packet.Mmt_sim.Packet.born len
+              in
+              Bytes.blit marked 0 p.Mmt_sim.Packet.frame 0 len;
+              p.Mmt_sim.Packet.corrupted <- packet.Mmt_sim.Packet.corrupted;
+              p.Mmt_sim.Packet.hops <- packet.Mmt_sim.Packet.hops;
+              p
+          | None ->
+              Mmt_sim.Packet.clone packet
+                ~id:(t.env.Mmt_runtime.Env.fresh_id ())
+                ~frame:(copy_frame t marked)
         in
         t.copies_sent <- t.copies_sent + 1;
         t.env.Mmt_runtime.Env.send consumer copy)
       t.consumers;
     if scratch then
-      Option.iter (fun pool -> Mmt_sim.Pool.release pool marked) t.pool;
+      Option.iter (fun pool -> Mmt_sim.Pool.release pool marked) (scratch_pool t);
     Element.Forward packet
   end
 

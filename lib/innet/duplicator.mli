@@ -23,8 +23,10 @@ val create :
   consumers:Addr.Ip.t list ->
   unit ->
   t
-(** With [pool], consumer copies are built in pool-acquired frames and
-    the internal marked scratch frame is recycled after the fan-out. *)
+(** When the environment carries a ring, consumer copies are
+    slot-allocated from it (records and frames both recycled); with
+    [pool] — or falling back to the ring's pool — the internal marked
+    scratch frame is recycled after the fan-out. *)
 
 val element : t -> Element.t
 val stats : t -> stats

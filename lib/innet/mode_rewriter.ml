@@ -11,6 +11,7 @@ type stats = {
 type t = {
   mutable mode : Mmt.Mode.t;
   re_encap : Mmt.Encap.t option;
+  pool : Mmt_sim.Pool.t option;
   on_rewrite : (seq:int option -> born:Mmt_util.Units.Time.t -> bytes -> unit) option;
   liveness : (Mmt_frame.Addr.Ip.t -> now:Mmt_util.Units.Time.t -> bool) option;
   counters : (Mmt.Experiment_id.t, int) Hashtbl.t;
@@ -159,17 +160,33 @@ let rewrite_slow t ~mode ~now packet ~frame ~mmt_offset header =
   let old_header_size = Mmt.Header.size header in
   let new_header, assigned_seq = apply_mode t ~mode ~now header in
   let payload_offset = mmt_offset + old_header_size in
-  let payload =
-    Bytes.sub frame payload_offset (Bytes.length frame - payload_offset)
-  in
+  let payload_len = Bytes.length frame - payload_offset in
   let new_mmt_header = Mmt.Header.encode new_header in
-  let new_mmt = Bytes.cat new_mmt_header payload in
-  let new_frame =
+  let new_header_size = Bytes.length new_mmt_header in
+  let mmt_length = new_header_size + payload_len in
+  let out_off =
     match t.re_encap with
-    | Some encap -> Mmt.Encap.wrap encap new_mmt
-    | None -> Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt
+    | Some encap -> Mmt.Encap.overhead encap
+    | None -> mmt_offset
   in
+  let new_frame =
+    match t.pool with
+    | Some pool -> Mmt_sim.Pool.acquire pool (out_off + mmt_length)
+    | None -> Bytes.create (out_off + mmt_length)
+  in
+  (match t.re_encap with
+  | Some encap -> Mmt.Encap.wrap_into encap ~mmt_length new_frame
+  | None ->
+      Mmt.Encap.rewrap_into ~old_frame:frame ~mmt_offset ~mmt_length new_frame);
+  Bytes.blit new_mmt_header 0 new_frame out_off new_header_size;
+  Bytes.blit frame payload_offset new_frame (out_off + new_header_size)
+    payload_len;
   Mmt_sim.Packet.set_frame packet new_frame;
+  (* The packet now owns [new_frame]; the pre-rewrite frame has no
+     other holder — recycle it instead of leaking it to the GC. *)
+  (match t.pool with
+  | Some pool when frame != new_frame -> Mmt_sim.Pool.release pool frame
+  | _ -> ());
   t.rewritten <- t.rewritten + 1;
   (match assigned_seq with
   | Some _ -> t.sequenced <- t.sequenced + 1
@@ -193,10 +210,16 @@ let rewrite_fast t ~mode packet ~frame ~mmt_offset view =
   Option.iter (Mmt.Header.View.set_pace_mbps view) mode.Mmt.Mode.pace_mbps;
   (match t.re_encap with
   | Some encap ->
-      let mmt =
-        Bytes.sub frame mmt_offset (Bytes.length frame - mmt_offset)
+      let mmt_length = Bytes.length frame - mmt_offset in
+      let out_off = Mmt.Encap.overhead encap in
+      let out =
+        match t.pool with
+        | Some pool -> Mmt_sim.Pool.acquire pool (out_off + mmt_length)
+        | None -> Bytes.create (out_off + mmt_length)
       in
-      Mmt_sim.Packet.set_frame packet (Mmt.Encap.wrap encap mmt)
+      Mmt.Encap.wrap_into encap ~mmt_length out;
+      Bytes.blit frame mmt_offset out out_off mmt_length;
+      Mmt_sim.Packet.set_frame packet out
   | None -> ());
   t.rewritten <- t.rewritten + 1;
   Option.iter
@@ -209,6 +232,12 @@ let rewrite_fast t ~mode packet ~frame ~mmt_offset view =
       callback ~seq ~born:packet.Mmt_sim.Packet.born
         (Bytes.copy (Mmt_sim.Packet.frame packet)))
     t.on_rewrite;
+  (* Recycle the replaced frame only after the callback: [view] still
+     reads from it for the sequence number. *)
+  (match (t.re_encap, t.pool) with
+  | Some _, Some pool when Mmt_sim.Packet.frame packet != frame ->
+      Mmt_sim.Pool.release pool frame
+  | _ -> ());
   Element.Forward packet
 
 let process t ~now packet =
@@ -244,7 +273,7 @@ let process t ~now packet =
                   rewrite_slow t ~mode ~now packet ~frame ~mmt_offset header
           end)
 
-let create ~mode ?re_encap ?on_rewrite ?liveness () =
+let create ~mode ?re_encap ?pool ?on_rewrite ?liveness () =
   (match Mmt.Mode.check mode with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Mode_rewriter.create: " ^ reason));
@@ -252,6 +281,7 @@ let create ~mode ?re_encap ?on_rewrite ?liveness () =
     {
       mode;
       re_encap;
+      pool;
       on_rewrite;
       liveness;
       counters = Hashtbl.create 8;

@@ -14,12 +14,24 @@ type stats = {
   unrouted : int;
 }
 
+let dummy_packet =
+  Mmt_sim.Packet.create ~id:(-1) ~born:Units.Time.zero Mmt_sim.Pool.retired
+
 type t = {
   engine : Mmt_sim.Engine.t;
   node : Mmt_sim.Node.t;
   profile : profile;
   elements : Element.t list;
   route : Mmt_sim.Packet.t -> (Mmt_sim.Packet.t -> unit) option;
+  ring : Mmt_sim.Ring.t option;
+  mutable on_pipeline : unit -> unit; (* preallocated; set in attach *)
+  (* Ingress circular FIFO: the pipeline latency is a per-device
+     constant, so packets leave the pipeline in arrival order and one
+     shared closure popping this queue replaces a fresh closure per
+     packet. *)
+  mutable pending : Mmt_sim.Packet.t array;
+  mutable pending_head : int;
+  mutable pending_len : int;
   mutable processed : int;
   mutable forwarded : int;
   mutable replicated : int;
@@ -27,27 +39,63 @@ type t = {
   mutable unrouted : int;
 }
 
+let retire t packet =
+  match t.ring with
+  | Some ring -> Mmt_sim.Ring.in_packet_done ring packet
+  | None -> ()
+
+let pending_push t packet =
+  let cap = Array.length t.pending in
+  if t.pending_len = cap then begin
+    let grown = Array.make (cap * 2) dummy_packet in
+    for i = 0 to t.pending_len - 1 do
+      grown.(i) <- t.pending.((t.pending_head + i) mod cap)
+    done;
+    t.pending <- grown;
+    t.pending_head <- 0
+  end;
+  t.pending.((t.pending_head + t.pending_len) mod Array.length t.pending)
+  <- packet;
+  t.pending_len <- t.pending_len + 1
+
+let pending_pop t =
+  let packet = t.pending.(t.pending_head) in
+  t.pending.(t.pending_head) <- dummy_packet;
+  t.pending_head <- (t.pending_head + 1) mod Array.length t.pending;
+  t.pending_len <- t.pending_len - 1;
+  packet
+
 let emit t packet =
   match t.route packet with
   | Some sink ->
       t.forwarded <- t.forwarded + 1;
       sink packet
-  | None -> t.unrouted <- t.unrouted + 1
+  | None ->
+      t.unrouted <- t.unrouted + 1;
+      (* No sink: the switch was the packet's last holder. *)
+      retire t packet
+
+let pipeline t =
+  let packet = pending_pop t in
+  let now = Mmt_sim.Engine.now t.engine in
+  match Element.chain t.elements ~now packet with
+  | Element.Forward packet -> emit t packet
+  | Element.Replicate packets ->
+      t.replicated <- t.replicated + max 0 (List.length packets - 1);
+      List.iter (emit t) packets
+  | Element.Discard _reason ->
+      t.discarded <- t.discarded + 1;
+      retire t packet
 
 let handle t packet =
   t.processed <- t.processed + 1;
+  pending_push t packet;
   ignore
     (Mmt_sim.Engine.schedule_after t.engine ~delay:t.profile.pipeline_latency
-       (fun () ->
-         let now = Mmt_sim.Engine.now t.engine in
-         match Element.chain t.elements ~now packet with
-         | Element.Forward packet -> emit t packet
-         | Element.Replicate packets ->
-             t.replicated <- t.replicated + max 0 (List.length packets - 1);
-             List.iter (emit t) packets
-         | Element.Discard _reason -> t.discarded <- t.discarded + 1))
+       t.on_pipeline)
 
-let attach ~engine ~node ~profile ?(allow_payload = false) ~elements ~route () =
+let attach ~engine ~node ~profile ?(allow_payload = false) ?ring ~elements
+    ~route () =
   List.iter
     (fun (element : Element.t) ->
       match Op.realizable ~allow_payload element.Element.program with
@@ -61,6 +109,11 @@ let attach ~engine ~node ~profile ?(allow_payload = false) ~elements ~route () =
       profile;
       elements;
       route;
+      ring;
+      on_pipeline = ignore;
+      pending = Array.make 16 dummy_packet;
+      pending_head = 0;
+      pending_len = 0;
       processed = 0;
       forwarded = 0;
       replicated = 0;
@@ -68,6 +121,7 @@ let attach ~engine ~node ~profile ?(allow_payload = false) ~elements ~route () =
       unrouted = 0;
     }
   in
+  t.on_pipeline <- (fun () -> pipeline t);
   Mmt_sim.Node.set_handler node (handle t);
   t
 

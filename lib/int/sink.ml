@@ -6,6 +6,7 @@ type stats = { stripped : int; passed : int }
 type t = {
   node_id : int;
   emit : Digest.t -> unit;
+  pool : Mmt_sim.Pool.t option;
   mutable stripped : int;
   mutable passed : int;
   element : Element.t Lazy.t;
@@ -53,10 +54,22 @@ let process_clean t ~now packet =
                 sink_at = now;
               };
             (* The INT stack is the last extension, so stripping it is a
-               contiguous cut — no decode or re-encode. *)
-            let new_mmt = Mmt.Header.View.strip_int view in
-            Mmt_sim.Packet.set_frame packet
-              (Mmt.Encap.rewrap ~old_frame:frame ~mmt_offset new_mmt);
+               contiguous cut — no decode or re-encode.  Build the
+               stripped frame in a pool buffer and recycle the old one
+               (set_frame used to leak it to the GC). *)
+            let mmt_length = Mmt.Header.View.stripped_int_length view in
+            let out =
+              match t.pool with
+              | Some pool ->
+                  Mmt_sim.Pool.acquire pool (mmt_offset + mmt_length)
+              | None -> Bytes.create (mmt_offset + mmt_length)
+            in
+            Mmt.Encap.rewrap_into ~old_frame:frame ~mmt_offset ~mmt_length out;
+            Mmt.Header.View.strip_int_into view out ~off:mmt_offset;
+            Mmt_sim.Packet.set_frame packet out;
+            (match t.pool with
+            | Some pool when frame != out -> Mmt_sim.Pool.release pool frame
+            | _ -> ());
             t.stripped <- t.stripped + 1;
             Element.Forward packet
           end
@@ -74,11 +87,12 @@ let process t ~now packet =
   end
   else process_clean t ~now packet
 
-let create ~node_id ~emit () =
+let create ~node_id ~emit ?pool () =
   let rec t =
     {
       node_id;
       emit;
+      pool;
       stripped = 0;
       passed = 0;
       element =

@@ -67,4 +67,8 @@ type outcome = {
   receiver : Mmt.Receiver.stats;
 }
 
-val run : params -> outcome
+val run : ?pooling:bool -> params -> outcome
+(** Execute the plan.  [pooling] (default on) toggles the packet rings
+    behind the topology's links; the outcome is byte-identical either
+    way — the E-R1 differential test holds the scenario fixed and
+    flips only this switch. *)

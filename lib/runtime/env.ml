@@ -5,15 +5,36 @@ type t = {
   local_ip : Addr.Ip.t;
   send : Addr.Ip.t -> Mmt_sim.Packet.t -> unit;
   fresh_id : unit -> int;
+  ring : Mmt_sim.Ring.t option;
 }
 
 let now t = Mmt_sim.Engine.now t.engine
 let after t delay fn = Mmt_sim.Engine.schedule_after t.engine ~delay fn
 
 let packet t ?(padding = 0) frame =
-  Mmt_sim.Packet.create ~padding ~id:(t.fresh_id ()) ~born:(now t) frame
+  match t.ring with
+  | Some ring ->
+      Mmt_sim.Ring.alloc ring ~padding ~id:(t.fresh_id ()) ~born:(now t) frame
+  | None ->
+      Mmt_sim.Packet.create ~padding ~id:(t.fresh_id ()) ~born:(now t) frame
 
-let loopback ?(local_ip = Addr.Ip.of_octets 127 0 0 1) engine =
+let packet_sized t ?(padding = 0) len =
+  match t.ring with
+  | Some ring ->
+      Mmt_sim.Ring.in_packet ring ~padding ~id:(t.fresh_id ()) ~born:(now t)
+        len
+  | None ->
+      Mmt_sim.Packet.create ~padding ~id:(t.fresh_id ()) ~born:(now t)
+        (Bytes.create len)
+
+let retire t packet =
+  match t.ring with
+  | Some ring -> Mmt_sim.Ring.in_packet_done ring packet
+  | None -> ()
+
+let pool t = Option.map Mmt_sim.Ring.pool t.ring
+
+let loopback ?(local_ip = Addr.Ip.of_octets 127 0 0 1) ?ring engine =
   let queue = Queue.create () in
   let counter = ref 0 in
   let fresh_id () =
@@ -22,4 +43,4 @@ let loopback ?(local_ip = Addr.Ip.of_octets 127 0 0 1) engine =
     id
   in
   let send _dst pkt = Queue.push pkt queue in
-  ({ engine; local_ip; send; fresh_id }, queue)
+  ({ engine; local_ip; send; fresh_id; ring }, queue)

@@ -32,6 +32,8 @@ type stats = {
    same-instant tie-breaking is identical everywhere. *)
 let cut_threshold = Units.Time.ms 1.
 
+let dummy_packet = Packet.create ~id:(-1) ~born:Units.Time.zero Pool.retired
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -40,12 +42,24 @@ type t = {
   loss : Loss.t;
   queue : Queue_model.t;
   pool : Pool.t option;
+  ring : Ring.t option;
   observer : event -> Packet.t -> unit;
   deliver : Packet.t -> unit;
   boundary : int; (* cut-edge id, or -1 for an ordinary link *)
   mutable next_eseq : int; (* per-edge FIFO sequence for boundary keys *)
   mutable exit : (at:Units.Time.t -> key:int -> Packet.t -> unit) option;
   mutable transmitting : bool;
+  mutable serializing : Packet.t; (* the packet on the transmitter *)
+  mutable on_serialized : unit -> unit; (* preallocated; set in create *)
+  mutable on_propagated : unit -> unit; (* preallocated; set in create *)
+  (* In-flight circular FIFO.  Propagation is constant per link and
+     engine time is monotonic, so deliveries complete in the order
+     serializations complete: the delivery closures can be one shared
+     preallocated closure popping this queue instead of a fresh
+     closure capturing each packet. *)
+  mutable flight : Packet.t array;
+  mutable flight_head : int;
+  mutable flight_len : int;
   mutable up : bool;
   mutable tamper : (Packet.t -> bool) option;
   mutable offered : int;
@@ -59,82 +73,33 @@ type t = {
   mutable busy : Units.Time.t;
 }
 
-let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
-    ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4) ())
-    ?pool ?(observer = fun _ _ -> ()) ?(boundary = -1) ~deliver () =
-  {
-    engine;
-    name;
-    rate;
-    propagation;
-    loss;
-    queue;
-    pool;
-    observer;
-    deliver;
-    boundary;
-    next_eseq = 0;
-    exit = None;
-    transmitting = false;
-    up = true;
-    tamper = None;
-    offered = 0;
-    transmitted = 0;
-    delivered = 0;
-    loss_drops = 0;
-    corrupted = 0;
-    fault_drops = 0;
-    tampered = 0;
-    delivered_bytes = 0;
-    busy = Units.Time.zero;
-  }
+(* The link was the packet's last holder: recycle the slot + frame. *)
+let retire t packet =
+  match t.ring with
+  | Some ring -> Ring.in_packet_done ring packet
+  | None -> Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
 
-let rec transmit_next t =
-  let now = Engine.now t.engine in
-  match Queue_model.dequeue t.queue ~now with
-  | None -> t.transmitting <- false
-  | Some packet ->
-      t.transmitting <- true;
-      let serialization = Units.Rate.transmission_time t.rate (Packet.wire_size packet) in
-      t.busy <- Units.Time.add t.busy serialization;
-      ignore
-        (Engine.schedule_after t.engine ~delay:serialization (fun () ->
-             t.transmitted <- t.transmitted + 1;
-             t.observer Transmitted packet;
-             (if not t.up then begin
-                (* A downed link destroys whatever leaves its
-                   transmitter, like an unplugged fibre. *)
-                t.fault_drops <- t.fault_drops + 1;
-                t.observer Fault_dropped packet;
-                Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
-              end
-              else
-                match Loss.decide t.loss with
-                | Loss.Drop ->
-                    t.loss_drops <- t.loss_drops + 1;
-                    t.observer Loss_dropped packet;
-                    (* The link was the packet's last holder: recycle. *)
-                    Option.iter
-                      (fun pool -> Pool.release_packet pool packet)
-                      t.pool
-                | Loss.Corrupt ->
-                    packet.Packet.corrupted <- true;
-                    t.corrupted <- t.corrupted + 1;
-                    t.observer Corrupted packet;
-                    deliver_after_propagation t packet
-                | Loss.Deliver -> (
-                    match t.tamper with
-                    | Some tamper when tamper packet ->
-                        (* Real bits were flipped in the frame: the
-                           packet still arrives; detection is the
-                           receiver's problem (checksums, not oracles). *)
-                        t.tampered <- t.tampered + 1;
-                        t.observer Corrupted packet;
-                        deliver_after_propagation t packet
-                    | Some _ | None -> deliver_after_propagation t packet));
-             transmit_next t))
+let flight_push t packet =
+  let cap = Array.length t.flight in
+  if t.flight_len = cap then begin
+    let grown = Array.make (cap * 2) dummy_packet in
+    for i = 0 to t.flight_len - 1 do
+      grown.(i) <- t.flight.((t.flight_head + i) mod cap)
+    done;
+    t.flight <- grown;
+    t.flight_head <- 0
+  end;
+  t.flight.((t.flight_head + t.flight_len) mod Array.length t.flight) <- packet;
+  t.flight_len <- t.flight_len + 1
 
-and deliver_now t packet =
+let flight_pop t =
+  let packet = t.flight.(t.flight_head) in
+  t.flight.(t.flight_head) <- dummy_packet;
+  t.flight_head <- (t.flight_head + 1) mod Array.length t.flight;
+  t.flight_len <- t.flight_len - 1;
+  packet
+
+let deliver_now t packet =
   t.delivered <- t.delivered + 1;
   t.delivered_bytes <-
     t.delivered_bytes + Units.Size.to_bytes (Packet.wire_size packet);
@@ -142,11 +107,11 @@ and deliver_now t packet =
   t.observer Delivered packet;
   t.deliver packet
 
-and deliver_after_propagation t packet =
-  if t.boundary < 0 then
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.propagation (fun () ->
-           deliver_now t packet))
+let deliver_after_propagation t packet =
+  if t.boundary < 0 then begin
+    flight_push t packet;
+    ignore (Engine.schedule_after t.engine ~delay:t.propagation t.on_propagated)
+  end
   else begin
     (* Boundary link: the delivery key is (cut-edge id, per-edge FIFO
        sequence) — data that does not depend on which engine runs the
@@ -161,10 +126,102 @@ and deliver_after_propagation t packet =
     match t.exit with
     | Some exit -> exit ~at ~key packet
     | None ->
-        ignore
-          (Engine.schedule_boundary t.engine ~at ~key (fun () ->
-               deliver_now t packet))
+        flight_push t packet;
+        ignore (Engine.schedule_boundary t.engine ~at ~key t.on_propagated)
   end
+
+let transmit_next t =
+  let now = Engine.now t.engine in
+  let packet = Queue_model.poll t.queue ~now in
+  if packet == Queue_model.empty then t.transmitting <- false
+  else begin
+    t.transmitting <- true;
+    t.serializing <- packet;
+    let serialization =
+      Units.Rate.transmission_time t.rate (Packet.wire_size packet)
+    in
+    t.busy <- Units.Time.add t.busy serialization;
+    ignore (Engine.schedule_after t.engine ~delay:serialization t.on_serialized)
+  end
+
+let serialized t =
+  let packet = t.serializing in
+  t.serializing <- dummy_packet;
+  t.transmitted <- t.transmitted + 1;
+  t.observer Transmitted packet;
+  (if not t.up then begin
+     (* A downed link destroys whatever leaves its transmitter, like an
+        unplugged fibre. *)
+     t.fault_drops <- t.fault_drops + 1;
+     t.observer Fault_dropped packet;
+     retire t packet
+   end
+   else
+     match Loss.decide t.loss with
+     | Loss.Drop ->
+         t.loss_drops <- t.loss_drops + 1;
+         t.observer Loss_dropped packet;
+         retire t packet
+     | Loss.Corrupt ->
+         packet.Packet.corrupted <- true;
+         t.corrupted <- t.corrupted + 1;
+         t.observer Corrupted packet;
+         deliver_after_propagation t packet
+     | Loss.Deliver -> (
+         match t.tamper with
+         | Some tamper when tamper packet ->
+             (* Real bits were flipped in the frame: the packet still
+                arrives; detection is the receiver's problem
+                (checksums, not oracles). *)
+             t.tampered <- t.tampered + 1;
+             t.observer Corrupted packet;
+             deliver_after_propagation t packet
+         | Some _ | None -> deliver_after_propagation t packet));
+  transmit_next t
+
+let propagated t = deliver_now t (flight_pop t)
+
+let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
+    ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4) ())
+    ?pool ?ring ?(observer = fun _ _ -> ()) ?(boundary = -1) ~deliver () =
+  let t =
+    {
+      engine;
+      name;
+      rate;
+      propagation;
+      loss;
+      queue;
+      pool;
+      ring;
+      observer;
+      deliver;
+      boundary;
+      next_eseq = 0;
+      exit = None;
+      transmitting = false;
+      serializing = dummy_packet;
+      on_serialized = ignore;
+      on_propagated = ignore;
+      flight = Array.make 16 dummy_packet;
+      flight_head = 0;
+      flight_len = 0;
+      up = true;
+      tamper = None;
+      offered = 0;
+      transmitted = 0;
+      delivered = 0;
+      loss_drops = 0;
+      corrupted = 0;
+      fault_drops = 0;
+      tampered = 0;
+      delivered_bytes = 0;
+      busy = Units.Time.zero;
+    }
+  in
+  t.on_serialized <- (fun () -> serialized t);
+  t.on_propagated <- (fun () -> propagated t);
+  t
 
 let send t packet =
   t.offered <- t.offered + 1;
@@ -172,14 +229,14 @@ let send t packet =
   if not t.up then begin
     t.fault_drops <- t.fault_drops + 1;
     t.observer Fault_dropped packet;
-    Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+    retire t packet
   end
   else begin
     let now = Engine.now t.engine in
     match Queue_model.enqueue t.queue ~now packet with
     | `Dropped ->
         t.observer Queue_dropped packet;
-        Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+        retire t packet
     | `Accepted -> if not t.transmitting then transmit_next t
   end
 

@@ -55,6 +55,7 @@ val create :
   ?loss:Loss.t ->
   ?queue:Queue_model.t ->
   ?pool:Pool.t ->
+  ?ring:Ring.t ->
   ?observer:(event -> Packet.t -> unit) ->
   ?boundary:int ->
   deliver:(Packet.t -> unit) ->
@@ -63,12 +64,13 @@ val create :
 (** Default impairment is {!Loss.perfect}; default queue is a 4 MiB
     drop-tail.  A zero [rate] means an ideal link (no serialization
     delay).  [observer] sees every per-packet event as it happens —
-    tracing taps into it.  With [pool], frames of packets the link
-    destroys (queue drops and loss drops) are recycled after the
-    observer has seen the event; delivered packets belong to the
-    receiver.  [boundary] is the link's cut-edge id ([-1], the
-    default, marks an ordinary link); {!Topology.connect} assigns ids
-    in creation order to every link at or above {!cut_threshold}. *)
+    tracing taps into it.  With [ring] (preferred) or [pool], packets
+    the link destroys (queue drops, loss drops, fault drops) are
+    retired after the observer has seen the event; delivered packets
+    belong to the receiver.  [boundary] is the link's cut-edge id
+    ([-1], the default, marks an ordinary link); {!Topology.connect}
+    assigns ids in creation order to every link at or above
+    {!cut_threshold}. *)
 
 val send : t -> Packet.t -> unit
 (** Enqueue for transmission; drops (with accounting) if the queue is

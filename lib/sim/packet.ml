@@ -1,18 +1,19 @@
 open Mmt_util
 
 type t = {
-  id : int;
+  mutable id : int;
   mutable frame : bytes;
-  padding : int;
-  born : Units.Time.t;
+  mutable padding : int;
+  mutable born : Units.Time.t;
   mutable corrupted : bool;
   mutable hops : int;
   mutable gen : int;
+  mutable slot : int;
 }
 
 let create ?(padding = 0) ~id ~born frame =
   if padding < 0 then invalid_arg "Packet.create: negative padding";
-  { id; frame; padding; born; corrupted = false; hops = 0; gen = 0 }
+  { id; frame; padding; born; corrupted = false; hops = 0; gen = 0; slot = -1 }
 
 let wire_size t = Units.Size.bytes (Bytes.length t.frame + t.padding)
 let frame t = t.frame
@@ -27,9 +28,10 @@ let copy t ~id =
     corrupted = t.corrupted;
     hops = t.hops;
     gen = 0;
+    slot = -1;
   }
 
-let clone t ~id ~frame = { t with id; frame; gen = 0 }
+let clone t ~id ~frame = { t with id; frame; gen = 0; slot = -1 }
 
 let pp fmt t =
   Format.fprintf fmt "pkt#%d{%a%s, %d hops}" t.id Units.Size.pp (wire_size t)

@@ -9,16 +9,20 @@
 open Mmt_util
 
 type t = {
-  id : int;
+  mutable id : int;
   mutable frame : bytes;
-  padding : int;
-  born : Units.Time.t;
+  mutable padding : int;
+  mutable born : Units.Time.t;
   mutable corrupted : bool;
   mutable hops : int;
   mutable gen : int;
       (** Frame generation, bumped by {!Pool.release_packet} when the
           frame is recycled.  A holder that recorded [gen] at hand-off
           can detect that the frame under it was retired. *)
+  mutable slot : int;
+      (** Ring-slot index when the record is a {!Ring} arena slot,
+          [-1] for a floating (heap-allocated) packet.  Only {!Ring}
+          writes this field. *)
 }
 
 val create :
@@ -32,7 +36,8 @@ val set_frame : t -> bytes -> unit
     header stack).  Padding is preserved. *)
 
 val copy : t -> id:int -> t
-(** Deep copy with a new identity (in-network duplication). *)
+(** Deep copy with a new identity (in-network duplication).  The copy
+    is always floating ([slot = -1]). *)
 
 val clone : t -> id:int -> frame:bytes -> t
 (** Like {!copy} but adopting [frame] (e.g. a pool-acquired buffer the

@@ -18,6 +18,11 @@ type stats = {
 type t = {
   classes : (int, stack) Hashtbl.t;
   max_per_class : int;
+  (* Single-entry class cache: steady-state traffic on a link is one
+     frame shape, so the common acquire/release pair skips both
+     hashtable probes. *)
+  mutable last_len : int;
+  mutable last_class : stack;
   mutable acquired : int;
   mutable recycled : int;
   mutable released : int;
@@ -26,38 +31,61 @@ type t = {
 
 let retired = Bytes.create 0
 
+(* Shared sentinel for "no such size class": always empty, never added
+   to any table, so acquire falls through to a fresh allocation and
+   release replaces it with a real class. *)
+let empty_class = { items = [||]; len = 0 }
+
 let create ?(max_per_class = 256) () =
   if max_per_class < 1 then invalid_arg "Pool.create: max_per_class < 1";
   {
     classes = Hashtbl.create 16;
     max_per_class;
+    last_len = -1;
+    last_class = empty_class;
     acquired = 0;
     recycled = 0;
     released = 0;
     dropped = 0;
   }
 
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: the hot path
+   must not build a [Some] box per acquire/release. *)
+let find_class t len =
+  if len = t.last_len then t.last_class
+  else
+    match Hashtbl.find t.classes len with
+    | s ->
+        t.last_len <- len;
+        t.last_class <- s;
+        s
+    | exception Not_found -> empty_class
+
 let acquire t len =
   t.acquired <- t.acquired + 1;
-  match Hashtbl.find_opt t.classes len with
-  | Some s when s.len > 0 ->
-      s.len <- s.len - 1;
-      let frame = s.items.(s.len) in
-      s.items.(s.len) <- retired;
-      t.recycled <- t.recycled + 1;
-      frame
-  | Some _ | None -> Bytes.create len
+  let s = find_class t len in
+  if s.len > 0 then begin
+    s.len <- s.len - 1;
+    let frame = s.items.(s.len) in
+    s.items.(s.len) <- retired;
+    t.recycled <- t.recycled + 1;
+    frame
+  end
+  else Bytes.create len
 
 let release t frame =
   let len = Bytes.length frame in
   if len > 0 then begin
     let s =
-      match Hashtbl.find_opt t.classes len with
-      | Some s -> s
-      | None ->
-          let s = { items = Array.make 8 retired; len = 0 } in
-          Hashtbl.add t.classes len s;
-          s
+      let s = find_class t len in
+      if s != empty_class then s
+      else begin
+        let s = { items = Array.make 8 retired; len = 0 } in
+        Hashtbl.add t.classes len s;
+        t.last_len <- len;
+        t.last_class <- s;
+        s
+      end
     in
     if s.len >= t.max_per_class then t.dropped <- t.dropped + 1
     else begin

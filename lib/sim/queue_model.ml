@@ -1,113 +1,172 @@
 open Mmt_util
 
-type entry = {
-  packet : Packet.t;
-  deadline : Units.Time.t option;
-  seq : int;
+let dummy_packet = Packet.create ~id:(-1) ~born:Units.Time.zero Pool.retired
+
+(* Circular packet FIFO: steady-state push/pop allocate nothing
+   (stdlib [Queue] allocates a cell per push). *)
+type fifo = {
+  mutable buf : Packet.t array;
+  mutable head : int;
+  mutable len : int;
 }
 
+(* EDF heap as parallel arrays (SoA, mirroring the engine heap) so an
+   enqueue allocates no entry record.  [deadlines] holds raw ns;
+   deadline-free packets carry [no_deadline] = [max_int], which both
+   sorts them after every deadline-bearing packet and makes the
+   tie-break fall through to [seqs] — exactly the option semantics the
+   record version had. *)
+let no_deadline = max_int
+
 type edf = {
-  mutable heap : entry array;
+  mutable packets : Packet.t array;
+  mutable deadlines : int array;
+  mutable seqs : int array;
   mutable size : int;
   drop_expired : bool;
   deadline_of : Packet.t -> Units.Time.t option;
 }
 
-type discipline = Fifo of Packet.t Queue.t | Edf of edf
+type discipline = Fifo of fifo | Edf of edf
 
 type t = {
   capacity : Units.Size.t;
   discipline : discipline;
   pool : Pool.t option;
-      (* recycles frames of packets this queue destroys (expired
-         drops); overflow drops never enter the queue and stay the
-         caller's to recycle *)
+  ring : Ring.t option;
+      (* retires packets this queue destroys (expired drops); overflow
+         drops never enter the queue and stay the caller's to retire *)
   mutable bytes : int;
   mutable next_seq : int;
   mutable overflow_drops : int;
   mutable expired_drops : int;
 }
 
-let dummy_entry () =
-  {
-    packet = Packet.create ~id:(-1) ~born:Units.Time.zero (Bytes.create 0);
-    deadline = None;
-    seq = -1;
-  }
-
-let droptail ?pool ~capacity () =
+let droptail ?pool ?ring ~capacity () =
   {
     capacity;
-    discipline = Fifo (Queue.create ());
+    discipline = Fifo { buf = Array.make 64 dummy_packet; head = 0; len = 0 };
     pool;
+    ring;
     bytes = 0;
     next_seq = 0;
     overflow_drops = 0;
     expired_drops = 0;
   }
 
-let deadline_aware ?pool ~capacity ~drop_expired ~deadline_of () =
+let deadline_aware ?pool ?ring ~capacity ~drop_expired ~deadline_of () =
   {
     capacity;
     discipline =
-      Edf { heap = Array.make 64 (dummy_entry ()); size = 0; drop_expired; deadline_of };
+      Edf
+        {
+          packets = Array.make 64 dummy_packet;
+          deadlines = Array.make 64 no_deadline;
+          seqs = Array.make 64 (-1);
+          size = 0;
+          drop_expired;
+          deadline_of;
+        };
     pool;
+    ring;
     bytes = 0;
     next_seq = 0;
     overflow_drops = 0;
     expired_drops = 0;
   }
 
+let retire t packet =
+  match t.ring with
+  | Some ring -> Ring.in_packet_done ring packet
+  | None -> Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
+
+let fifo_push f packet =
+  let cap = Array.length f.buf in
+  if f.len = cap then begin
+    let grown = Array.make (cap * 2) dummy_packet in
+    for i = 0 to f.len - 1 do
+      grown.(i) <- f.buf.((f.head + i) mod cap)
+    done;
+    f.buf <- grown;
+    f.head <- 0
+  end;
+  f.buf.((f.head + f.len) mod Array.length f.buf) <- packet;
+  f.len <- f.len + 1
+
+let fifo_pop f =
+  let packet = f.buf.(f.head) in
+  f.buf.(f.head) <- dummy_packet;
+  f.head <- (f.head + 1) mod Array.length f.buf;
+  f.len <- f.len - 1;
+  packet
+
 (* EDF ordering: deadline-bearing packets first (earliest wins), then
    deadline-free packets in arrival order. *)
-let entry_before a b =
-  match (a.deadline, b.deadline) with
-  | Some da, Some db ->
-      let c = Units.Time.compare da db in
-      if c <> 0 then c < 0 else a.seq < b.seq
-  | Some _, None -> true
-  | None, Some _ -> false
-  | None, None -> a.seq < b.seq
+let entry_before edf i j =
+  let di = edf.deadlines.(i) and dj = edf.deadlines.(j) in
+  if di <> dj then di < dj else edf.seqs.(i) < edf.seqs.(j)
 
-let heap_push edf entry =
-  if edf.size = Array.length edf.heap then begin
-    let bigger = Array.make (2 * edf.size) (dummy_entry ()) in
-    Array.blit edf.heap 0 bigger 0 edf.size;
-    edf.heap <- bigger
+let swap edf i j =
+  let p = edf.packets.(i) in
+  edf.packets.(i) <- edf.packets.(j);
+  edf.packets.(j) <- p;
+  let d = edf.deadlines.(i) in
+  edf.deadlines.(i) <- edf.deadlines.(j);
+  edf.deadlines.(j) <- d;
+  let s = edf.seqs.(i) in
+  edf.seqs.(i) <- edf.seqs.(j);
+  edf.seqs.(j) <- s
+
+let heap_push edf packet deadline seq =
+  if edf.size = Array.length edf.packets then begin
+    let cap = 2 * edf.size in
+    let packets = Array.make cap dummy_packet in
+    let deadlines = Array.make cap no_deadline in
+    let seqs = Array.make cap (-1) in
+    Array.blit edf.packets 0 packets 0 edf.size;
+    Array.blit edf.deadlines 0 deadlines 0 edf.size;
+    Array.blit edf.seqs 0 seqs 0 edf.size;
+    edf.packets <- packets;
+    edf.deadlines <- deadlines;
+    edf.seqs <- seqs
   end;
-  edf.heap.(edf.size) <- entry;
+  edf.packets.(edf.size) <- packet;
+  edf.deadlines.(edf.size) <- deadline;
+  edf.seqs.(edf.size) <- seq;
   edf.size <- edf.size + 1;
   let i = ref (edf.size - 1) in
-  while !i > 0 && entry_before edf.heap.(!i) edf.heap.((!i - 1) / 2) do
+  while !i > 0 && entry_before edf !i ((!i - 1) / 2) do
     let parent = (!i - 1) / 2 in
-    let tmp = edf.heap.(!i) in
-    edf.heap.(!i) <- edf.heap.(parent);
-    edf.heap.(parent) <- tmp;
+    swap edf !i parent;
     i := parent
   done
 
+(* Pops the root into the caller's hands: packet + deadline. *)
+(* The caller reads [edf.deadlines.(0)] before popping — returning a
+   (packet, deadline) pair here would be a tuple per dequeue. *)
 let heap_pop edf =
-  let top = edf.heap.(0) in
+  let packet = edf.packets.(0) in
   edf.size <- edf.size - 1;
-  edf.heap.(0) <- edf.heap.(edf.size);
-  edf.heap.(edf.size) <- dummy_entry ();
+  edf.packets.(0) <- edf.packets.(edf.size);
+  edf.deadlines.(0) <- edf.deadlines.(edf.size);
+  edf.seqs.(0) <- edf.seqs.(edf.size);
+  edf.packets.(edf.size) <- dummy_packet;
+  edf.deadlines.(edf.size) <- no_deadline;
+  edf.seqs.(edf.size) <- -1;
   let rec sift i =
     let left = (2 * i) + 1 in
     let right = left + 1 in
     let smallest = ref i in
-    if left < edf.size && entry_before edf.heap.(left) edf.heap.(!smallest) then
-      smallest := left;
-    if right < edf.size && entry_before edf.heap.(right) edf.heap.(!smallest) then
+    if left < edf.size && entry_before edf left !smallest then smallest := left;
+    if right < edf.size && entry_before edf right !smallest then
       smallest := right;
     if !smallest <> i then begin
-      let tmp = edf.heap.(i) in
-      edf.heap.(i) <- edf.heap.(!smallest);
-      edf.heap.(!smallest) <- tmp;
+      swap edf i !smallest;
       sift !smallest
     end
   in
   if edf.size > 0 then sift 0;
-  top
+  packet
 
 let enqueue t ~now:_ packet =
   let size = Units.Size.to_bytes (Packet.wire_size packet) in
@@ -118,40 +177,56 @@ let enqueue t ~now:_ packet =
   else begin
     t.bytes <- t.bytes + size;
     (match t.discipline with
-    | Fifo q -> Queue.push packet q
+    | Fifo f -> fifo_push f packet
     | Edf edf ->
-        let entry =
-          { packet; deadline = edf.deadline_of packet; seq = t.next_seq }
+        let deadline =
+          match edf.deadline_of packet with
+          | Some d -> Units.Time.to_ns d
+          | None -> no_deadline
         in
+        let seq = t.next_seq in
         t.next_seq <- t.next_seq + 1;
-        heap_push edf entry);
+        heap_push edf packet deadline seq);
     `Accepted
   end
 
-let rec dequeue t ~now =
+(* Returned by [poll] on an empty queue: a shared inert record (compare
+   physically), so the link's transmit loop never builds a [Some] box
+   per forwarded packet. *)
+let empty = Packet.create ~id:(-1) ~born:Units.Time.zero Pool.retired
+
+let rec poll t ~now =
   match t.discipline with
-  | Fifo q ->
-      if Queue.is_empty q then None
+  | Fifo f ->
+      if f.len = 0 then empty
       else begin
-        let packet = Queue.pop q in
+        let packet = fifo_pop f in
         t.bytes <- t.bytes - Units.Size.to_bytes (Packet.wire_size packet);
-        Some packet
+        packet
       end
   | Edf edf ->
-      if edf.size = 0 then None
+      if edf.size = 0 then empty
       else begin
-        let entry = heap_pop edf in
-        t.bytes <- t.bytes - Units.Size.to_bytes (Packet.wire_size entry.packet);
-        match entry.deadline with
-        | Some deadline when edf.drop_expired && Units.Time.(deadline < now) ->
-            t.expired_drops <- t.expired_drops + 1;
-            Option.iter (fun pool -> Pool.release_packet pool entry.packet) t.pool;
-            dequeue t ~now
-        | _ -> Some entry.packet
+        let deadline = edf.deadlines.(0) in
+        let packet = heap_pop edf in
+        t.bytes <- t.bytes - Units.Size.to_bytes (Packet.wire_size packet);
+        if
+          edf.drop_expired && deadline <> no_deadline
+          && deadline < Units.Time.to_ns now
+        then begin
+          t.expired_drops <- t.expired_drops + 1;
+          retire t packet;
+          poll t ~now
+        end
+        else packet
       end
 
+let dequeue t ~now =
+  let packet = poll t ~now in
+  if packet == empty then None else Some packet
+
 let length t =
-  match t.discipline with Fifo q -> Queue.length q | Edf edf -> edf.size
+  match t.discipline with Fifo f -> f.len | Edf edf -> edf.size
 
 let queued_bytes t = Units.Size.bytes t.bytes
 let overflow_drops t = t.overflow_drops

@@ -1,0 +1,79 @@
+(** Preallocated packet ring (lib_ethernet MII idiom).
+
+    A growable arena of preallocated {!Packet.t} records plus an
+    embedded frame {!Pool}.  The hot path hands the *same* record —
+    identified by its slot index ([Packet.slot]) — from link to element
+    pipeline to receiver, and recycles both the record and its frame at
+    the retirement point with {!in_packet_done}; steady-state forwarding
+    therefore does zero minor allocation.
+
+    Ownership protocol (MII [in_packet]/[in_packet_done]):
+
+    - {!in_packet} / {!alloc} / {!clone} acquire a live slot; exactly
+      one component owns it at a time.  Ownership moves with the
+      packet: scheduling a delivery transfers it to the delivery
+      closure, [Element.process] transfers it to the element for the
+      duration of the call and back to the switch with the outcome.
+    - The owner at a packet's end of life calls {!in_packet_done}
+      (delivery consumed, loss/queue/fault drop, dedup, discard).
+      Holding a reference after that point is a use-after-free bug:
+      the slot's [gen] was bumped and the record will be rewritten by
+      a future acquire.  Double-done is a counted no-op.
+    - A slot must never cross a shard boundary: domains own disjoint
+      rings.  {!detach} converts a slot packet into a floating record
+      (the frame travels, the slot frees immediately) right before a
+      mailbox push.
+
+    Every operation falls back gracefully: past [max_slots] the ring
+    hands out floating heap records (counted in [overflow]), and
+    {!in_packet_done} on a floating packet just recycles its frame, so
+    correctness never depends on capacity tuning. *)
+
+open Mmt_util
+
+type t
+
+type stats = {
+  capacity : int;  (** Current arena size (slots). *)
+  in_use : int;  (** Live slots right now. *)
+  acquired : int;  (** Total acquires (slots + overflow fallbacks). *)
+  retired : int;  (** Total {!in_packet_done} retirements. *)
+  double_done : int;  (** Redundant/stale retirements (no-ops). *)
+  overflow : int;  (** Acquires served as floating records. *)
+  detached : int;  (** Slot packets converted for shard crossing. *)
+}
+
+val create : ?slots:int -> ?max_slots:int -> ?pool:Pool.t -> unit -> t
+(** [create ()] preallocates [slots] packet records (default 1024) and
+    doubles on demand up to [max_slots] (default 65536).  [pool]
+    supplies/receives the frames (fresh private pool by default).
+    @raise Invalid_argument if [slots < 1]. *)
+
+val pool : t -> Pool.t
+
+val in_packet :
+  t -> ?padding:int -> id:int -> born:Units.Time.t -> int -> Packet.t
+(** [in_packet t ~id ~born len] acquires a slot holding a pool frame of
+    exactly [len] bytes.  Contents are unspecified; the caller must
+    overwrite every byte. *)
+
+val alloc :
+  t -> ?padding:int -> id:int -> born:Units.Time.t -> bytes -> Packet.t
+(** Like {!in_packet} but adopting a caller-built frame (which will be
+    recycled into the ring's pool at retirement). *)
+
+val clone : t -> Packet.t -> id:int -> Packet.t
+(** Slot-allocated deep copy (in-network duplication): pool frame,
+    contents/padding/born/corrupted/hops copied from the source. *)
+
+val in_packet_done : t -> Packet.t -> unit
+(** Retire a packet: recycle its frame into the pool and free its slot.
+    Safe on floating packets (frame recycle only) and idempotent — a
+    second call on the same incarnation is a counted no-op. *)
+
+val detach : t -> Packet.t -> Packet.t
+(** [detach t p] frees [p]'s slot and returns a floating record that
+    adopts [p]'s frame — used when a packet leaves this ring's domain
+    through a shard mailbox.  Identity on already-floating packets. *)
+
+val stats : t -> stats

@@ -29,6 +29,7 @@ type t
 val build :
   shards:int ->
   ?pool:(unit -> Pool.t) ->
+  ?pooling:bool ->
   (Topology.t -> 'a) ->
   Topology.t * 'a * t option
 (** [build ~shards build_fn] constructs the caller's topology for
@@ -36,17 +37,35 @@ val build :
     self-contained: it creates nodes and links through the topology it
     is given, attaches components to {!Topology.node_engine} of each
     node, and returns whatever handles the caller needs to read
-    results later.  [pool], when given, is a factory invoked once per
-    shard so every domain recycles frames through its own pool —
-    frames that cross a shard mailbox are later released into the
-    {e receiving} shard's pool, never the sender's.
+    results later.  Pooling is on by default: every shard owns a
+    packet {!Ring} (see {!Topology.create}); [pooling:false] opts out.
+    [pool], when given, is a factory invoked once per shard so every
+    domain recycles frames through its own pool — frames that cross a
+    shard mailbox are detached from the source ring and later retired
+    into the {e receiving} shard's pool, never the sender's.
 
     Returns [(topo, result, runner)]; [runner] is [None] when the run
     fell back to sequential (fewer than two cut components, or
     [shards < 2]), in which case the caller drives
     [Topology.engine topo] directly as always. *)
 
-val run : ?until:Units.Time.t -> t -> unit
+type gc_tuning = {
+  minor_heap_kb : int option;  (** Per-domain minor heap size, in KiB. *)
+  space_overhead : int option;  (** Major-GC [space_overhead] percent. *)
+}
+(** GC parameters applied to every domain of a sharded run ([None]
+    fields keep the runtime default).  A bigger minor heap amortizes
+    OCaml 5's stop-the-world minor collections across windows — the
+    dominant sharding overhead on few-core boxes. *)
+
+val default_gc : gc_tuning
+(** All fields [None]: leave the runtime configuration alone. *)
+
+val apply_gc : gc_tuning -> unit
+(** Apply the tuning to the calling domain (used by sequential runners
+    that want the same parameters as a sharded run would get). *)
+
+val run : ?until:Units.Time.t -> ?gc:gc_tuning -> t -> unit
 (** Execute all shards to quiescence (or to [until]), spawning one
     domain per shard beyond the caller's.  Matches
     {!Engine.run}'s clock-clamp semantics: with [until] every shard's

@@ -19,25 +19,39 @@ open Mmt_util
 
 type t
 
-val create : engine:Engine.t -> ?trace:Trace.t -> ?pool:Pool.t -> unit -> t
+val create :
+  engine:Engine.t ->
+  ?trace:Trace.t ->
+  ?pool:Pool.t ->
+  ?ring:Ring.t ->
+  ?pooling:bool ->
+  unit ->
+  t
 (** When [trace] is given, every link created through this topology
-    records its packet events into it.  When [pool] is given, every
-    link recycles the frames of packets it drops into it (see
-    {!Link.create}). *)
+    records its packet events into it.  Pooling is on by default:
+    unless [pooling:false], the topology owns a packet {!Ring} (either
+    [ring] or a fresh one wrapping [pool] when given) and every link
+    retires the packets it drops into it; {!pool} then exposes the
+    ring's embedded frame pool for copy paths.  [pooling:false]
+    restores the legacy behaviour: no ring, and frames recycle only
+    when an explicit [pool] was given. *)
 
 val create_sharded :
   engines:Engine.t array ->
   assign:(string -> int) ->
   ?pools:Pool.t array ->
+  ?rings:Ring.t array ->
+  ?pooling:bool ->
   unit ->
   t
 (** A topology spread over one engine per shard.  [assign] maps a node
-    name to its shard (consulted once, at {!add_node}); [pools], when
-    given, supplies one frame pool per shard so each domain recycles
-    frames without sharing pool state.  Tracing is unavailable in
-    sharded mode.
-    @raise Invalid_argument if [engines] is empty or [pools] has a
-    different length. *)
+    name to its shard (consulted once, at {!add_node}).  Each shard
+    gets its own packet ring (default) or pool, so no allocation state
+    is shared between domains — slots must never cross a shard
+    boundary ({!Ring.detach}).  Tracing is unavailable in sharded
+    mode.
+    @raise Invalid_argument if [engines] is empty or [pools]/[rings]
+    has a different length. *)
 
 val engine : t -> Engine.t
 (** Shard 0's engine — the only engine of a {!create}d topology. *)
@@ -52,9 +66,15 @@ val shard_of_node : t -> Node.t -> int
 
 val trace : t -> Trace.t option
 val pool : t -> Pool.t option
-(** Shard 0's frame pool, if any. *)
+(** Shard 0's frame pool, if any (a ring's embedded pool when the
+    topology owns a ring). *)
 
 val pool_of_shard : t -> int -> Pool.t option
+
+val ring : t -> Ring.t option
+(** Shard 0's packet ring, if any. *)
+
+val ring_of_shard : t -> int -> Ring.t option
 
 val fresh_packet_id : t -> int
 (** Unique (per topology) packet identity, drawn from shard 0's

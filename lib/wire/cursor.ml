@@ -66,6 +66,10 @@ module Writer = struct
   type t = { buf : bytes; mutable pos : int }
 
   let create capacity = { buf = Bytes.create capacity; pos = 0 }
+
+  (* Write into a caller-owned buffer (e.g. a pool frame) instead of a
+     fresh one; bounds-checked against its full length. *)
+  let over buf = { buf; pos = 0 }
   let length t = t.pos
 
   let need t n what =

@@ -43,6 +43,11 @@ module Writer : sig
       {!Out_of_bounds} rather than grow, because on-wire headers have
       known sizes. *)
 
+  val over : bytes -> t
+  (** Writer positioned at offset 0 of a caller-owned buffer (e.g. a
+      pool frame), so headers can be serialized without allocating.
+      Capacity is the buffer's full length; {!contents} still copies. *)
+
   val length : t -> int
   val u8 : t -> int -> unit
   (** Low 8 bits of the argument. *)

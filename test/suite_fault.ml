@@ -352,6 +352,33 @@ let test_chaos_empty_plan_is_faultless () =
   Alcotest.(check (list string)) "no violations" [] outcome.C.violations;
   Alcotest.(check int) "all delivered" 800 outcome.C.delivered
 
+let test_chaos_pooling_byte_identical () =
+  (* Packet rings change the allocator, never the bytes: the same
+     fault plan — element death, wire tampering, random loss — must
+     produce a field-for-field identical outcome with pooling off. *)
+  let p =
+    C.params ~fragment_count:1200
+      ~plan:
+        (Fault.Plan.make
+           [
+             Fault.Plan.event ~at:(ms 2.) (Fault.Plan.Fail_element "buffer-a");
+             Fault.Plan.event ~at:(ms 3.)
+               (Fault.Plan.Corrupt_headers
+                  { link = "buffer-b->sink"; probability = 0.01; bits = 2 });
+             Fault.Plan.event ~at:(ms 20.)
+               (Fault.Plan.Stop_corrupting "buffer-b->sink");
+             Fault.Plan.event ~at:(ms 40.)
+               (Fault.Plan.Restart_element "buffer-a");
+           ])
+      ()
+  in
+  let pooled = C.run p in
+  let plain = C.run ~pooling:false p in
+  Alcotest.(check (list string)) "no invariant violations (pooled)" []
+    pooled.C.violations;
+  Alcotest.(check bool) "outcomes identical with pools on and off" true
+    (pooled = plain)
+
 (* E-R1 determinism ------------------------------------------------------- *)
 
 let test_er1_deterministic_across_domains () =
@@ -394,6 +421,8 @@ let suite =
       test_chaos_blackhole_degrades_then_recovers;
     Alcotest.test_case "chaos empty plan is faultless" `Quick
       test_chaos_empty_plan_is_faultless;
+    Alcotest.test_case "chaos pool-on/off byte-identical" `Slow
+      test_chaos_pooling_byte_identical;
     Alcotest.test_case "E-R1 deterministic across domains" `Slow
       test_er1_deterministic_across_domains;
   ]

@@ -10,6 +10,7 @@ let () =
       ("engine", Suite_engine.suite);
       ("sim-net", Suite_sim_net.suite);
       ("pool", Suite_pool.suite);
+      ("ring", Suite_ring.suite);
       ("header", Suite_header.suite);
       ("view", Suite_view.suite);
       ("control", Suite_control.suite);

@@ -12,6 +12,21 @@ least as many cores as shards it must beat sequential (with headroom);
 on a smaller box OCaml's stop-the-world minor collections serialize
 the domains, so only a sanity bound applies.
 
+The ring-buffer packet path (PR 8) adds two more families of checks:
+
+- `forward`: the steady-state slot -> link -> deliver -> retire path
+  must stay allocation-free on the minor heap and must cost at most
+  FORWARD_FACTOR raw engine events per packet (both numbers come from
+  the *same* run, so the ratio is robust to box speed), and must not
+  regress against the committed baseline by more than RATIO.
+- `pilot_audit`: over the E-F4 pilot window the per-shard ring must
+  recycle what it acquires (ratio >= RECYCLE_FLOOR), end quiescent
+  (`in_use` = 0 — a leaked slot means a retirement point was missed),
+  never observe a stale/double `in_packet_done`, and pooling must not
+  allocate more minor words than the plain allocator does (with
+  headroom; large frames live on the major heap either way, so the
+  two are expected to be close rather than far apart).
+
 Usage: bench_gate.py BASELINE.json CURRENT.json
 """
 
@@ -23,6 +38,9 @@ SLACK_NS = 25.0  # absolute headroom so sub-50ns ops don't flap on noise
 SWEEP_HEADROOM = 1.15  # parallel may not exceed sequential by more than this
 SHARDED_HEADROOM = 1.15  # sharded vs sequential, when cores >= shards
 SHARDED_SANITY = 6.0  # sharded vs sequential, when the box is core-starved
+FORWARD_FACTOR = 8.0  # forwarded packet may cost at most this many engine events
+RECYCLE_FLOOR = 0.99  # pilot ring: retired / acquired must not drop below this
+POOLED_HEADROOM = 1.25  # pooled pilot minor words vs plain allocator
 
 
 def main() -> int:
@@ -92,6 +110,56 @@ def main() -> int:
             f"shard barrier crossing allocates "
             f"({barrier:.2f} minor words/window)"
         )
+
+    forward = current.get("forward", {})
+    fwd_ns = forward.get("ns_per_packet")
+    fwd_words = forward.get("alloc_minor_words_per_packet")
+    if fwd_words is not None and fwd_words >= 0.5:
+        failures.append(
+            f"forward path allocates ({fwd_words:.2f} minor words/packet)"
+        )
+    event_ns = cur_micro.get("E-A3/engine schedule+run event")
+    if fwd_ns is not None and event_ns is not None:
+        ceiling = event_ns * FORWARD_FACTOR + SLACK_NS
+        if fwd_ns > ceiling:
+            failures.append(
+                f"forward path {fwd_ns:.1f} ns/packet exceeds "
+                f"{FORWARD_FACTOR:g}x engine event cost "
+                f"({event_ns:.1f} ns -> ceiling {ceiling:.1f} ns)"
+            )
+    base_fwd_ns = baseline.get("forward", {}).get("ns_per_packet")
+    if fwd_ns is not None and base_fwd_ns is not None:
+        if fwd_ns > base_fwd_ns * RATIO + SLACK_NS:
+            failures.append(
+                f"forward path: {base_fwd_ns:.1f} ns -> {fwd_ns:.1f} ns "
+                f"({fwd_ns / base_fwd_ns:.2f}x)"
+            )
+
+    audit = current.get("pilot_audit", {})
+    recycle = audit.get("ring_recycle_ratio")
+    if recycle is not None and recycle < RECYCLE_FLOOR:
+        failures.append(
+            f"pilot ring recycle ratio {recycle:.4f} below {RECYCLE_FLOOR}"
+        )
+    audit_ring = audit.get("ring", {})
+    in_use = audit_ring.get("in_use")
+    if in_use is not None and in_use > 0:
+        failures.append(
+            f"pilot ring leaks {in_use} slot(s) after a quiescent run"
+        )
+    double_done = audit_ring.get("double_done")
+    if double_done is not None and double_done > 0:
+        failures.append(
+            f"pilot ring saw {double_done} stale/double in_packet_done"
+        )
+    pooled = audit.get("minor_words_pooled")
+    plain = audit.get("minor_words_plain")
+    if pooled is not None and plain is not None and plain > 0:
+        if pooled > plain * POOLED_HEADROOM:
+            failures.append(
+                f"pooled pilot allocates more than plain "
+                f"({pooled:.0f} vs {plain:.0f} minor words)"
+            )
 
     shared = sorted(set(base_micro) & set(cur_micro))
     print(f"bench gate: {len(shared)} shared micro-benchmarks checked")
