@@ -11,9 +11,9 @@ let default_points = Sweep.log_points ~lo:10 ~hi:1000 ()
 
 let pct x = Printf.sprintf "%.2f%%" (100. *. x)
 
-let report ?(jobs = 1) ?(shards = 1) ?(pooling = true) ?gc
+let report ?(jobs = 1) ?(shards = 1) ?(pooling = true) ?(fusing = true) ?gc
     ?(base = default_base) ?(points = default_points) () =
-  let results = Sweep.run ~jobs ~shards ~pooling ?gc ~base ~points () in
+  let results = Sweep.run ~jobs ~shards ~pooling ~fusing ?gc ~base ~points () in
   let table =
     Table.create
       ~title:
@@ -66,7 +66,9 @@ let report ?(jobs = 1) ?(shards = 1) ?(pooling = true) ?gc
   let max_nak_hw =
     List.fold_left (fun acc r -> max acc (summary_of r).Metrics.nak_state_hw) 0 results
   in
-  let rerun = Scenario.run ~pooling { base with Scenario.flows = fst first } in
+  let rerun =
+    Scenario.run ~pooling ~fusing { base with Scenario.flows = fst first }
+  in
   let report =
     {
       Mmt_telemetry.Report.id = "E-F5";

@@ -88,7 +88,12 @@ type result = {
 }
 
 val run :
-  ?shards:int -> ?pooling:bool -> ?gc:Mmt_sim.Shard.gc_tuning -> config -> result
+  ?shards:int ->
+  ?pooling:bool ->
+  ?fusing:bool ->
+  ?gc:Mmt_sim.Shard.gc_tuning ->
+  config ->
+  result
 (** Build the scenario on fresh engines, run it to completion (with a
     one-second drain cap past [duration] as a safety bound), and read
     the metrics back from the endpoints' own statistics.
@@ -101,6 +106,9 @@ val run :
     number of cut components fold back; [shards <= 1] runs the plain
     sequential engine.
 
+    [fusing] (default [true]) collapses uncongested hops into single
+    engine events ({!Mmt_sim.Link.create}); [fusing:false] opts out,
+    with byte-identical results either way.
     [pooling] (default [true]) gives every shard a preallocated packet
     {!Mmt_sim.Ring} through which the whole forwarding path recycles
     records and frames; [pooling:false] opts out (pure-GC allocation).

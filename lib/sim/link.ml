@@ -34,6 +34,12 @@ let cut_threshold = Units.Time.ms 1.
 
 let dummy_packet = Packet.create ~id:(-1) ~born:Units.Time.zero Pool.retired
 
+(* Default observer: a shared sentinel, compared physically, so call
+   sites on untraced links skip the indirect call entirely.  Topology
+   only installs a real observer when tracing is on, making this the
+   common case. *)
+let no_observer (_ : event) (_ : Packet.t) = ()
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -52,6 +58,8 @@ type t = {
   mutable serializing : Packet.t; (* the packet on the transmitter *)
   mutable on_serialized : unit -> unit; (* preallocated; set in create *)
   mutable on_propagated : unit -> unit; (* preallocated; set in create *)
+  mutable on_staged : unit -> unit; (* preallocated; set in create *)
+  fusable : bool; (* hops may fuse: fusing enabled and ordinary lane *)
   (* In-flight circular FIFO.  Propagation is constant per link and
      engine time is monotonic, so deliveries complete in the order
      serializations complete: the delivery closures can be one shared
@@ -71,6 +79,14 @@ type t = {
   mutable tampered : int;
   mutable delivered_bytes : int;
   mutable busy : Units.Time.t;
+  (* Serialization-time memo.  Traffic on a link is overwhelmingly
+     same-sized frames at an unchanged rate, so the float divide +
+     round inside [Units.Rate.transmission_time] is paid once per
+     (rate, size) change instead of per packet.  Purely a cache: the
+     memoized value is exactly what the computation would return. *)
+  mutable tt_rate : float;
+  mutable tt_bits : int;
+  mutable tt_time : Units.Time.t;
 }
 
 (* The link was the packet's last holder: recycle the slot + frame. *)
@@ -79,23 +95,33 @@ let retire t packet =
   | Some ring -> Ring.in_packet_done ring packet
   | None -> Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
 
+let[@inline] observe link ev packet =
+  if link.observer != no_observer then link.observer ev packet
+
+(* Index wrap by compare-and-subtract, as in [Queue_model]'s FIFO: the
+   operands stay in [0, 2*cap) and the branch predicts, where [mod] is
+   an integer division on the per-packet path. *)
 let flight_push t packet =
   let cap = Array.length t.flight in
   if t.flight_len = cap then begin
     let grown = Array.make (cap * 2) dummy_packet in
     for i = 0 to t.flight_len - 1 do
-      grown.(i) <- t.flight.((t.flight_head + i) mod cap)
+      let src = t.flight_head + i in
+      grown.(i) <- t.flight.(if src >= cap then src - cap else src)
     done;
     t.flight <- grown;
     t.flight_head <- 0
   end;
-  t.flight.((t.flight_head + t.flight_len) mod Array.length t.flight) <- packet;
+  let cap = Array.length t.flight in
+  let tail = t.flight_head + t.flight_len in
+  t.flight.(if tail >= cap then tail - cap else tail) <- packet;
   t.flight_len <- t.flight_len + 1
 
 let flight_pop t =
   let packet = t.flight.(t.flight_head) in
   t.flight.(t.flight_head) <- dummy_packet;
-  t.flight_head <- (t.flight_head + 1) mod Array.length t.flight;
+  let next = t.flight_head + 1 in
+  t.flight_head <- (if next >= Array.length t.flight then 0 else next);
   t.flight_len <- t.flight_len - 1;
   packet
 
@@ -104,7 +130,7 @@ let deliver_now t packet =
   t.delivered_bytes <-
     t.delivered_bytes + Units.Size.to_bytes (Packet.wire_size packet);
   packet.Packet.hops <- packet.Packet.hops + 1;
-  t.observer Delivered packet;
+  observe t Delivered packet;
   t.deliver packet
 
 let deliver_after_propagation t packet =
@@ -130,42 +156,63 @@ let deliver_after_propagation t packet =
         ignore (Engine.schedule_boundary t.engine ~at ~key t.on_propagated)
   end
 
-let transmit_next t =
-  let now = Engine.now t.engine in
-  let packet = Queue_model.poll t.queue ~now in
-  if packet == Queue_model.empty then t.transmitting <- false
+let serialization_time t packet =
+  let size = Packet.wire_size packet in
+  let bits = Units.Size.to_bits size in
+  if bits = t.tt_bits && Float.equal t.tt_rate (t.rate :> float) then t.tt_time
   else begin
-    t.transmitting <- true;
-    t.serializing <- packet;
-    let serialization =
-      Units.Rate.transmission_time t.rate (Packet.wire_size packet)
-    in
-    t.busy <- Units.Time.add t.busy serialization;
-    ignore (Engine.schedule_after t.engine ~delay:serialization t.on_serialized)
+    let time = Units.Rate.transmission_time t.rate size in
+    t.tt_rate <- (t.rate :> float);
+    t.tt_bits <- bits;
+    t.tt_time <- time;
+    time
   end
+
+let start_serializing t packet =
+  t.transmitting <- true;
+  t.serializing <- packet;
+  let serialization = serialization_time t packet in
+  t.busy <- Units.Time.add t.busy serialization;
+  if t.fusable then
+    (* Fused hop: one staged engine event covers serialization and
+       propagation.  Its stage phase runs [staged_serialized] — the
+       serialize-time semantics, verbatim — and re-arms the same
+       heap entry as the propagate event instead of scheduling a
+       second one. *)
+    ignore
+      (Engine.schedule_staged t.engine
+         ~at:(Units.Time.add (Engine.now t.engine) serialization)
+         t.on_staged)
+  else
+    ignore (Engine.schedule_after t.engine ~delay:serialization t.on_serialized)
+
+let transmit_next t =
+  let packet = Queue_model.poll t.queue ~now:(Engine.now t.engine) in
+  if packet == Queue_model.empty then t.transmitting <- false
+  else start_serializing t packet
 
 let serialized t =
   let packet = t.serializing in
   t.serializing <- dummy_packet;
   t.transmitted <- t.transmitted + 1;
-  t.observer Transmitted packet;
+  observe t Transmitted packet;
   (if not t.up then begin
      (* A downed link destroys whatever leaves its transmitter, like an
         unplugged fibre. *)
      t.fault_drops <- t.fault_drops + 1;
-     t.observer Fault_dropped packet;
+     observe t Fault_dropped packet;
      retire t packet
    end
    else
      match Loss.decide t.loss with
      | Loss.Drop ->
          t.loss_drops <- t.loss_drops + 1;
-         t.observer Loss_dropped packet;
+         observe t Loss_dropped packet;
          retire t packet
      | Loss.Corrupt ->
          packet.Packet.corrupted <- true;
          t.corrupted <- t.corrupted + 1;
-         t.observer Corrupted packet;
+         observe t Corrupted packet;
          deliver_after_propagation t packet
      | Loss.Deliver -> (
          match t.tamper with
@@ -174,16 +221,64 @@ let serialized t =
                 arrives; detection is the receiver's problem
                 (checksums, not oracles). *)
              t.tampered <- t.tampered + 1;
-             t.observer Corrupted packet;
+             observe t Corrupted packet;
              deliver_after_propagation t packet
          | Some _ | None -> deliver_after_propagation t packet));
   transmit_next t
 
 let propagated t = deliver_now t (flight_pop t)
 
+(* Stage phase of a fused hop: [serialized] verbatim, except that a
+   surviving packet re-arms the staged event as the propagate event
+   ([Engine.advance_current]) instead of scheduling a fresh one.  The
+   advance draws its sequence number at this instant — exactly where
+   [deliver_after_propagation] would have drawn it — and every other
+   decision (up check, loss draw, tamper, observer, stats, the tail
+   call into [transmit_next]) runs here at serialize-completion time
+   with current link state, so a fused run is byte-identical to an
+   unfused one under faults, impairment, and tracing alike.  Only
+   ordinary-lane links fuse, so the boundary branch of
+   [deliver_after_propagation] is never bypassed. *)
+let advance_propagation t packet =
+  flight_push t packet;
+  Engine.advance_current t.engine
+    ~at:(Units.Time.add (Engine.now t.engine) t.propagation)
+    t.on_propagated
+
+let staged_serialized t =
+  let packet = t.serializing in
+  t.serializing <- dummy_packet;
+  t.transmitted <- t.transmitted + 1;
+  observe t Transmitted packet;
+  (if not t.up then begin
+     t.fault_drops <- t.fault_drops + 1;
+     observe t Fault_dropped packet;
+     retire t packet
+   end
+   else
+     match Loss.decide t.loss with
+     | Loss.Drop ->
+         t.loss_drops <- t.loss_drops + 1;
+         observe t Loss_dropped packet;
+         retire t packet
+     | Loss.Corrupt ->
+         packet.Packet.corrupted <- true;
+         t.corrupted <- t.corrupted + 1;
+         observe t Corrupted packet;
+         advance_propagation t packet
+     | Loss.Deliver -> (
+         match t.tamper with
+         | Some tamper when tamper packet ->
+             t.tampered <- t.tampered + 1;
+             observe t Corrupted packet;
+             advance_propagation t packet
+         | Some _ | None -> advance_propagation t packet));
+  transmit_next t
+
 let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
     ?(queue = Queue_model.droptail ~capacity:(Units.Size.mib 4) ())
-    ?pool ?ring ?(observer = fun _ _ -> ()) ?(boundary = -1) ~deliver () =
+    ?pool ?ring ?(observer = no_observer) ?(boundary = -1) ?(fusing = true)
+    ~deliver () =
   let t =
     {
       engine;
@@ -203,6 +298,11 @@ let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
       serializing = dummy_packet;
       on_serialized = ignore;
       on_propagated = ignore;
+      on_staged = ignore;
+      (* Fusion never touches the boundary key lane: a cut edge's
+         deliveries must carry the (edge id, FIFO seq) key in every
+         mode. *)
+      fusable = fusing && boundary < 0;
       flight = Array.make 16 dummy_packet;
       flight_head = 0;
       flight_len = 0;
@@ -217,25 +317,35 @@ let create ~engine ~name ~rate ~propagation ?(loss = Loss.perfect)
       tampered = 0;
       delivered_bytes = 0;
       busy = Units.Time.zero;
+      tt_rate = 0.;
+      tt_bits = -1;
+      tt_time = Units.Time.zero;
     }
   in
   t.on_serialized <- (fun () -> serialized t);
   t.on_propagated <- (fun () -> propagated t);
+  t.on_staged <- (fun () -> staged_serialized t);
   t
 
 let send t packet =
   t.offered <- t.offered + 1;
-  t.observer Sent packet;
+  observe t Sent packet;
   if not t.up then begin
     t.fault_drops <- t.fault_drops + 1;
-    t.observer Fault_dropped packet;
+    observe t Fault_dropped packet;
     retire t packet
   end
+  else if (not t.transmitting) && Queue_model.passes_when_empty t.queue packet
+  then
+    (* Idle transmitter, empty FIFO, packet fits: the enqueue would be
+       followed by an immediate poll returning this very packet, with
+       no observable step in between — skip the round-trip. *)
+    start_serializing t packet
   else begin
     let now = Engine.now t.engine in
     match Queue_model.enqueue t.queue ~now packet with
     | `Dropped ->
-        t.observer Queue_dropped packet;
+        observe t Queue_dropped packet;
         retire t packet
     | `Accepted -> if not t.transmitting then transmit_next t
   end

@@ -80,23 +80,30 @@ let retire t packet =
   | Some ring -> Ring.in_packet_done ring packet
   | None -> Option.iter (fun pool -> Pool.release_packet pool packet) t.pool
 
+(* Index wrap by compare-and-subtract: the operands are always in
+   [0, 2*cap), and a predictable branch beats the integer division a
+   [mod] costs on the per-packet path. *)
 let fifo_push f packet =
   let cap = Array.length f.buf in
   if f.len = cap then begin
     let grown = Array.make (cap * 2) dummy_packet in
     for i = 0 to f.len - 1 do
-      grown.(i) <- f.buf.((f.head + i) mod cap)
+      let src = f.head + i in
+      grown.(i) <- f.buf.(if src >= cap then src - cap else src)
     done;
     f.buf <- grown;
     f.head <- 0
   end;
-  f.buf.((f.head + f.len) mod Array.length f.buf) <- packet;
+  let cap = Array.length f.buf in
+  let tail = f.head + f.len in
+  f.buf.(if tail >= cap then tail - cap else tail) <- packet;
   f.len <- f.len + 1
 
 let fifo_pop f =
   let packet = f.buf.(f.head) in
   f.buf.(f.head) <- dummy_packet;
-  f.head <- (f.head + 1) mod Array.length f.buf;
+  let next = f.head + 1 in
+  f.head <- (if next >= Array.length f.buf then 0 else next);
   f.len <- f.len - 1;
   packet
 
@@ -167,6 +174,23 @@ let heap_pop edf =
   in
   if edf.size > 0 then sift 0;
   packet
+
+(* True when handing [packet] to an [enqueue] immediately followed by a
+   [poll] would return exactly this packet with no other observable
+   effect — an empty FIFO that the packet fits into.  The link uses
+   this to bypass the queue entirely when its transmitter is idle:
+   nothing can run between the enqueue and the poll (no event boundary,
+   no callback), so skipping the round-trip is invisible.  EDF queues
+   never qualify: a poll may expire the freshly enqueued packet
+   ([drop_expired] with a deadline already in the past), which is a
+   real decision the bypass must not skip. *)
+let passes_when_empty t packet =
+  match t.discipline with
+  | Fifo f ->
+      f.len = 0
+      && Units.Size.to_bytes (Packet.wire_size packet)
+         <= Units.Size.to_bytes t.capacity
+  | Edf _ -> false
 
 let enqueue t ~now:_ packet =
   let size = Units.Size.to_bytes (Packet.wire_size packet) in

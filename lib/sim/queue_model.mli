@@ -30,6 +30,13 @@ val deadline_aware :
 
 val enqueue : t -> now:Units.Time.t -> Packet.t -> [ `Accepted | `Dropped ]
 
+val passes_when_empty : t -> Packet.t -> bool
+(** Whether an {!enqueue} of [packet] followed immediately by a {!poll}
+    would hand back exactly this packet with no other observable effect
+    — an empty FIFO the packet fits into.  Lets an idle transmitter
+    bypass the queue round-trip; always [false] for deadline-aware
+    queues, whose poll may legitimately expire the fresh packet. *)
+
 val empty : Packet.t
 (** The inert record {!poll} returns on an empty queue; compare
     physically ([==]).  Never a real packet. *)

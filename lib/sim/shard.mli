@@ -30,6 +30,7 @@ val build :
   shards:int ->
   ?pool:(unit -> Pool.t) ->
   ?pooling:bool ->
+  ?fusing:bool ->
   (Topology.t -> 'a) ->
   Topology.t * 'a * t option
 (** [build ~shards build_fn] constructs the caller's topology for
@@ -42,7 +43,12 @@ val build :
     [pool], when given, is a factory invoked once per shard so every
     domain recycles frames through its own pool — frames that cross a
     shard mailbox are detached from the source ring and later retired
-    into the {e receiving} shard's pool, never the sender's.
+    into the {e receiving} shard's pool, never the sender's.  Fusing
+    (collapsing uncongested hops into single engine events, see
+    {!Link.create}) is likewise on by default and applies only to
+    intra-shard links — cut edges always use the boundary key lane —
+    so a fused sharded run remains byte-identical to a fused
+    sequential one; [fusing:false] opts out.
 
     Returns [(topo, result, runner)]; [runner] is [None] when the run
     fell back to sequential (fewer than two cut components, or
