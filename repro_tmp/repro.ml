@@ -1,0 +1,13 @@
+open Mmt_util
+open Mmt_sim
+
+let () =
+  let e = Engine.create () in
+  let log = Buffer.create 16 in
+  let at = Units.Time.of_int_ns 100 in
+  (* seq order of scheduling: A (ordinary), B (staged, no advance), C (ordinary) *)
+  ignore (Engine.schedule e ~at (fun () -> Buffer.add_string log "A"));
+  ignore (Engine.schedule_staged e ~at (fun () -> Buffer.add_string log "B"));
+  ignore (Engine.schedule e ~at (fun () -> Buffer.add_string log "C"));
+  Engine.run e;
+  Printf.printf "order=%s (expected ABC)\n" (Buffer.contents log)
