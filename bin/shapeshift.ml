@@ -447,6 +447,8 @@ let chaos_cmd =
         (fun (at, what) ->
           Printf.printf "  %-12s FAULT %s\n" (Units.Time.to_string at) what)
         o.C.fault_log;
+    Printf.printf "invariant: %s\n"
+      (Mmt_fault.Invariant.to_string o.C.invariant);
     (match o.C.violations with
     | [] -> Printf.printf "invariants: OK\n\n"
     | vs ->
@@ -504,6 +506,139 @@ let chaos_cmd =
           the wire, flap links, blackhole adverts — and check the delivery \
           invariants.")
     Term.(const run $ list_flag $ scenario $ fragments $ show_log $ no_fuse)
+
+(* `shapeshift campaign` ----------------------------------------------------- *)
+
+let campaign_cmd =
+  let trials =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"N" ~doc:"Generated plans to execute.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 0xC4A05EEDL
+      & info [ "seed" ]
+          ~doc:"Campaign seed; every trial seed derives from it.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Execute trials on N domains (0 = auto).  The report is \
+             byte-identical at any job count.")
+  in
+  let scenario =
+    Arg.(
+      value & opt string "pilot"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Target scenario: $(b,pilot) or $(b,facility).")
+  in
+  let shrink_flag =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Shrink every violating plan to a locally minimal \
+             counterexample (deterministic re-execution).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Skip the campaign: regenerate the one plan named by this \
+             trial seed, execute it, and report.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"List every trial's one-line outcome.")
+  in
+  let run trials seed jobs scenario shrink_flag replay verbose =
+    let module Camp = Mmt_fault.Campaign in
+    let target =
+      match scenario with
+      | "pilot" -> Some (Mmt_pilot.Chaos_run.campaign_target ())
+      | "facility" -> Some (Mmt_facility.Chaos.campaign_target ())
+      | _ -> None
+    in
+    match target with
+    | None ->
+        Printf.eprintf
+          "shapeshift campaign: unknown --scenario %s (pilot|facility)\n"
+          scenario;
+        2
+    | Some target -> (
+        let shrink_and_print ~profile ~seed:trial_seed plan =
+          let violating candidate =
+            (target.Camp.execute profile candidate).Camp.violations <> []
+          in
+          let r = Mmt_fault.Shrink.run ~violating plan in
+          Printf.printf
+            "shrunk seed 0x%016LX in %d step(s), %d execution(s): %s\n"
+            trial_seed r.Mmt_fault.Shrink.steps r.Mmt_fault.Shrink.attempts
+            (Mmt_fault.Plan.describe r.Mmt_fault.Shrink.plan)
+        in
+        match replay with
+        | Some trial_seed ->
+            let profile, plan =
+              Mmt_fault.Generator.generate target.Camp.universe
+                ~seed:trial_seed
+            in
+            Printf.printf "replay seed 0x%016LX [%s] against '%s'\n%s\n"
+              trial_seed
+              (Mmt_fault.Generator.profile_label profile)
+              target.Camp.name
+              (Mmt_fault.Plan.describe plan);
+            let exec = target.Camp.execute profile plan in
+            Printf.printf "invariant: %s\n"
+              (Mmt_fault.Invariant.to_string exec.Camp.outcome);
+            (match exec.Camp.violations with
+            | [] ->
+                Printf.printf "invariants: OK\n";
+                0
+            | vs ->
+                Printf.printf "invariants: %d VIOLATION(S)\n" (List.length vs);
+                List.iter (fun v -> Printf.printf "  !! %s\n" v) vs;
+                if shrink_flag then
+                  shrink_and_print ~profile ~seed:trial_seed plan;
+                1)
+        | None ->
+            if trials < 1 then begin
+              Printf.eprintf "shapeshift campaign: --trials must be positive\n";
+              2
+            end
+            else begin
+              let jobs =
+                if jobs = 0 then Mmt_util.Task_pool.recommended_jobs ()
+                else jobs
+              in
+              let report = Camp.run ~jobs target ~trials ~seed in
+              print_string (Camp.render ~verbose report);
+              match Camp.violating report with
+              | [] -> 0
+              | bad ->
+                  if shrink_flag then
+                    List.iter
+                      (fun (t : Camp.trial) ->
+                        shrink_and_print ~profile:t.Camp.profile
+                          ~seed:t.Camp.seed t.Camp.plan)
+                      bad;
+                  1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Fuzz a scenario with seeded random-but-valid fault plans, check \
+          the delivery invariants on every trial, and exit non-zero on any \
+          violation.")
+    Term.(
+      const run $ trials $ seed $ jobs $ scenario $ shrink_flag $ replay
+      $ verbose)
 
 (* `shapeshift facility` ----------------------------------------------------- *)
 
@@ -776,6 +911,7 @@ let main_cmd =
       catalog_cmd;
       failover_cmd;
       chaos_cmd;
+      campaign_cmd;
       facility_cmd;
       trace_cmd;
     ]

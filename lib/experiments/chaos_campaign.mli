@@ -1,0 +1,16 @@
+(** E-R2 — randomized chaos campaigns (robustness).
+
+    Seeded fault-plan fuzzing ({!Mmt_fault.Generator}) against the
+    pilot failover topology and the facility fan-in scenario: a small
+    fixed-seed campaign per target, every trial checked against the
+    delivery invariants and the termination watchdog, plus a
+    byte-determinism replay of the pilot campaign.  The full-scale
+    standing campaign runs from [shapeshift campaign] and CI. *)
+
+val pilot_trials : int
+
+val facility_trials : int
+
+val campaign_seed : int64
+
+val run : unit -> string * bool

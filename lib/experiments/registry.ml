@@ -28,6 +28,11 @@ let all =
     };
     { id = "E-R1"; title = "robustness: chaos series"; run = Chaos.run };
     {
+      id = "E-R2";
+      title = "robustness: randomized chaos campaigns";
+      run = Chaos_campaign.run;
+    };
+    {
       id = "E-F5";
       title = "facility: fan-in flow-count sweep (10 -> ~1000)";
       run = Facility.run;

@@ -227,11 +227,15 @@ let workload_config kind =
       }
 
 (* Everything [run] needs to read results back after the engines have
-   drained. *)
+   drained.  The rewriter and sender tables ride along for the chaos
+   harness: campaign trials read emission counts from the rewriters
+   and push tail-probe frames through the senders. *)
 type built = {
   workloads : Mmt_daq.Workload.t Flow_table.t;
   receivers : Mmt.Receiver.t Flow_table.t;
   buffers : Mmt.Buffer_host.t Flow_table.t;
+  rewriters : Mmt_innet.Mode_rewriter.t Flow_table.t;
+  senders : Mmt.Sender.t Flow_table.t;
 }
 
 (* Construct the whole facility inside [topo].  This same function
@@ -242,7 +246,7 @@ type built = {
    modes is what pins down identical cut-edge ids and identical
    per-engine scheduling order — the byte-identity the E-F5
    determinism tests check. *)
-let build config topo =
+let build ?(on_deliver = fun ~flow:_ ~seq:_ -> ()) config topo =
   (* Shard-local packet arenas: every router, switch and element on a
      node recycles through that node's shard ring. *)
   let node_ring node =
@@ -556,7 +560,9 @@ let build config topo =
             max_nak_retries = config.max_nak_retries;
             expected_total = None;
           }
-          ~deliver:(fun _meta _payload -> ()))
+          ~deliver:(fun meta _payload ->
+            on_deliver ~flow:f
+              ~seq:meta.Mmt.Receiver.header.Mmt.Header.sequence))
   in
   Array.iter
     (fun sink_node ->
@@ -578,7 +584,11 @@ let build config topo =
           | None -> retire packet))
     sinks;
 
-  (* Sources: mode-0 senders fed by the per-kind workload shapes. *)
+  (* Sources: mode-0 senders fed by the per-kind workload shapes.  The
+     senders land in a side table (same construction order — the table
+     is filled inside the one init loop) so the chaos harness can push
+     extra frames through them after the workloads stop. *)
+  let sender_slots = Array.make config.flows None in
   let workloads =
     Flow_table.init ~flows:config.flows (fun f ->
         let engine = Mmt_sim.Topology.node_engine topo sources.(f) in
@@ -612,18 +622,22 @@ let build config topo =
               padding = 0;
             }
         in
+        sender_slots.(f) <- Some sender;
         Mmt_daq.Workload.start ~engine ~rng:flow_rngs.(f)
           (workload_config (kind_of_flow f))
           ~emit:(fun fragment ->
             Mmt.Sender.send sender (Mmt_daq.Fragment.encode fragment))
           ~until:config.duration)
   in
-  { workloads; receivers; buffers }
+  let senders =
+    Flow_table.init ~flows:config.flows (fun f -> Option.get sender_slots.(f))
+  in
+  { workloads; receivers; buffers; rewriters; senders }
 
 let run ?(shards = 1) ?(pooling = true) ?(fusing = true) ?gc config =
   if config.flows < 1 then invalid_arg "Scenario.run: flows must be positive";
   if config.sinks < 1 then invalid_arg "Scenario.run: sinks must be positive";
-  let topo, { workloads; receivers; buffers }, runner =
+  let topo, { workloads; receivers; buffers; _ }, runner =
     Mmt_sim.Shard.build ~shards ~pooling ~fusing (build config)
   in
   (* Run to quiescence; the cap is a safety bound well past the worst

@@ -77,6 +77,31 @@ val describe : config -> string
 (** The full static topology plan, rendered deterministically —
     compared byte-for-byte by the determinism tests. *)
 
+type built = {
+  workloads : Mmt_daq.Workload.t Flow_table.t;
+  receivers : Mmt.Receiver.t Flow_table.t;
+  buffers : Mmt.Buffer_host.t Flow_table.t;
+  rewriters : Mmt_innet.Mode_rewriter.t Flow_table.t;
+  senders : Mmt.Sender.t Flow_table.t;
+}
+(** Per-flow endpoint handles, for reading results back after a run —
+    and, in the chaos harness, for reading sequenced-emission counts
+    (rewriters) and pushing tail-probe frames (senders). *)
+
+val build :
+  ?on_deliver:(flow:int -> seq:int option -> unit) ->
+  config ->
+  Mmt_sim.Topology.t ->
+  built
+(** Construct the whole facility inside the given topology — the build
+    function handed to {!Mmt_sim.Shard.build} (or run against a plain
+    sequential topology).  [on_deliver] observes every application
+    delivery with the flow id and the frame's sequence number (as
+    carried by the MMT header; [None] for unsequenced frames); the
+    default observer does nothing.  Construction order is identical
+    regardless of [on_deliver], so instrumented and plain builds
+    schedule byte-identically. *)
+
 type result = {
   summary : Metrics.summary;
   samples : Metrics.flow_sample array;  (** indexed by flow id *)

@@ -1,0 +1,201 @@
+open Mmt_util
+
+(* Seeded fault-plan fuzzing.
+
+   The generator composes a bounded number of fault *shapes* — a shape
+   is a well-formed pair of events (down/up, degrade/restore,
+   fail/restart, blackhole/unblackhole, corrupt/stop) over a window
+   that closes before the universe's horizon — into a Plan.t.  Every
+   random draw comes from one splitmix stream created from the trial
+   seed, so a seed names a plan forever: campaign reports, regression
+   corpora and shrink replays all rest on that.
+
+   Well-formedness is scenario knowledge, and it lives here in two
+   places.  First, the universe separates names by what faulting them
+   can break: links and elements on the post-sequencing path are safe
+   while delivery totals are tracked, whereas anything that reduces
+   emission (a pre-rewriter link, the rewriter element itself, an
+   advert blackhole) makes the sequenced stream legitimately shorter
+   than the workload and may only be faulted in a run configured for
+   degradation (loss off, totals untracked).  Second, the profile
+   picked per seed selects which families are drawn: [Lossy] plans
+   destroy and corrupt frames that tracked totals will re-fetch or
+   abandon; [Degrading] plans may additionally push the scenario into
+   unsequenced (degraded) emission. *)
+
+type profile = Lossy | Degrading
+
+let profile_label = function Lossy -> "lossy" | Degrading -> "degrading"
+
+type universe = {
+  horizon : Units.Time.t;
+  flap_links : string list;
+  degrade_links : string list;
+  partitions : string list list;
+  corrupt_links : string list;
+  restart_elements : string list;
+  degrading_flaps : string list;
+  degrading_degrades : string list;
+  degrading_elements : string list;
+  controls : string list;
+}
+
+let empty_universe =
+  {
+    horizon = Units.Time.ms 1.;
+    flap_links = [];
+    degrade_links = [];
+    partitions = [];
+    corrupt_links = [];
+    restart_elements = [];
+    degrading_flaps = [];
+    degrading_degrades = [];
+    degrading_elements = [];
+    controls = [];
+  }
+
+type config = {
+  max_shapes : int;
+  min_window : Units.Time.t;
+  degrading_weight : float;
+  min_degrade_factor : float;
+  max_corrupt_probability : float;
+  max_corrupt_bits : int;
+}
+
+let default_config =
+  {
+    max_shapes = 4;
+    min_window = Units.Time.us 50.;
+    degrading_weight = 0.25;
+    min_degrade_factor = 0.02;
+    max_corrupt_probability = 0.01;
+    (* A single bit flip always perturbs the ones'-complement header
+       checksum; multi-bit flips can cancel in the 16-bit columns and
+       slip through as silent corruption, which is a different (and so
+       far unmodelled) threat than the storm this samples. *)
+    max_corrupt_bits = 1;
+  }
+
+type family = Flap | Brownout | Cut | Storm | Bounce | Blackout
+
+(* Candidate pools under a profile.  Emission-reducing subjects join
+   only the degrading pools; the advert blackhole and the corruption
+   storm are exclusive to degrading and lossy respectively (corruption
+   needs the checksummed, totals-tracked path to be detected, and a
+   blackhole exists to force degradation). *)
+let pools u profile =
+  let degrading l = match profile with Degrading -> l | Lossy -> [] in
+  let flaps = u.flap_links @ degrading u.degrading_flaps in
+  let degrades = u.degrade_links @ degrading u.degrading_degrades in
+  let bounces = u.restart_elements @ degrading u.degrading_elements in
+  let corrupts = match profile with Lossy -> u.corrupt_links | Degrading -> [] in
+  let controls = degrading u.controls in
+  (flaps, degrades, bounces, corrupts, controls)
+
+let generate ?(config = default_config) u ~seed =
+  let horizon = Units.Time.to_ns u.horizon in
+  let min_w = Units.Time.to_ns config.min_window in
+  if horizon <= min_w then
+    invalid_arg "Fault.Generator: horizon shorter than the minimum window";
+  if config.max_shapes < 1 then
+    invalid_arg "Fault.Generator: max_shapes must be positive";
+  let degrading_possible =
+    u.degrading_flaps <> [] || u.degrading_degrades <> []
+    || u.degrading_elements <> [] || u.controls <> []
+  in
+  (* Same-instant collisions between independently drawn windows are
+     rejected by [Plan.make]; re-derive the whole plan from a stepped
+     seed rather than nudging events, so the accepted plan is still a
+     pure function of (seed, universe, config). *)
+  let rec attempt k =
+    let rng =
+      Rng.create
+        ~seed:(Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int k)))
+    in
+    let profile =
+      if degrading_possible && Rng.float rng < config.degrading_weight then
+        Degrading
+      else Lossy
+    in
+    let flaps, degrades, bounces, corrupts, controls = pools u profile in
+    let families =
+      List.concat
+        [
+          (if flaps <> [] then [ Flap ] else []);
+          (if degrades <> [] then [ Brownout ] else []);
+          (if u.partitions <> [] then [ Cut ] else []);
+          (if corrupts <> [] then [ Storm ] else []);
+          (if bounces <> [] then [ Bounce ] else []);
+          (if controls <> [] then [ Blackout ] else []);
+        ]
+    in
+    if families = [] then
+      invalid_arg "Fault.Generator: universe offers no fault family";
+    let families = Array.of_list families in
+    let pick_from list = List.nth list (Rng.int rng ~bound:(List.length list)) in
+    let window () =
+      let t0 = Rng.int_in_range rng ~lo:0 ~hi:(horizon - min_w) in
+      let hi = Stdlib.min horizon (t0 + Stdlib.max min_w (horizon / 2)) in
+      let t1 = Rng.int_in_range rng ~lo:(t0 + min_w) ~hi in
+      (Units.Time.ns t0, Units.Time.ns t1)
+    in
+    let events = ref [] in
+    let emit at action = events := Plan.event ~at action :: !events in
+    let shapes = 1 + Rng.int rng ~bound:config.max_shapes in
+    (* In a lossy (totals-tracked) run at most one buffer may lose its
+       retransmission memory: overlapping fail windows could leave no
+       live buffer, which degrades emission — legal only when the run
+       is configured for it. *)
+    let bounce_budget =
+      ref (match profile with Lossy -> 1 | Degrading -> max_int)
+    in
+    for _ = 1 to shapes do
+      match Rng.pick rng families with
+      | Flap ->
+          let link = pick_from flaps in
+          let t0, t1 = window () in
+          emit t0 (Plan.Link_down link);
+          emit t1 (Plan.Link_up link)
+      | Brownout ->
+          let link = pick_from degrades in
+          let factor =
+            Rng.float_in_range rng ~lo:config.min_degrade_factor ~hi:1.
+          in
+          let t0, t1 = window () in
+          emit t0 (Plan.Degrade_rate { link; factor });
+          emit t1 (Plan.Restore_rate link)
+      | Cut ->
+          let links = pick_from u.partitions in
+          let t0, t1 = window () in
+          emit t0 (Plan.Partition links);
+          emit t1 (Plan.Heal links)
+      | Storm ->
+          let link = pick_from corrupts in
+          let probability =
+            Rng.float_in_range rng
+              ~lo:(config.max_corrupt_probability /. 20.)
+              ~hi:config.max_corrupt_probability
+          in
+          let bits = 1 + Rng.int rng ~bound:config.max_corrupt_bits in
+          let t0, t1 = window () in
+          emit t0 (Plan.Corrupt_headers { link; probability; bits });
+          emit t1 (Plan.Stop_corrupting link)
+      | Bounce when !bounce_budget > 0 ->
+          decr bounce_budget;
+          let element = pick_from bounces in
+          let t0, t1 = window () in
+          emit t0 (Plan.Fail_element element);
+          emit t1 (Plan.Restart_element element)
+      | Bounce -> ()
+      | Blackout ->
+          let control = pick_from controls in
+          let t0, t1 = window () in
+          emit t0 (Plan.Blackhole_adverts control);
+          emit t1 (Plan.Unblackhole_adverts control)
+    done;
+    match Plan.make (List.rev !events) with
+    | plan -> (profile, plan)
+    | exception Invalid_argument _ when k < 32 -> attempt (k + 1)
+  in
+  attempt 0

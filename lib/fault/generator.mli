@@ -1,0 +1,85 @@
+(** Seeded fault-plan fuzzing: random-but-valid {!Plan.t} values.
+
+    A generated plan is a bounded composition of fault {e shapes} —
+    matched open/close pairs (link flap, partition + heal, rate
+    brown-out + restore, element fail + restart, advert blackhole +
+    unblackhole, corruption storm + stop) whose windows close before
+    the universe's {!universe.horizon}.  Every draw comes from one
+    splitmix stream seeded by the trial seed, so the plan is a pure
+    function of [(seed, universe, config)]: a seed in a regression
+    corpus names its plan forever.
+
+    The horizon is the well-formedness keystone: scenarios detect
+    fault-destroyed frames by later arrivals on the same sequenced
+    stream, so every fault must end while the workload still has
+    enough emission left to flush detection through (in practice the
+    horizon is ~0.7–0.8 of the emission span, {e not} of the run cap).
+
+    Two profiles partition the shapes by what the target scenario can
+    account for.  {!Lossy} plans only destroy, delay or corrupt frames
+    {e after} sequencing — safe under tracked delivery totals, which
+    is also why corruption is lossy-only (it needs the checksummed
+    path to be detected) and why at most one element bounce is drawn
+    (no live retransmission buffer would degrade emission).
+    {!Degrading} plans may additionally reduce or degrade emission
+    itself (pre-rewriter faults, rewriter fail-stop, advert
+    blackholes) and must run against a scenario configured for it:
+    random loss off, delivery totals untracked. *)
+
+open Mmt_util
+
+type profile = Lossy | Degrading
+
+val profile_label : profile -> string
+(** ["lossy"] / ["degrading"] — stable report vocabulary. *)
+
+type universe = {
+  horizon : Units.Time.t;
+      (** exclusive upper bound for every generated event time *)
+  flap_links : string list;  (** safe to flap under tracked totals *)
+  degrade_links : string list;  (** safe to brown-out in either profile *)
+  partitions : string list list;  (** candidate cuts, taken down whole *)
+  corrupt_links : string list;
+      (** checksum-verified data links; lossy profile only *)
+  restart_elements : string list;
+      (** fail/restart subjects whose loss is recoverable (at most one
+          bounce per lossy plan) *)
+  degrading_flaps : string list;
+      (** links whose outage reduces emission; degrading profile only *)
+  degrading_degrades : string list;
+      (** links whose brown-out can drop pre-sequencing traffic;
+          degrading profile only *)
+  degrading_elements : string list;
+      (** emission-reducing elements (e.g. the ingress rewriter);
+          degrading profile only *)
+  controls : string list;
+      (** control planes whose adverts may be blackholed; degrading
+          profile only *)
+}
+
+val empty_universe : universe
+(** No names, 1 ms horizon — a base for [{ empty_universe with ... }]. *)
+
+type config = {
+  max_shapes : int;  (** 1..max_shapes shapes per plan *)
+  min_window : Units.Time.t;  (** shortest open-to-close window *)
+  degrading_weight : float;
+      (** probability of the degrading profile, when the universe
+          offers degrading subjects *)
+  min_degrade_factor : float;  (** brown-outs sample \[min, 1\] *)
+  max_corrupt_probability : float;
+  max_corrupt_bits : int;
+      (** default 1: a single flip always breaks the ones'-complement
+          checksum, whereas multi-bit flips can cancel and slip
+          through undetected *)
+}
+
+val default_config : config
+
+val generate : ?config:config -> universe -> seed:int64 -> profile * Plan.t
+(** Derive the plan named by [seed].  Deterministic: equal arguments
+    yield equal plans, byte for byte.  Same-instant window collisions
+    (rejected by {!Plan.make}) are resolved by re-deriving from a
+    deterministically stepped seed, never by mutation.
+    @raise Invalid_argument if the universe offers no fault family or
+    the horizon is shorter than the minimum window. *)

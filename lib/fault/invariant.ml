@@ -46,6 +46,23 @@ let outcome ~emitted ~abandoned ~resurrected ~pending ~terminated
     terminated;
   }
 
+(* One stable formatter for every consumer (chaos CLI, campaign
+   reports, tests): key=value pairs in a fixed order, booleans as
+   true/false, no padding — greppable and diffable. *)
+let to_string o =
+  Printf.sprintf
+    "emitted=%d delivered=%d duplicates=%d abandoned=%d resurrected=%d \
+     pending=%d terminated=%b"
+    o.emitted o.delivered o.duplicates o.abandoned o.resurrected o.pending
+    o.terminated
+
+let to_json o =
+  Printf.sprintf
+    "{\"emitted\":%d,\"delivered\":%d,\"duplicates\":%d,\"abandoned\":%d,\
+     \"resurrected\":%d,\"pending\":%d,\"terminated\":%b}"
+    o.emitted o.delivered o.duplicates o.abandoned o.resurrected o.pending
+    o.terminated
+
 let check o =
   let violations = ref [] in
   let violation fmt =

@@ -40,6 +40,16 @@ val outcome :
   ledger ->
   outcome
 
+val to_string : outcome -> string
+(** Stable one-line machine-readable summary:
+    ["emitted=N delivered=N duplicates=N abandoned=N resurrected=N
+    pending=N terminated=B"].  The chaos CLI and the campaign report
+    share this formatter — the rendering is part of the deterministic
+    report surface, so its shape must never depend on the run. *)
+
+val to_json : outcome -> string
+(** The same summary as a single-line JSON object. *)
+
 val check : outcome -> string list
 (** Violated invariants, human-readable; empty when all hold. *)
 

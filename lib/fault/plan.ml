@@ -22,12 +22,14 @@ let event ~at action = { at; action }
 
 let validate_action = function
   | Degrade_rate { link; factor } ->
-      if factor <= 0. || factor > 1. then
+      (* NaN compares false against both bounds, so test validity
+         directly rather than rejecting the two out-of-range cases. *)
+      if not (factor > 0. && factor <= 1.) then
         invalid_arg
           (Printf.sprintf "Fault.Plan: degrade factor %g for %s outside (0, 1]"
              factor link)
   | Corrupt_headers { link; probability; bits } ->
-      if probability < 0. || probability > 1. then
+      if not (probability >= 0. && probability <= 1.) then
         invalid_arg
           (Printf.sprintf
              "Fault.Plan: corruption probability %g for %s outside [0, 1]"
@@ -41,11 +43,53 @@ let validate_action = function
   | Unblackhole_adverts _ | Stop_corrupting _ ->
       ()
 
+(* Subjects an action acts on, each tagged with the fault family and a
+   polarity: [true] opens a fault (down / degrade / fail / blackhole /
+   corrupt), [false] closes one.  Two same-instant actions of equal
+   polarity on one subject are idempotent duplicates and are accepted —
+   the stable sort makes their order, and hence the run, deterministic.
+   Opposite polarities at the same instant have no meaningful outcome
+   (which side wins would be an artifact of authoring order), so [make]
+   rejects them. *)
+let polarities = function
+  | Link_down l -> [ ("link", l, true) ]
+  | Link_up l -> [ ("link", l, false) ]
+  | Partition ls -> List.map (fun l -> ("link", l, true)) ls
+  | Heal ls -> List.map (fun l -> ("link", l, false)) ls
+  | Degrade_rate { link; _ } -> [ ("rate", link, true) ]
+  | Restore_rate l -> [ ("rate", l, false) ]
+  | Fail_element e -> [ ("element", e, true) ]
+  | Restart_element e -> [ ("element", e, false) ]
+  | Blackhole_adverts c -> [ ("adverts", c, true) ]
+  | Unblackhole_adverts c -> [ ("adverts", c, false) ]
+  | Corrupt_headers { link; _ } -> [ ("corruption", link, true) ]
+  | Stop_corrupting l -> [ ("corruption", l, false) ]
+
+let reject_conflicts events =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (family, subject, opens) ->
+          let key = (Units.Time.to_ns e.at, family, subject) in
+          match Hashtbl.find_opt seen key with
+          | Some prev when prev <> opens ->
+              invalid_arg
+                (Printf.sprintf
+                   "Fault.Plan: conflicting same-instant %s actions on %s at %s"
+                   family subject
+                   (Units.Time.to_string e.at))
+          | Some _ -> ()
+          | None -> Hashtbl.add seen key opens)
+        (polarities e.action))
+    events
+
 (* Events are ordered by time; the stable sort preserves authoring
    order among same-instant events, so a plan is a deterministic
    script, not a set. *)
 let make events =
   List.iter (fun e -> validate_action e.action) events;
+  reject_conflicts events;
   List.stable_sort (fun a b -> Units.Time.compare a.at b.at) events
 
 let events t = t

@@ -40,7 +40,19 @@ val event : at:Units.Time.t -> action -> event
 
 val make : event list -> t
 (** Order by time (stable: same-instant events keep authoring order).
-    @raise Invalid_argument on out-of-range probabilities or factors. *)
+
+    Validation is deterministic and total: a degrade factor must lie
+    in (0, 1] and a corruption probability in [0, 1] — NaN is rejected
+    by both, not silently accepted — and [bits] must be >= 1.
+    Same-instant {e duplicate} actions on one subject (two
+    [Link_down]s of the same link, say) are accepted: they are
+    idempotent and the stable order keeps the script deterministic.
+    Same-instant {e conflicting} actions on one subject — an opener
+    and its closer, e.g. [Link_down l] with [Link_up l], or
+    [Fail_element e] with [Restart_element e] — are rejected: whichever
+    side "won" would be an artifact of authoring order, so no valid
+    plan may express the race.
+    @raise Invalid_argument on any of the rejections above. *)
 
 val events : t -> event list
 val is_empty : t -> bool

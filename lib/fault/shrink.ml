@@ -1,0 +1,138 @@
+(* Greedy deterministic plan shrinking.
+
+   Given a violating plan and a re-execution oracle, reduce toward a
+   locally minimal counterexample with three move kinds, cheapest
+   first:
+
+   - drop: remove one event (an orphaned closer is a no-op, so pairs
+     disappear in two independent steps);
+   - advance: halve one event's time toward zero (openers move the
+     fault earlier; closers shorten the window they close);
+   - weaken: soften one parameter (brown-out factor toward 1,
+     corruption bits then probability down).
+
+   Each accepted move strictly shrinks a well-founded measure (event
+   count, total event time, parameter distance), so the fixpoint loop
+   terminates without the attempt cap; the cap bounds oracle cost on
+   expensive targets.  Everything is a pure function of the input plan
+   and the oracle's verdicts — re-running a shrink replays the exact
+   move sequence, which is what makes a shrunk counterexample
+   committable next to its seed. *)
+
+open Mmt_util
+
+type result = { plan : Plan.t; steps : int; attempts : int }
+
+exception Budget_exhausted
+
+let run ?(max_attempts = 1000) ~violating plan =
+  let attempts = ref 0 and steps = ref 0 in
+  let test candidate =
+    if !attempts >= max_attempts then raise Budget_exhausted;
+    incr attempts;
+    violating candidate
+  in
+  (* A candidate can be structurally invalid (halving times can land
+     an opener and a closer on the same instant); treat it as
+     not-violating rather than a shrink error. *)
+  let test_events events =
+    match Plan.make events with
+    | candidate -> if test candidate then Some candidate else None
+    | exception Invalid_argument _ -> None
+  in
+  let drop_one plan =
+    let events = Plan.events plan in
+    let n = List.length events in
+    let rec go i =
+      if i >= n then None
+      else
+        match test_events (List.filteri (fun j _ -> j <> i) events) with
+        | Some candidate -> Some candidate
+        | None -> go (i + 1)
+    in
+    go 0
+  in
+  let advance_one plan =
+    let events = Plan.events plan in
+    let n = List.length events in
+    let rec go i =
+      if i >= n then None
+      else
+        let halved =
+          List.mapi
+            (fun j (e : Plan.event) ->
+              if j = i then
+                Plan.event
+                  ~at:(Units.Time.ns (Units.Time.to_ns e.Plan.at / 2))
+                  e.Plan.action
+              else e)
+            events
+        in
+        let unchanged =
+          Units.Time.is_zero (List.nth events i).Plan.at
+        in
+        if unchanged then go (i + 1)
+        else
+          match test_events halved with
+          | Some candidate -> Some candidate
+          | None -> go (i + 1)
+    in
+    go 0
+  in
+  let weaken_action = function
+    | Plan.Degrade_rate { link; factor } when factor < 0.99 ->
+        Some (Plan.Degrade_rate { link; factor = factor +. ((1. -. factor) /. 2.) })
+    | Plan.Corrupt_headers { link; probability; bits } when bits > 1 ->
+        Some (Plan.Corrupt_headers { link; probability; bits = bits - 1 })
+    | Plan.Corrupt_headers { link; probability; bits } when probability > 1e-4
+      ->
+        Some (Plan.Corrupt_headers { link; probability = probability /. 2.; bits })
+    | _ -> None
+  in
+  let weaken_one plan =
+    let events = Plan.events plan in
+    let n = List.length events in
+    let rec go i =
+      if i >= n then None
+      else
+        match weaken_action (List.nth events i).Plan.action with
+        | None -> go (i + 1)
+        | Some action ->
+            let weakened =
+              List.mapi
+                (fun j (e : Plan.event) ->
+                  if j = i then Plan.event ~at:e.Plan.at action else e)
+                events
+            in
+            (match test_events weakened with
+            | Some candidate -> Some candidate
+            | None -> go (i + 1))
+    in
+    go 0
+  in
+  (* [best] tracks the smallest accepted counterexample, so exhausting
+     the attempt budget mid-pass keeps the progress made so far. *)
+  let best = ref plan in
+  let rec fixpoint plan =
+    best := plan;
+    match drop_one plan with
+    | Some smaller ->
+        incr steps;
+        fixpoint smaller
+    | None -> (
+        match advance_one plan with
+        | Some earlier ->
+            incr steps;
+            fixpoint earlier
+        | None -> (
+            match weaken_one plan with
+            | Some weaker ->
+                incr steps;
+                fixpoint weaker
+            | None -> plan))
+  in
+  match test plan with
+  | false -> { plan; steps = 0; attempts = !attempts }
+  | true | (exception Budget_exhausted) ->
+      (try best := fixpoint plan with Budget_exhausted -> ());
+      { plan = !best; steps = !steps; attempts = !attempts }

@@ -1,0 +1,30 @@
+(** Deterministic greedy shrinking of violating fault plans.
+
+    Reduces a counterexample toward a locally minimal one by repeated
+    re-execution: drop single events (orphaned closers are no-ops, so
+    matched pairs vanish in two steps), halve event times toward zero
+    (shortening windows and advancing faults), and weaken parameters
+    (brown-out factor toward 1, corruption bits then probability
+    down).  Moves are tried in a fixed order and the first accepted
+    one restarts the pass, so the result is a pure function of the
+    input plan and the oracle — replaying a shrink replays the exact
+    move sequence, making [seed + shrunk plan] a committable
+    regression artifact.
+
+    Local minimality: when [run] returns without exhausting its
+    budget, no single remaining move preserves the violation. *)
+
+type result = {
+  plan : Plan.t;  (** the reduced counterexample *)
+  steps : int;  (** accepted reductions *)
+  attempts : int;  (** oracle executions spent *)
+}
+
+val run :
+  ?max_attempts:int -> violating:(Plan.t -> bool) -> Plan.t -> result
+(** [run ~violating plan] shrinks [plan] under the re-execution oracle
+    [violating] (which must be deterministic — same plan, same
+    verdict).  If [plan] itself does not violate, it is returned
+    unchanged with [steps = 0].  [max_attempts] (default 1000) bounds
+    oracle calls; on exhaustion the smallest accepted plan so far is
+    returned. *)

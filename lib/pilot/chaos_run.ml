@@ -1,6 +1,8 @@
 open Mmt_util
 open Mmt_frame
 
+type defect = No_defect | Broken_restart
+
 type params = {
   fragment_count : int;
   fragment_size : Units.Size.t;
@@ -10,13 +12,16 @@ type params = {
   seed : int64;
   fault_seed : int64;
   track_total : bool;
+  watchdog : int;
+  defect : defect;
   plan : Mmt_fault.Plan.t;
 }
 
 let params ?(fragment_count = 6000) ?(fragment_size = Units.Size.bytes 4096)
     ?(loss = 0.002) ?(advert_period = Units.Time.ms 5.)
     ?(run_until = Units.Time.seconds 12.) ?(seed = 47L) ?(fault_seed = 0xFA17L)
-    ?(track_total = true) ?(plan = Mmt_fault.Plan.empty) () =
+    ?(track_total = true) ?(watchdog = 20_000_000) ?(defect = No_defect)
+    ?(plan = Mmt_fault.Plan.empty) () =
   {
     fragment_count;
     fragment_size;
@@ -26,6 +31,8 @@ let params ?(fragment_count = 6000) ?(fragment_size = Units.Size.bytes 4096)
     seed;
     fault_seed;
     track_total;
+    watchdog;
+    defect;
     plan;
   }
 
@@ -51,6 +58,7 @@ type outcome = {
   completion : Units.Time.t option;
   faults_applied : int;
   fault_log : (Units.Time.t * string) list;
+  events : int;
   invariant : Mmt_fault.Invariant.outcome;
   violations : string list;
   receiver : Mmt.Receiver.stats;
@@ -371,7 +379,13 @@ let run ?(pooling = true) ?(fusing = true) p =
       buffer_a.host <-
         Mmt.Buffer_host.create ~env:buffer_a.env ~capacity:(Units.Size.mib 256)
           ();
-      buffer_a.alive <- true);
+      buffer_a.alive <- true;
+      (* Test-only planted bug: a "restart handler" that replays a
+         frame into the application.  Any plan containing this restart
+         then violates the no-duplicate-delivery invariant, giving the
+         shrinker a deterministic target to converge on. *)
+      if p.defect = Broken_restart then
+        Mmt_fault.Invariant.delivered ledger ~seq:0);
   Mmt_fault.Injector.register_element injector "buffer-b"
     ~fail:(fun () ->
       buffer_b.alive <- false;
@@ -418,7 +432,12 @@ let run ?(pooling = true) ?(fusing = true) p =
          ~at:(Units.Time.scale gap (float_of_int i))
          (fun () -> Mmt.Sender.send sender (Bytes.copy payload)))
   done;
-  Mmt_sim.Engine.run ~until:p.run_until engine;
+  (* Watchdog-bounded run: a fault mix that provoked a zero-delay
+     event livelock would spin a pure time cap forever; the budget
+     turns that into a checkable "run did not terminate" violation. *)
+  let terminated =
+    Mmt_sim.Engine.run_bounded engine ~until:p.run_until ~budget:p.watchdog
+  in
   Mmt_innet.Control_plane.stop control;
 
   let stats = Mmt.Receiver.stats receiver in
@@ -446,7 +465,7 @@ let run ?(pooling = true) ?(fusing = true) p =
       ~emitted:rw.Mmt_innet.Mode_rewriter.sequenced
       ~abandoned:(stats.Mmt.Receiver.lost + stats.Mmt.Receiver.unrecoverable)
       ~resurrected:stats.Mmt.Receiver.resurrected
-      ~pending:stats.Mmt.Receiver.still_missing ~terminated:true ledger
+      ~pending:stats.Mmt.Receiver.still_missing ~terminated ledger
   in
   let violations = Mmt_fault.Invariant.check invariant in
   {
@@ -479,7 +498,101 @@ let run ?(pooling = true) ?(fusing = true) p =
     completion = stats.Mmt.Receiver.completion;
     faults_applied = Mmt_fault.Injector.applied injector;
     fault_log = Mmt_fault.Injector.log injector;
+    events = Mmt_sim.Engine.processed engine;
     invariant;
     violations;
     receiver = stats;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign wiring: the pilot as a fuzzing target.                     *)
+
+(* Campaign trials are deliberately smaller than the hand-written E-R1
+   scenarios — a quarter of the fragments and a 1 s cap — so thousands
+   of them stay cheap; the 1 s cap still dominates the worst NAK-retry
+   chain (10 x 15 ms) by a wide margin. *)
+let campaign_trial ?(fragment_count = 1500) () =
+  params ~fragment_count ~run_until:(Units.Time.seconds 1.) ()
+
+(* Degrading-profile base: random loss off and totals untracked (the
+   sequenced stream is legitimately short when frames degrade), and a
+   fast advert cadence so soft state (TTL = 4 periods) can actually
+   expire inside the fault horizon — with the default 5 ms period the
+   20 ms TTL outlives the whole emission span and a blackhole would be
+   a no-op. *)
+let campaign_trial_degrading ?(fragment_count = 1500) () =
+  params ~fragment_count ~run_until:(Units.Time.seconds 1.) ~loss:0.
+    ~track_total:false
+    ~advert_period:(Units.Time.us 400.)
+    ()
+
+let emission_span (p : params) =
+  let gap =
+    Units.Rate.transmission_time
+      (Units.Rate.scale (Units.Rate.gbps 100.) 0.1)
+      p.fragment_size
+  in
+  Units.Time.scale gap (float_of_int p.fragment_count)
+
+(* Every name below is resolved against the topology [run] builds:
+   links carry the auto-assigned "src->dst" names, elements and the
+   control plane the names registered with the injector.  The
+   partition between the plain pools and the degrading-only pools is
+   the accounting argument from the module docs: faults ahead of the
+   ingress rewriter shrink the sequenced stream itself, which tracked
+   totals would misread as tail loss. *)
+let campaign_universe (p : params) =
+  {
+    Mmt_fault.Generator.horizon = Units.Time.scale (emission_span p) 0.75;
+    flap_links =
+      [
+        "ingress->buffer-a"; "buffer-a->buffer-b"; "buffer-b->sink";
+        "sink->buffer-b"; "buffer-b->buffer-a"; "buffer-a->ingress";
+      ];
+    degrade_links =
+      [
+        "ingress->buffer-a"; "buffer-a->buffer-b"; "buffer-b->sink";
+        "sink->buffer-b";
+      ];
+    partitions =
+      [
+        [ "buffer-b->sink"; "sink->buffer-b" ];
+        [ "buffer-a->buffer-b"; "buffer-b->buffer-a" ];
+        [ "ingress->buffer-a"; "buffer-a->ingress" ];
+      ];
+    corrupt_links = [ "buffer-a->buffer-b"; "buffer-b->sink" ];
+    restart_elements = [ "buffer-a"; "buffer-b" ];
+    degrading_flaps = [ "source->ingress" ];
+    degrading_degrades = [ "source->ingress" ];
+    degrading_elements = [ "ingress-rewriter" ];
+    controls = [ "control" ];
+  }
+
+let campaign_exec (o : outcome) =
+  {
+    Mmt_fault.Campaign.outcome = o.invariant;
+    violations = o.violations;
+    faults_applied = o.faults_applied;
+    events = o.events;
+  }
+
+let campaign_target ?fragment_count ?(defect = No_defect) () =
+  let lossy = { (campaign_trial ?fragment_count ()) with defect } in
+  let degrading =
+    { (campaign_trial_degrading ?fragment_count ()) with defect }
+  in
+  {
+    Mmt_fault.Campaign.name =
+      (match defect with
+      | No_defect -> "pilot"
+      | Broken_restart -> "pilot+broken-restart");
+    universe = campaign_universe lossy;
+    execute =
+      (fun profile plan ->
+        let base =
+          match profile with
+          | Mmt_fault.Generator.Lossy -> lossy
+          | Mmt_fault.Generator.Degrading -> degrading
+        in
+        campaign_exec (run { base with plan }));
   }

@@ -11,6 +11,8 @@
 
 open Mmt_util
 
+type defect = No_defect | Broken_restart
+
 type params = {
   fragment_count : int;
   fragment_size : Units.Size.t;
@@ -24,6 +26,14 @@ type params = {
           turn off for plans that degrade frames to unsequenced, where
           the sequenced stream is legitimately shorter than the
           fragment count *)
+  watchdog : int;
+      (** event budget for the run (default 20M, orders of magnitude
+          above any honest trial): exhausting it marks the run
+          non-terminated instead of spinning on an event livelock *)
+  defect : defect;
+      (** [Broken_restart] plants a test-only bug — buffer A's restart
+          handler replays sequence 0 into the application — so shrink
+          tests have a scenario that genuinely violates *)
   plan : Mmt_fault.Plan.t;
 }
 
@@ -36,6 +46,8 @@ val params :
   ?seed:int64 ->
   ?fault_seed:int64 ->
   ?track_total:bool ->
+  ?watchdog:int ->
+  ?defect:defect ->
   ?plan:Mmt_fault.Plan.t ->
   unit ->
   params
@@ -62,6 +74,7 @@ type outcome = {
   completion : Units.Time.t option;
   faults_applied : int;
   fault_log : (Units.Time.t * string) list;
+  events : int;  (** engine events processed *)
   invariant : Mmt_fault.Invariant.outcome;
   violations : string list;  (** empty iff all invariants held *)
   receiver : Mmt.Receiver.stats;
@@ -74,3 +87,34 @@ val run : ?pooling:bool -> ?fusing:bool -> params -> outcome
     behind the topology's links; the outcome is byte-identical either
     way — the E-R1 differential test holds the scenario fixed and
     flips only this switch. *)
+
+(** {2 Campaign wiring}
+
+    The pilot as a {!Mmt_fault.Campaign} fuzzing target.  Campaign
+    trials use smaller parameter bases than E-R1 (1500 fragments, 1 s
+    cap) so thousands stay cheap; the lossy profile keeps tracked
+    totals and the default loss, the degrading profile switches loss
+    off, stops tracking totals and advertises every 400 µs so soft
+    state can expire inside the fault horizon. *)
+
+val campaign_trial : ?fragment_count:int -> unit -> params
+(** Lossy-profile base parameters (no plan installed yet). *)
+
+val campaign_trial_degrading : ?fragment_count:int -> unit -> params
+(** Degrading-profile base parameters. *)
+
+val emission_span : params -> Units.Time.t
+(** Length of the workload's emission window under [params] — the
+    quantity campaign horizons are derived from. *)
+
+val campaign_universe : params -> Mmt_fault.Generator.universe
+(** The pilot topology's resolved name universe: flap/degrade/
+    partition/corruption pools on the post-sequencing path, buffer
+    fail/restart subjects, and the emission-reducing names (source
+    link, ingress rewriter, advert control) gated degrading-only. *)
+
+val campaign_target :
+  ?fragment_count:int -> ?defect:defect -> unit -> Mmt_fault.Campaign.target
+(** The pilot target: executes each generated plan against the profile-
+    matched parameter base.  [defect] plants {!Broken_restart} into
+    both bases (shrink tests only). *)

@@ -497,6 +497,42 @@ let run_ns t limit =
   run_loop t limit;
   if limit <> max_int && t.clock < limit then t.clock <- limit
 
+(* Watchdog variant: same schedule as [run_loop] (so a budget that
+   never trips is byte-identical to [run ~until]), but gives up after
+   executing [stop - processed] events.  A chaos scenario whose faults
+   provoke a zero-delay event livelock would make [run ~until] spin
+   forever — the clock never reaches [until] — so the invariant
+   checker needs a bound expressed in events, not time.  Kept out of
+   [run_loop] itself: that is the benchmarked hot path, and the inner
+   [step] here pays a second root peek per event instead.  Cancelled
+   roots are drained without consuming budget, mirroring the run loop. *)
+let rec run_bounded_loop t limit stop =
+  if t.size > 0 then begin
+    let slot = t.h_slot.(0) in
+    if t.s_fn.(slot) == cancelled_fn then begin
+      ignore (take_root t);
+      t.cancelled_in_heap <- t.cancelled_in_heap - 1;
+      free_slot t slot;
+      run_bounded_loop t limit stop
+    end
+    else if t.h_at.(0) <= limit && t.processed < stop then begin
+      ignore (step t);
+      run_bounded_loop t limit stop
+    end
+  end
+
+let run_bounded t ~until ~budget =
+  let limit = Units.Time.to_ns until in
+  let stop =
+    if budget >= max_int - t.processed then max_int else t.processed + budget
+  in
+  run_bounded_loop t limit stop;
+  (* After the loop any remaining root is live, so [h_at] is exact:
+     the run terminated iff no live work remains inside the window. *)
+  let terminated = t.size = 0 || t.h_at.(0) > limit in
+  if terminated && limit <> max_int && t.clock < limit then t.clock <- limit;
+  terminated
+
 let run ?until t =
   match until with
   | None -> run_ns t max_int

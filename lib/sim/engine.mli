@@ -147,3 +147,13 @@ val run_until : t -> until:Units.Time.t -> unit
 
 val step : t -> bool
 (** Execute exactly one event; [false] when the queue is empty. *)
+
+val run_bounded : t -> until:Units.Time.t -> budget:int -> bool
+(** [run ~until] with a watchdog: execute at most [budget] events, in
+    exactly the order [run ~until] would (a budget that never trips is
+    byte-identical, clock clamp included).  Returns [true] when the
+    run terminated — the queue emptied or the next live event lies
+    beyond [until] — and [false] when the budget expired with live
+    work still inside the window, which is how a chaos campaign
+    detects an event livelock that a pure time cap would spin on
+    forever.  On [false] the clock is left where the budget ran out. *)

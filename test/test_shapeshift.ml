@@ -25,6 +25,7 @@ let () =
       ("extensions", Suite_extensions.suite);
       ("robustness", Suite_robustness.suite);
       ("fault", Suite_fault.suite);
+      ("campaign", Suite_campaign.suite);
       ("fuzz", Suite_fuzz.suite);
       ("sharded", Suite_sharded.suite);
       ("experiments", Suite_experiments.suite);
